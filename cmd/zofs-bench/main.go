@@ -1,0 +1,95 @@
+// Command zofs-bench regenerates the paper's evaluation artifacts: every
+// table and figure of §6 plus the motivating surveys of §2.
+//
+// Usage:
+//
+//	zofs-bench [-quick] [-threads 1,2,4,8,12,16,20] [experiment ...]
+//
+// Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
+// fig11 table9 safety recovery — or "all" (the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"zofs/internal/harness"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(io.Writer, harness.Options) error
+}{
+	{"table1", "DRAM vs Optane latency/bandwidth", harness.RunTable1},
+	{"table2", "shared append/create latency (Strata/NOVA/ZoFS)", harness.RunTable2},
+	{"table3", "application permission survey", harness.RunTable3},
+	{"table4", "FSL-Homes grouping analysis", harness.RunTable4},
+	{"fig7", "FxMark sweep over all file systems", harness.RunFig7},
+	{"fig8", "DWOL throughput breakdown", harness.RunFig8},
+	{"fig9", "Filebench sweep", harness.RunFig9},
+	{"fig10", "Filebench customized configs", harness.RunFig10},
+	{"table7", "LevelDB db_bench latencies", harness.RunTable7},
+	{"fig11", "TPC-C SQLite throughput", harness.RunFig11},
+	{"table9", "worst-case chmod/rename", harness.RunTable9},
+	{"safety", "stray-write and malicious-metadata tests", harness.RunSafety},
+	{"recovery", "coffer recovery timing", harness.RunRecovery},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller, faster runs")
+	threads := flag.String("threads", "", "comma-separated thread sweep (default 1,2,4,8,12,16,20)")
+	devGB := flag.Int64("device-gb", 8, "simulated device size in GiB")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: zofs-bench [flags] [experiment ...]\n\nexperiments:\n")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintln(os.Stderr, "  all      everything above (default)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	opts := harness.Options{Quick: *quick, DeviceBytes: *devGB << 30}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "zofs-bench: bad -threads %q\n", *threads)
+				os.Exit(2)
+			}
+			opts.Threads = append(opts.Threads, n)
+		}
+	}
+
+	want := flag.Args()
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = nil
+		for _, e := range experiments {
+			want = append(want, e.name)
+		}
+	}
+	known := map[string]func(io.Writer, harness.Options) error{}
+	for _, e := range experiments {
+		known[e.name] = e.run
+	}
+	for _, name := range want {
+		run, ok := known[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "zofs-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s ====\n", name)
+		start := time.Now()
+		if err := run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

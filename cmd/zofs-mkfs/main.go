@@ -1,0 +1,94 @@
+// Command zofs-mkfs formats a simulated NVM device image with the Treasury
+// on-device structures (superblock, allocation table, path table) and the
+// root ZoFS coffer, then writes the image to a host file.
+//
+// Usage:
+//
+//	zofs-mkfs -size 256M -mode 0755 image.zofs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"zofs/internal/coffer"
+	"zofs/internal/fslibs"
+	"zofs/internal/kernfs"
+	"zofs/internal/nvm"
+	"zofs/internal/proc"
+)
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	return n * mult, err
+}
+
+func main() {
+	size := flag.String("size", "256M", "device size (K/M/G suffixes)")
+	mode := flag.String("mode", "0755", "root directory permission (octal)")
+	uid := flag.Uint("uid", 0, "root directory owner uid")
+	gid := flag.Uint("gid", 0, "root directory owner gid")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zofs-mkfs [-size N] [-mode 0755] <image>")
+		os.Exit(2)
+	}
+
+	bytes, err := parseSize(*size)
+	if err != nil {
+		fatal("bad -size: %v", err)
+	}
+	m, err := strconv.ParseUint(strings.TrimPrefix(*mode, "0o"), 8, 32)
+	if err != nil {
+		fatal("bad -mode: %v", err)
+	}
+
+	dev := nvm.NewDevice(bytes)
+	if err := kernfs.Mkfs(dev, kernfs.MkfsOptions{
+		RootMode: coffer.Mode(m), RootUID: uint32(*uid), RootGID: uint32(*gid),
+	}); err != nil {
+		fatal("mkfs: %v", err)
+	}
+	// Initialize the root directory inode through a root process, exactly
+	// as first mount would.
+	k, err := kernfs.Mount(dev)
+	if err != nil {
+		fatal("mount: %v", err)
+	}
+	th := proc.NewProcess(dev, 0, 0).NewThread()
+	l, err := fslibs.Mount(k, th, fslibs.Options{})
+	if err != nil {
+		fatal("fslibs: %v", err)
+	}
+	if err := l.ZoFS().EnsureRootDir(th); err != nil {
+		fatal("root dir: %v", err)
+	}
+
+	f, err := os.Create(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if err := dev.SaveImage(f); err != nil {
+		fatal("save: %v", err)
+	}
+	fmt.Printf("formatted %s: %d pages, root coffer %d (mode %o), image %s\n",
+		flag.Arg(0), dev.Pages(), k.RootCoffer(), m, flag.Arg(0))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zofs-mkfs: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,253 @@
+// Command zofs-shell is an interactive shell over a ZoFS device image,
+// driving the full Treasury stack (FSLibs dispatcher → ZoFS µFS → KernFS)
+// exactly as a preloaded application would.
+//
+// Usage:
+//
+//	zofs-shell image.zofs
+//
+// Commands: ls [path], cat <file>, write <file> <text...>, append <file>
+// <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
+// ln -s <target> <link>, chmod <octal> <path>, chown <uid> <gid> <path>,
+// stat <path>, cd <dir>, pwd, df, coffers, recover <path>, sync, quit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"zofs/internal/coffer"
+	"zofs/internal/fslibs"
+	"zofs/internal/kernfs"
+	"zofs/internal/nvm"
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: zofs-shell <image>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	dev, err := nvm.LoadImage(f)
+	f.Close()
+	if err != nil {
+		fatal("load: %v", err)
+	}
+	k, err := kernfs.Mount(dev)
+	if err != nil {
+		fatal("mount: %v", err)
+	}
+	th := proc.NewProcess(dev, 0, 0).NewThread()
+	lib, err := fslibs.Mount(k, th, fslibs.Options{})
+	if err != nil {
+		fatal("fslibs: %v", err)
+	}
+	if err := lib.ZoFS().EnsureRootDir(th); err != nil {
+		fatal("root: %v", err)
+	}
+
+	save := func() {
+		out, err := os.Create(path)
+		if err != nil {
+			fmt.Println("save failed:", err)
+			return
+		}
+		defer out.Close()
+		if err := dev.SaveImage(out); err != nil {
+			fmt.Println("save failed:", err)
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("zofs-shell: Treasury/ZoFS over", path, "- type 'help'")
+	for {
+		fmt.Printf("zofs:%s$ ", lib.Getcwd())
+		if !sc.Scan() {
+			break
+		}
+		args := strings.Fields(sc.Text())
+		if len(args) == 0 {
+			continue
+		}
+		if done := execute(lib, k, th, args, save); done {
+			break
+		}
+	}
+	save()
+}
+
+func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, save func()) bool {
+	cmd := args[0]
+	fail := func(err error) { fmt.Println(cmd+":", err) }
+	switch cmd {
+	case "help":
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df coffers recover sync quit")
+	case "quit", "exit":
+		return true
+	case "sync":
+		save()
+	case "pwd":
+		fmt.Println(lib.Getcwd())
+	case "cd":
+		if len(args) == 2 {
+			if err := lib.Chdir(th, args[1]); err != nil {
+				fail(err)
+			}
+		}
+	case "ls":
+		p := "."
+		if len(args) > 1 {
+			p = args[1]
+		}
+		ents, err := lib.ReadDir(th, p)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		for _, e := range ents {
+			marker := ""
+			if e.Coffer != 0 {
+				marker = fmt.Sprintf("  [coffer %d]", e.Coffer)
+			}
+			fmt.Printf("%-8s %s%s\n", e.Type, e.Name, marker)
+		}
+	case "cat":
+		if len(args) != 2 {
+			return false
+		}
+		fd, err := lib.Open(th, args[1], vfs.O_RDONLY, 0)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		defer lib.Close(th, fd)
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := lib.Read(th, fd, buf)
+			if n > 0 {
+				os.Stdout.Write(buf[:n])
+			}
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		fmt.Println()
+	case "write", "append":
+		if len(args) < 3 {
+			return false
+		}
+		flags := vfs.O_CREATE | vfs.O_WRONLY
+		if cmd == "append" {
+			flags |= vfs.O_APPEND
+		} else {
+			flags |= vfs.O_TRUNC
+		}
+		fd, err := lib.Open(th, args[1], flags, 0o644)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		if _, err := lib.Write(th, fd, []byte(strings.Join(args[2:], " ")+"\n")); err != nil {
+			fail(err)
+		}
+		lib.Close(th, fd)
+	case "mkdir":
+		if len(args) == 2 {
+			if err := lib.Mkdir(th, args[1], 0o755); err != nil {
+				fail(err)
+			}
+		}
+	case "rm":
+		if len(args) == 2 {
+			if err := lib.Unlink(th, args[1]); err != nil {
+				fail(err)
+			}
+		}
+	case "rmdir":
+		if len(args) == 2 {
+			if err := lib.Rmdir(th, args[1]); err != nil {
+				fail(err)
+			}
+		}
+	case "mv":
+		if len(args) == 3 {
+			if err := lib.Rename(th, args[1], args[2]); err != nil {
+				fail(err)
+			}
+		}
+	case "ln":
+		if len(args) == 4 && args[1] == "-s" {
+			if err := lib.Symlink(th, args[2], args[3]); err != nil {
+				fail(err)
+			}
+		}
+	case "chmod":
+		if len(args) == 3 {
+			m, err := strconv.ParseUint(args[1], 8, 32)
+			if err != nil {
+				fail(err)
+				return false
+			}
+			if err := lib.Chmod(th, args[2], coffer.Mode(m)); err != nil {
+				fail(err)
+			}
+		}
+	case "chown":
+		if len(args) == 4 {
+			uid, _ := strconv.Atoi(args[1])
+			gid, _ := strconv.Atoi(args[2])
+			if err := lib.Chown(th, args[3], uint32(uid), uint32(gid)); err != nil {
+				fail(err)
+			}
+		}
+	case "stat":
+		if len(args) == 2 {
+			fi, err := lib.Stat(th, args[1])
+			if err != nil {
+				fail(err)
+				return false
+			}
+			fmt.Printf("%s: %s mode=%o uid=%d gid=%d size=%d nlink=%d coffer=%d inode=%d\n",
+				args[1], fi.Type, fi.Mode, fi.UID, fi.GID, fi.Size, fi.Nlink, fi.Coffer, fi.Inode)
+		}
+	case "df":
+		fmt.Printf("%d free pages of %d\n", k.FreePages(), k.Device().Pages())
+	case "coffers":
+		for _, id := range k.Coffers() {
+			info, _ := k.Info(id)
+			fmt.Printf("coffer %-8d %-30s mode=%o uid=%d gid=%d\n", id, info.Path, info.Mode, info.UID, info.GID)
+		}
+	case "recover":
+		if len(args) == 2 {
+			id, _, ok := k.ResolveLongest(th.Clk, args[1])
+			if !ok {
+				fmt.Println("recover: no such coffer")
+				return false
+			}
+			st, err := lib.ZoFS().RecoverCoffer(th, id)
+			if err != nil {
+				fail(err)
+				return false
+			}
+			fmt.Printf("recovered coffer %d: kept %d, reclaimed %d, fixed %d, leases %d\n",
+				id, st.PagesKept, st.PagesReclaimed, st.DentriesFixed, st.LeasesCleared)
+		}
+	default:
+		fmt.Println("unknown command:", cmd)
+	}
+	return false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zofs-shell: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package zofs is a from-scratch Go reproduction of "Performance and
+// Protection in the ZoFS User-space NVM File System" (Dong et al.,
+// SOSP 2019): the coffer abstraction, the Treasury architecture (KernFS +
+// FSLibs), the ZoFS µFS, the baseline NVM file systems the paper compares
+// against (Ext4-DAX, PMFS, NOVA, Strata), and the full evaluation harness
+// (FxMark, Filebench, LevelDB db_bench, TPC-C).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and substitution notes, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate every table and
+// figure; cmd/zofs-bench does the same from the command line.
+package zofs

@@ -1,0 +1,3 @@
+module zofs
+
+go 1.22

@@ -1,0 +1,139 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zofs/internal/harness"
+)
+
+// tiny returns the smallest meaningful options for integration smoke runs.
+func tiny() harness.Options {
+	return harness.Options{
+		Quick:       true,
+		DeviceBytes: 2 << 30,
+		Threads:     []int{1, 2},
+		TargetNS:    1_000_000,
+	}
+}
+
+func runAndCheck(t *testing.T, name string, fn func() (*bytes.Buffer, error), want ...string) {
+	t.Helper()
+	buf, err := fn()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatalf("%s produced no output", name)
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("%s output missing %q:\n%s", name, w, out)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	runAndCheck(t, "table1", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunTable1(&b, tiny())
+	}, "Optane DC PM", "DRAM")
+}
+
+func TestRunTable2(t *testing.T) {
+	runAndCheck(t, "table2", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunTable2(&b, tiny())
+	}, "append", "create", "ZoFS")
+}
+
+func TestRunTable3(t *testing.T) {
+	runAndCheck(t, "table3", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunTable3(&b, tiny())
+	}, "MySQL", "PostgreSQL", "DokuWiki", "Twitter")
+}
+
+func TestRunTable4(t *testing.T) {
+	runAndCheck(t, "table4", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunTable4(&b, tiny())
+	}, "groups", "644")
+}
+
+func TestRunFig8(t *testing.T) {
+	runAndCheck(t, "fig8", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunFig8(&b, tiny())
+	}, "ZoFS-sysempty", "PMFS-nocache", "NOVAi-noindex")
+}
+
+func TestRunFig10(t *testing.T) {
+	runAndCheck(t, "fig10", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunFig10(&b, tiny())
+	}, "Fileserver", "Varmail")
+}
+
+func TestRunTable9(t *testing.T) {
+	runAndCheck(t, "table9", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunTable9(&b, tiny())
+	}, "chmod", "rename", "ZoFS-1coffer")
+}
+
+func TestRunSafety(t *testing.T) {
+	runAndCheck(t, "safety", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunSafety(&b, tiny())
+	}, "PASS", "caught by MPK", "graceful errors")
+}
+
+func TestRunRecovery(t *testing.T) {
+	runAndCheck(t, "recovery", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunRecovery(&b, tiny())
+	}, "Recovery of a coffer", "kernel")
+}
+
+func TestRunFig7Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 sweep in -short mode")
+	}
+	runAndCheck(t, "fig7", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunFig7(&b, tiny())
+	}, "DWOL", "MWCL", "Ext4-DAX")
+}
+
+func TestRunFig9Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 sweep in -short mode")
+	}
+	runAndCheck(t, "fig9", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunFig9(&b, tiny())
+	}, "fileserver", "varmail", "ZoFS-20dirwidth")
+}
+
+func TestRunTable7Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table7 in -short mode")
+	}
+	runAndCheck(t, "table7", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunTable7(&b, tiny())
+	}, "Write sync.", "Read rand.", "Delete rand.")
+}
+
+func TestRunFig11Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 in -short mode")
+	}
+	runAndCheck(t, "fig11", func() (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		return &b, harness.RunFig11(&b, tiny())
+	}, "mixed", "NEW", "PAY")
+}

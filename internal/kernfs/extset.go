@@ -1,0 +1,103 @@
+package kernfs
+
+import (
+	"zofs/internal/coffer"
+	"zofs/internal/rbtree"
+)
+
+// extentSet is a coalescing set of page extents built on a red-black tree
+// (start page -> page count). KernFS keeps one for global free space and one
+// per coffer for allocated space (§4.1).
+type extentSet struct {
+	t     *rbtree.Tree
+	pages int64
+}
+
+func newExtentSet() *extentSet { return &extentSet{t: rbtree.New()} }
+
+// Pages returns the total number of pages in the set.
+func (s *extentSet) Pages() int64 { return s.pages }
+
+// Add inserts [start, start+count), coalescing with adjacent extents.
+// Overlapping adds are a caller bug and corrupt the set; callers guarantee
+// disjointness (the allocation table is the source of truth).
+func (s *extentSet) Add(start, count int64) {
+	if count <= 0 {
+		return
+	}
+	added := count
+	// Coalesce with predecessor.
+	if pk, pv, ok := s.t.Floor(start); ok && pk+pv == start {
+		s.t.Delete(pk)
+		start, count = pk, pv+count
+	}
+	// Coalesce with successor.
+	if nk, nv, ok := s.t.Ceiling(start); ok && start+count == nk {
+		s.t.Delete(nk)
+		count += nv
+	}
+	s.t.Insert(start, count)
+	s.pages += added
+}
+
+// Remove deletes [start, start+count) from the set, splitting the
+// containing extent as needed. It reports whether the full range was
+// present.
+func (s *extentSet) Remove(start, count int64) bool {
+	if count <= 0 {
+		return true
+	}
+	k, v, ok := s.t.Floor(start)
+	if !ok || k+v < start+count {
+		return false
+	}
+	s.t.Delete(k)
+	if k < start {
+		s.t.Insert(k, start-k)
+	}
+	if k+v > start+count {
+		s.t.Insert(start+count, k+v-(start+count))
+	}
+	s.pages -= count
+	return true
+}
+
+// Contains reports whether every page of [start, start+count) is present.
+func (s *extentSet) Contains(start, count int64) bool {
+	k, v, ok := s.t.Floor(start)
+	return ok && k+v >= start+count
+}
+
+// TakeFirst removes and returns up to want pages as extents, first-fit in
+// address order. It returns fewer pages only if the set runs dry.
+func (s *extentSet) TakeFirst(want int64) []coffer.Extent {
+	var out []coffer.Extent
+	for want > 0 {
+		k, v, ok := s.t.Min()
+		if !ok {
+			break
+		}
+		take := v
+		if take > want {
+			take = want
+		}
+		s.t.Delete(k)
+		if take < v {
+			s.t.Insert(k+take, v-take)
+		}
+		s.pages -= take
+		out = append(out, coffer.Extent{Start: k, Count: take})
+		want -= take
+	}
+	return out
+}
+
+// All returns every extent in address order.
+func (s *extentSet) All() []coffer.Extent {
+	var out []coffer.Extent
+	s.t.Ascend(func(k, v int64) bool {
+		out = append(out, coffer.Extent{Start: k, Count: v})
+		return true
+	})
+	return out
+}

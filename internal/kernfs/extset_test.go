@@ -1,0 +1,157 @@
+package kernfs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveSet mirrors extentSet with a plain page map.
+type naiveSet map[int64]bool
+
+func (n naiveSet) add(start, count int64) {
+	for p := start; p < start+count; p++ {
+		n[p] = true
+	}
+}
+func (n naiveSet) remove(start, count int64) bool {
+	for p := start; p < start+count; p++ {
+		if !n[p] {
+			return false
+		}
+	}
+	for p := start; p < start+count; p++ {
+		delete(n, p)
+	}
+	return true
+}
+
+func (n naiveSet) equal(s *extentSet) bool {
+	if int64(len(n)) != s.Pages() {
+		return false
+	}
+	for _, e := range s.All() {
+		for p := e.Start; p < e.End(); p++ {
+			if !n[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestExtentSetBasics(t *testing.T) {
+	s := newExtentSet()
+	s.Add(10, 5)
+	s.Add(15, 5) // coalesce
+	s.Add(0, 3)
+	if s.Pages() != 13 {
+		t.Fatalf("Pages = %d", s.Pages())
+	}
+	if all := s.All(); len(all) != 2 || all[1].Start != 10 || all[1].Count != 10 {
+		t.Fatalf("All = %v", all)
+	}
+	if !s.Contains(12, 5) || s.Contains(8, 3) {
+		t.Fatal("Contains wrong")
+	}
+	if !s.Remove(12, 3) {
+		t.Fatal("Remove failed")
+	}
+	if s.Contains(12, 1) || !s.Contains(10, 2) || !s.Contains(15, 5) {
+		t.Fatal("post-Remove state wrong")
+	}
+	if s.Remove(100, 1) {
+		t.Fatal("Remove of absent range succeeded")
+	}
+}
+
+func TestExtentSetTakeFirst(t *testing.T) {
+	s := newExtentSet()
+	s.Add(100, 4)
+	s.Add(200, 10)
+	got := s.TakeFirst(6)
+	var n int64
+	for _, e := range got {
+		n += e.Count
+	}
+	if n != 6 || got[0].Start != 100 || got[0].Count != 4 {
+		t.Fatalf("TakeFirst = %v", got)
+	}
+	if s.Pages() != 8 {
+		t.Fatalf("remaining = %d", s.Pages())
+	}
+	// Exhaustion returns what exists.
+	rest := s.TakeFirst(100)
+	n = 0
+	for _, e := range rest {
+		n += e.Count
+	}
+	if n != 8 || s.Pages() != 0 {
+		t.Fatalf("drain = %v, left %d", rest, s.Pages())
+	}
+}
+
+// TestExtentSetAgainstModel runs randomized disjoint adds, removes and
+// takes, comparing against a naive page-set model.
+func TestExtentSetAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := newExtentSet()
+	model := naiveSet{}
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1: // add a disjoint range
+			start := rng.Int63n(5000)
+			count := rng.Int63n(8) + 1
+			ok := true
+			for p := start; p < start+count; p++ {
+				if model[p] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			s.Add(start, count)
+			model.add(start, count)
+		case 2: // remove a present sub-range
+			if len(model) == 0 {
+				continue
+			}
+			pages := make([]int64, 0, len(model))
+			for p := range model {
+				pages = append(pages, p)
+			}
+			sort.Slice(pages, func(a, b int) bool { return pages[a] < pages[b] })
+			start := pages[rng.Intn(len(pages))]
+			count := int64(1)
+			for model[start+count] && count < 4 {
+				count++
+			}
+			got := s.Remove(start, count)
+			want := model.remove(start, count)
+			if got != want {
+				t.Fatalf("step %d: Remove(%d,%d) = %v want %v", i, start, count, got, want)
+			}
+		case 3: // take
+			want := rng.Int63n(6) + 1
+			got := s.TakeFirst(want)
+			var taken int64
+			for _, e := range got {
+				taken += e.Count
+				if !model.remove(e.Start, e.Count) {
+					t.Fatalf("step %d: TakeFirst returned absent range %v", i, e)
+				}
+			}
+			if taken > want {
+				t.Fatalf("step %d: took %d > %d", i, taken, want)
+			}
+		}
+		if i%500 == 0 && !model.equal(s) {
+			t.Fatalf("step %d: model divergence (pages %d vs %d)", i, len(model), s.Pages())
+		}
+	}
+	if !model.equal(s) {
+		t.Fatal("final divergence")
+	}
+}

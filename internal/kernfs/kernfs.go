@@ -1,0 +1,1009 @@
+// Package kernfs implements the kernel half of the Treasury architecture
+// (paper §3.2, §4.1): global NVM space management via a persistent
+// allocation table, the persistent path→coffer hash table, and the
+// coffer-level protocol of Table 5 (coffer_new/delete/enlarge/shrink/map/
+// unmap/split/merge/recover, fs_mount/umount, file_mmap/execve).
+//
+// KernFS treats coffers as black boxes: it knows a coffer's path, type,
+// permission and page set, but never its interior. Every public operation
+// charges one syscall on the calling thread's virtual clock and serializes
+// on the kernel mutex — the contention source behind the coffer_enlarge
+// scalability knee in Figures 7(d) and 7(g).
+package kernfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"zofs/internal/coffer"
+	"zofs/internal/mpk"
+	"zofs/internal/nvm"
+	"zofs/internal/perfmodel"
+	"zofs/internal/proc"
+	"zofs/internal/simclock"
+)
+
+// Exported error sentinels, the analogues of errno values.
+var (
+	ErrPerm         = errors.New("kernfs: permission denied")
+	ErrNotFound     = errors.New("kernfs: no such coffer")
+	ErrExists       = errors.New("kernfs: coffer exists")
+	ErrBusy         = errors.New("kernfs: coffer busy")
+	ErrNoSpace      = errors.New("kernfs: no space left on device")
+	ErrNoMPKRegions = errors.New("kernfs: no MPK regions available")
+	ErrInvalid      = errors.New("kernfs: invalid argument")
+	ErrNotMapped    = errors.New("kernfs: coffer not mapped")
+	ErrInRecovery   = errors.New("kernfs: coffer in recovery")
+)
+
+// Superblock layout (page 0).
+const (
+	sbMagic        = 0x5A6F46535F535550 // "ZoFS_SUP"
+	sbMagicOff     = 0
+	sbNPagesOff    = 8
+	sbAllocPageOff = 16
+	sbAllocLenOff  = 24
+	sbPathPageOff  = 32
+	sbPathLenOff   = 40
+	sbRootOff      = 48
+)
+
+// MkfsOptions configures file system creation.
+type MkfsOptions struct {
+	RootMode coffer.Mode // permission of the root coffer (default 0755)
+	RootUID  uint32
+	RootGID  uint32
+}
+
+// KernFS is the kernel module instance for one device.
+type KernFS struct {
+	dev *nvm.Device
+
+	// kmu is the kernel big lock: real mutual exclusion for the volatile
+	// structures plus virtual-time serialization of kernel work.
+	kmu simclock.Mutex
+	// pmu guards the path→coffer table separately: lookups take the read
+	// side and never serialize with allocation. (The persistent table is
+	// mapped read-only into user space — §4.1 — so resolution does not
+	// enter the kernel at all; the read lock models only coherence with
+	// concurrent path updates.)
+	pmu simclock.RWMutex
+
+	space *spaceManager
+	paths *pathTable
+
+	rootCoffer coffer.ID
+	coffers    map[coffer.ID]*cofferInfo
+	procs      map[int]*procState
+	procsMu    sync.Mutex
+}
+
+type cofferInfo struct {
+	rp      coffer.RootPage
+	mappers map[int]*procState
+}
+
+// procState is the kernel-private per-process state created by fs_mount.
+type procState struct {
+	p        *proc.Process
+	keys     map[coffer.ID]mpk.Key
+	writable map[coffer.ID]bool
+	usedKeys uint16
+}
+
+// Mkfs formats a device: superblock, allocation table, path table and the
+// root coffer (a ZoFS-type coffer holding "/").
+func Mkfs(dev *nvm.Device, opts MkfsOptions) error {
+	if opts.RootMode == 0 {
+		opts.RootMode = 0o755
+	}
+	npages := dev.Pages()
+	allocPages := (allocTableBytes(npages) + nvm.PageSize - 1) / nvm.PageSize
+	pathPages := (pathTabBytes() + nvm.PageSize - 1) / nvm.PageSize
+	kernPages := 1 + allocPages + pathPages
+	if kernPages+3 > npages {
+		return fmt.Errorf("%w: device too small (%d pages)", ErrInvalid, npages)
+	}
+
+	sm := &spaceManager{dev: dev, tabStart: 1 * nvm.PageSize, npages: npages}
+	sm.initTable(nil, kernPages)
+	pt := &pathTable{dev: dev, bucketOff: (1 + allocPages) * nvm.PageSize, sm: sm}
+	pt.init(nil)
+
+	// Root coffer: root page + root dir inode page + custom page.
+	exts, err := sm.allocate(nil, 0, 3)
+	if err != nil {
+		return err
+	}
+	pages := flatten(exts)
+	rootID := coffer.ID(pages[0])
+	// Fix ownership tag now that the ID (root page number) is known.
+	for _, e := range exts {
+		sm.writeRun(nil, e.Start, e.Count, rootID)
+		sm.ownerSet(0).Remove(e.Start, e.Count)
+		sm.ownerSet(rootID).Add(e.Start, e.Count)
+	}
+	rp := &coffer.RootPage{
+		ID: rootID, Type: coffer.TypeZoFS, Mode: opts.RootMode,
+		UID: opts.RootUID, GID: opts.RootGID,
+		RootInode: pages[1], Custom: pages[2], Path: "/",
+	}
+	dev.WriteNT(nil, pages[0]*nvm.PageSize, coffer.EncodeRootPage(rp))
+	dev.Zero(nil, pages[1]*nvm.PageSize, nvm.PageSize)
+	dev.Zero(nil, pages[2]*nvm.PageSize, nvm.PageSize)
+	if err := pt.insert(nil, "/", rootID); err != nil {
+		return err
+	}
+
+	// Superblock last: its magic commits the format.
+	sb := make([]byte, nvm.PageSize)
+	binary.LittleEndian.PutUint64(sb[sbMagicOff:], sbMagic)
+	binary.LittleEndian.PutUint64(sb[sbNPagesOff:], uint64(npages))
+	binary.LittleEndian.PutUint64(sb[sbAllocPageOff:], 1)
+	binary.LittleEndian.PutUint64(sb[sbAllocLenOff:], uint64(allocPages))
+	binary.LittleEndian.PutUint64(sb[sbPathPageOff:], uint64(1+allocPages))
+	binary.LittleEndian.PutUint64(sb[sbPathLenOff:], uint64(pathPages))
+	binary.LittleEndian.PutUint64(sb[sbRootOff:], uint64(rootID))
+	dev.WriteNT(nil, 0, sb)
+	return nil
+}
+
+func flatten(exts []coffer.Extent) []int64 {
+	var out []int64
+	for _, e := range exts {
+		for i := int64(0); i < e.Count; i++ {
+			out = append(out, e.Start+i)
+		}
+	}
+	return out
+}
+
+// Mount attaches KernFS to a formatted device, rebuilding volatile state
+// from the persistent allocation and path tables.
+func Mount(dev *nvm.Device) (*KernFS, error) {
+	sb := make([]byte, nvm.PageSize)
+	dev.ReadNoCharge(0, sb)
+	if binary.LittleEndian.Uint64(sb[sbMagicOff:]) != sbMagic {
+		return nil, fmt.Errorf("%w: bad superblock magic", ErrInvalid)
+	}
+	npages := int64(binary.LittleEndian.Uint64(sb[sbNPagesOff:]))
+	if npages != dev.Pages() {
+		return nil, fmt.Errorf("%w: superblock pages %d != device pages %d", ErrInvalid, npages, dev.Pages())
+	}
+	allocPage := int64(binary.LittleEndian.Uint64(sb[sbAllocPageOff:]))
+	pathPage := int64(binary.LittleEndian.Uint64(sb[sbPathPageOff:]))
+
+	k := &KernFS{
+		dev:        dev,
+		space:      &spaceManager{dev: dev, tabStart: allocPage * nvm.PageSize, npages: npages},
+		rootCoffer: coffer.ID(binary.LittleEndian.Uint64(sb[sbRootOff:])),
+		coffers:    map[coffer.ID]*cofferInfo{},
+		procs:      map[int]*procState{},
+	}
+	k.paths = &pathTable{dev: dev, bucketOff: pathPage * nvm.PageSize, sm: k.space, wmu: &k.pmu}
+	if err := k.space.scan(nil); err != nil {
+		return nil, err
+	}
+	if err := k.paths.load(nil); err != nil {
+		return nil, err
+	}
+	// Materialize coffer infos from root pages.
+	buf := make([]byte, nvm.PageSize)
+	for path, id := range k.paths.all() {
+		dev.ReadNoCharge(int64(id)*nvm.PageSize, buf)
+		rp, err := coffer.DecodeRootPage(buf)
+		if err != nil {
+			return nil, fmt.Errorf("kernfs: coffer %d (%s): %v", id, path, err)
+		}
+		k.coffers[id] = &cofferInfo{rp: *rp, mappers: map[int]*procState{}}
+	}
+	return k, nil
+}
+
+// Device returns the underlying NVM device.
+func (k *KernFS) Device() *nvm.Device { return k.dev }
+
+// RootCoffer returns the coffer holding "/".
+func (k *KernFS) RootCoffer() coffer.ID { return k.rootCoffer }
+
+// FreePages reports unallocated pages (for df-style tools).
+func (k *KernFS) FreePages() int64 {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	return k.space.freePages()
+}
+
+// ---- fs_mount / fs_umount -------------------------------------------------
+
+// FSMount registers a process's FSLibs instance (Table 5: fs_mount).
+func (k *KernFS) FSMount(th *proc.Thread) error {
+	th.Syscall()
+	k.procsMu.Lock()
+	defer k.procsMu.Unlock()
+	if _, dup := k.procs[th.Proc.PID]; dup {
+		return fmt.Errorf("%w: process already mounted", ErrInvalid)
+	}
+	k.procs[th.Proc.PID] = &procState{
+		p:        th.Proc,
+		keys:     map[coffer.ID]mpk.Key{},
+		writable: map[coffer.ID]bool{},
+	}
+	return nil
+}
+
+// FSUmount deregisters the process, unmapping every coffer (Table 5:
+// fs_umount; also invoked on process termination).
+func (k *KernFS) FSUmount(th *proc.Thread) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ps := k.stateOf(th.Proc.PID)
+	if ps == nil {
+		return ErrInvalid
+	}
+	for id := range ps.keys {
+		k.unmapLocked(ps, id)
+	}
+	k.procsMu.Lock()
+	delete(k.procs, th.Proc.PID)
+	k.procsMu.Unlock()
+	return nil
+}
+
+func (k *KernFS) stateOf(pid int) *procState {
+	k.procsMu.Lock()
+	defer k.procsMu.Unlock()
+	return k.procs[pid]
+}
+
+// SetIdentity changes a process's uid/gid; per §3.3 all coffer mappings are
+// removed when identifiers change (setuid semantics).
+func (k *KernFS) SetIdentity(th *proc.Thread, uid, gid uint32) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ps := k.stateOf(th.Proc.PID)
+	if ps == nil {
+		return ErrInvalid
+	}
+	for id := range ps.keys {
+		k.unmapLocked(ps, id)
+	}
+	th.Proc.SetIdentity(uid, gid)
+	return nil
+}
+
+// ---- lookup ----------------------------------------------------------------
+
+// LookupPath finds a coffer by exact path. The path table is readable from
+// user space (mapped read-only like root pages), so no syscall is charged —
+// only the hash probe.
+func (k *KernFS) LookupPath(clk *simclock.Clock, path string) (coffer.ID, bool) {
+	k.pmu.RLock(clk)
+	defer k.pmu.RUnlock(clk)
+	return k.paths.lookup(clk, path)
+}
+
+// ResolveLongest implements ZoFS's backwards path parse (§6.2): starting
+// from the longest prefix of path, probe each prefix until a coffer root is
+// found. Returns the coffer and the prefix that matched. Deep paths charge
+// proportionally more — the ZoFS-20dirwidth effect.
+func (k *KernFS) ResolveLongest(clk *simclock.Clock, path string) (coffer.ID, string, bool) {
+	k.pmu.RLock(clk)
+	defer k.pmu.RUnlock(clk)
+	p := path
+	for {
+		if id, ok := k.paths.lookup(clk, p); ok {
+			return id, p, true
+		}
+		if clk != nil {
+			clk.Advance(perfmodel.CPUPathComponent)
+		}
+		if p == "/" {
+			return 0, "", false
+		}
+		i := strings.LastIndexByte(p, '/')
+		if i <= 0 {
+			p = "/"
+		} else {
+			p = p[:i]
+		}
+	}
+}
+
+// Info returns a copy of a coffer's root-page metadata.
+func (k *KernFS) Info(id coffer.ID) (coffer.RootPage, bool) {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	ci := k.coffers[id]
+	if ci == nil {
+		return coffer.RootPage{}, false
+	}
+	return ci.rp, true
+}
+
+// Coffers returns a snapshot of all coffer IDs (fsck, tooling).
+func (k *KernFS) Coffers() []coffer.ID {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	out := make([]coffer.ID, 0, len(k.coffers))
+	for id := range k.coffers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ExtentsOf returns the pages owned by a coffer (kernel view).
+func (k *KernFS) ExtentsOf(id coffer.ID) []coffer.Extent {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	return k.space.extentsOf(id)
+}
+
+// ---- coffer_new / coffer_delete -------------------------------------------
+
+// CofferNew creates a coffer under the given parent coffer (Table 5:
+// coffer_new). The caller must have write access to the parent. npages
+// pages are allocated (minimum 3 for a ZoFS coffer: root page, root-file
+// inode page, custom page). Returns the new coffer's ID.
+func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ coffer.Type, mode coffer.Mode, uid, gid uint32, npages int64) (coffer.ID, error) {
+	th.Syscall()
+	if npages < 3 {
+		npages = 3
+	}
+	if !strings.HasPrefix(path, "/") {
+		return 0, fmt.Errorf("%w: coffer path must be absolute", ErrInvalid)
+	}
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+
+	pci := k.coffers[parent]
+	if pci == nil {
+		return 0, ErrNotFound
+	}
+	if !coffer.Access(pci.rp.Mode, pci.rp.UID, pci.rp.GID, th.Proc.UID(), th.Proc.GID(), true) {
+		return 0, ErrPerm
+	}
+	if _, dup := k.paths.lookup(nil, path); dup {
+		return 0, ErrExists
+	}
+
+	exts, err := k.space.allocate(th.Clk, 0, npages)
+	if err != nil {
+		return 0, err
+	}
+	pages := flatten(exts)
+	id := coffer.ID(pages[0])
+	for _, e := range exts {
+		k.space.writeRun(th.Clk, e.Start, e.Count, id)
+		k.space.ownerSet(0).Remove(e.Start, e.Count)
+		k.space.ownerSet(id).Add(e.Start, e.Count)
+	}
+	rp := coffer.RootPage{
+		ID: id, Type: typ, Mode: mode, UID: uid, GID: gid,
+		RootInode: pages[1], Custom: pages[2], Path: path,
+	}
+	k.dev.WriteNT(th.Clk, pages[0]*nvm.PageSize, coffer.EncodeRootPage(&rp))
+	k.dev.Zero(th.Clk, pages[1]*nvm.PageSize, nvm.PageSize)
+	k.dev.Zero(th.Clk, pages[2]*nvm.PageSize, nvm.PageSize)
+	if err := k.paths.insert(th.Clk, path, id); err != nil {
+		// Roll back the allocation.
+		for _, e := range exts {
+			k.space.release(th.Clk, id, e.Start, e.Count)
+		}
+		return 0, err
+	}
+	k.coffers[id] = &cofferInfo{rp: rp, mappers: map[int]*procState{}}
+	return id, nil
+}
+
+// CofferDelete removes an empty/unused coffer and frees all its pages
+// (Table 5: coffer_delete). Only the owner (or root) may delete, and no
+// other process may have it mapped.
+func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
+		return ErrPerm
+	}
+	if id == k.rootCoffer {
+		return fmt.Errorf("%w: cannot delete root coffer", ErrInvalid)
+	}
+	for pid, ps := range ci.mappers {
+		if pid != th.Proc.PID {
+			return ErrBusy
+		}
+		k.unmapLocked(ps, id)
+	}
+	for _, e := range k.space.extentsOf(id) {
+		if err := k.space.release(th.Clk, id, e.Start, e.Count); err != nil {
+			return err
+		}
+	}
+	if err := k.paths.remove(th.Clk, ci.rp.Path); err != nil {
+		return err
+	}
+	delete(k.coffers, id)
+	return nil
+}
+
+// ---- coffer_enlarge / coffer_shrink ----------------------------------------
+
+// CofferEnlarge allocates npages more pages to a mapped coffer (Table 5:
+// coffer_enlarge) and maps them into every process that has the coffer
+// mapped. When zero is set the kernel scrubs the pages before granting them
+// (required for pages that will hold metadata parsed by other processes).
+// The per-page grant work happens under the kernel lock — this is the hot
+// spot that flattens ZoFS scaling in Figures 7(d) and 7(g) when allocation
+// is extremely frequent.
+func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero bool) ([]coffer.Extent, error) {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return nil, ErrNotFound
+	}
+	ps := ci.mappers[th.Proc.PID]
+	if ps == nil || !ps.writable[id] {
+		return nil, ErrNotMapped
+	}
+	exts, err := k.space.allocate(th.Clk, id, npages)
+	if err != nil {
+		return nil, err
+	}
+	// Map the new pages into every mapper (page-table update cost), and
+	// scrub metadata grants.
+	for _, m := range ci.mappers {
+		key := m.keys[id]
+		for _, e := range exts {
+			m.p.Mem.Map(e.Start, e.Count, key, m.writable[id])
+		}
+	}
+	th.CPU(perfmodel.PTEUpdate * npages)
+	if zero {
+		for _, e := range exts {
+			k.dev.Zero(th.Clk, e.Start*nvm.PageSize, e.Count*nvm.PageSize)
+		}
+	}
+	return exts, nil
+}
+
+// MovePages retags specific pages from coffer src to coffer dst (used by
+// cross-coffer renames when the permissions match). Both coffers must be
+// write-mapped by the caller and carry identical permissions; each page is
+// retagged individually — as expensive per page as coffer_split (Table 9).
+func (k *KernFS) MovePages(th *proc.Thread, src, dst coffer.ID, pages []int64) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	si, di := k.coffers[src], k.coffers[dst]
+	if si == nil || di == nil {
+		return ErrNotFound
+	}
+	ps := k.stateOf(th.Proc.PID)
+	if ps == nil || !ps.writable[src] || !ps.writable[dst] {
+		return ErrNotMapped
+	}
+	if si.rp.Mode != di.rp.Mode || si.rp.UID != di.rp.UID || si.rp.GID != di.rp.GID {
+		return fmt.Errorf("%w: move requires identical permissions", ErrInvalid)
+	}
+	for _, pg := range pages {
+		if pg == int64(src) {
+			return fmt.Errorf("%w: cannot move the root page", ErrInvalid)
+		}
+		if err := k.space.retag(th.Clk, src, dst, pg, 1); err != nil {
+			return err
+		}
+		for _, m := range si.mappers {
+			m.p.Mem.Unmap(pg, 1)
+		}
+		for _, m := range di.mappers {
+			m.p.Mem.Map(pg, 1, m.keys[dst], m.writable[dst])
+		}
+		th.CPU(perfmodel.CPUSmallOp)
+	}
+	return nil
+}
+
+// CofferShrink returns free pages from a coffer to the global pool
+// (Table 5: coffer_shrink).
+func (k *KernFS) CofferShrink(th *proc.Thread, id coffer.ID, exts []coffer.Extent) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	ps := ci.mappers[th.Proc.PID]
+	if ps == nil || !ps.writable[id] {
+		return ErrNotMapped
+	}
+	for _, e := range exts {
+		if root := int64(id); root >= e.Start && root < e.End() {
+			return fmt.Errorf("%w: cannot shrink away the root page", ErrInvalid)
+		}
+		if err := k.space.release(th.Clk, id, e.Start, e.Count); err != nil {
+			return err
+		}
+		for _, m := range ci.mappers {
+			m.p.Mem.Unmap(e.Start, e.Count)
+		}
+	}
+	return nil
+}
+
+// ---- coffer_map / coffer_unmap ---------------------------------------------
+
+// MapInfo is returned by CofferMap: everything a µFS needs to manage the
+// coffer from user space.
+type MapInfo struct {
+	Key      mpk.Key
+	Writable bool
+	Root     coffer.RootPage
+	Extents  []coffer.Extent
+}
+
+// CofferMap checks permissions and maps all of a coffer's pages into the
+// calling process (Table 5: coffer_map; §3.1). The root page is always
+// mapped read-only. Returns ErrNoMPKRegions when the process has exhausted
+// the 15 available protection keys (§3.4.2).
+func (k *KernFS) CofferMap(th *proc.Thread, id coffer.ID, write bool) (MapInfo, error) {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return MapInfo{}, ErrNotFound
+	}
+	if ci.rp.Flags&coffer.FlagInRecovery != 0 {
+		return MapInfo{}, ErrInRecovery
+	}
+	ps := k.stateOf(th.Proc.PID)
+	if ps == nil {
+		return MapInfo{}, fmt.Errorf("%w: fs_mount first", ErrInvalid)
+	}
+	if !coffer.Access(ci.rp.Mode, ci.rp.UID, ci.rp.GID, th.Proc.UID(), th.Proc.GID(), write) {
+		return MapInfo{}, ErrPerm
+	}
+
+	key, have := ps.keys[id]
+	if have {
+		// Upgrade to writable if requested and permitted.
+		if write && !ps.writable[id] {
+			ps.writable[id] = true
+			k.mapPagesLocked(ps, ci, key, true)
+		}
+		return MapInfo{Key: key, Writable: ps.writable[id], Root: ci.rp, Extents: k.space.extentsOf(id)}, nil
+	}
+
+	key, ok := ps.allocKey()
+	if !ok {
+		return MapInfo{}, ErrNoMPKRegions
+	}
+	ps.keys[id] = key
+	ps.writable[id] = write
+	ci.mappers[th.Proc.PID] = ps
+	k.mapPagesLocked(ps, ci, key, write)
+	th.CPU(perfmodel.CPUSmallOp * k.space.pagesOf(id) / 32) // page-table setup
+	return MapInfo{Key: key, Writable: write, Root: ci.rp, Extents: k.space.extentsOf(id)}, nil
+}
+
+// mapPagesLocked installs a coffer's pages in one process's address space.
+// The root page is read-only regardless of the requested access.
+func (k *KernFS) mapPagesLocked(ps *procState, ci *cofferInfo, key mpk.Key, write bool) {
+	root := int64(ci.rp.ID)
+	for _, e := range k.space.extentsOf(ci.rp.ID) {
+		ps.p.Mem.Map(e.Start, e.Count, key, write)
+	}
+	ps.p.Mem.Map(root, 1, key, false)
+}
+
+func (ps *procState) allocKey() (mpk.Key, bool) {
+	for key := mpk.Key(1); key < mpk.NumKeys; key++ {
+		if ps.usedKeys&(1<<key) == 0 {
+			ps.usedKeys |= 1 << key
+			return key, true
+		}
+	}
+	return 0, false
+}
+
+// CofferUnmap removes a coffer from the calling process (Table 5:
+// coffer_unmap), releasing its MPK region.
+func (k *KernFS) CofferUnmap(th *proc.Thread, id coffer.ID) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ps := k.stateOf(th.Proc.PID)
+	if ps == nil {
+		return ErrInvalid
+	}
+	if _, ok := ps.keys[id]; !ok {
+		return ErrNotMapped
+	}
+	k.unmapLocked(ps, id)
+	return nil
+}
+
+func (k *KernFS) unmapLocked(ps *procState, id coffer.ID) {
+	key := ps.keys[id]
+	for _, e := range k.space.extentsOf(id) {
+		ps.p.Mem.Unmap(e.Start, e.Count)
+	}
+	ps.usedKeys &^= 1 << key
+	delete(ps.keys, id)
+	delete(ps.writable, id)
+	if ci := k.coffers[id]; ci != nil {
+		delete(ci.mappers, ps.p.PID)
+	}
+}
+
+// MappedCoffers returns the coffers currently mapped by a process.
+func (k *KernFS) MappedCoffers(pid int) []coffer.ID {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	ps := k.stateOf(pid)
+	if ps == nil {
+		return nil
+	}
+	out := make([]coffer.ID, 0, len(ps.keys))
+	for id := range ps.keys {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ---- metadata updates -------------------------------------------------------
+
+// SetCofferMeta updates a coffer's permission/ownership in place (the cheap
+// chmod path, used when the whole coffer changes permission). Owner or root
+// only.
+func (k *KernFS) SetCofferMeta(th *proc.Thread, id coffer.ID, mode coffer.Mode, uid, gid uint32) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
+		return ErrPerm
+	}
+	ci.rp.Mode, ci.rp.UID, ci.rp.GID = mode, uid, gid
+	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	return nil
+}
+
+// SetCofferType rewrites a coffer's µFS type (owner or root only; used by
+// formatting tools that re-dedicate a coffer to a different µFS — the
+// interior must be re-initialized by the new µFS).
+func (k *KernFS) SetCofferType(th *proc.Thread, id coffer.ID, typ coffer.Type, mode coffer.Mode) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
+		return ErrPerm
+	}
+	ci.rp.Type = typ
+	ci.rp.Mode = mode
+	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	return nil
+}
+
+// UpdateRootPointers rewrites the root-file inode / custom page pointers in
+// the (user-read-only) root page on behalf of the owning µFS.
+func (k *KernFS) UpdateRootPointers(th *proc.Thread, id coffer.ID, rootInode, custom int64) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	ps := ci.mappers[th.Proc.PID]
+	if ps == nil || !ps.writable[id] {
+		return ErrNotMapped
+	}
+	ci.rp.RootInode, ci.rp.Custom = rootInode, custom
+	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	return nil
+}
+
+// RenameCoffer changes a coffer's path and rewrites the paths of every
+// descendant coffer — the expensive prefix rewrite behind cross-coffer
+// renames (Table 9).
+func (k *KernFS) RenameCoffer(th *proc.Thread, oldPath, newPath string) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	return k.renameTreeLocked(th, oldPath, newPath, true)
+}
+
+// RenamePrefix rewrites the paths of every coffer at or under oldPath,
+// without requiring oldPath itself to be a coffer. µFSs call this when a
+// plain in-coffer directory is renamed, so that descendant coffers keep
+// consistent paths. A no-op when no coffer matches.
+func (k *KernFS) RenamePrefix(th *proc.Thread, oldPath, newPath string) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	return k.renameTreeLocked(th, oldPath, newPath, false)
+}
+
+func (k *KernFS) renameTreeLocked(th *proc.Thread, oldPath, newPath string, exact bool) error {
+	type renameOp struct {
+		id       coffer.ID
+		from, to string
+	}
+	var ops []renameOp
+	if id, ok := k.paths.lookup(th.Clk, oldPath); ok {
+		ci := k.coffers[id]
+		if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
+			return ErrPerm
+		}
+		ops = append(ops, renameOp{id, oldPath, newPath})
+	} else if exact {
+		return ErrNotFound
+	}
+	if _, dup := k.paths.lookup(th.Clk, newPath); dup {
+		return ErrExists
+	}
+	prefix := oldPath
+	if !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	for p, cid := range k.paths.all() {
+		if strings.HasPrefix(p, prefix) {
+			ops = append(ops, renameOp{cid, p, newPath + "/" + p[len(prefix):]})
+		}
+	}
+	for _, op := range ops {
+		if err := k.paths.rename(th.Clk, op.from, op.to, op.id); err != nil {
+			return err
+		}
+		c := k.coffers[op.id]
+		c.rp.Path = op.to
+		k.dev.WriteNT(th.Clk, int64(op.id)*nvm.PageSize, coffer.EncodeRootPage(&c.rp))
+		th.CPU(perfmodel.CPUSmallOp)
+	}
+	return nil
+}
+
+// ---- coffer_split / coffer_merge --------------------------------------------
+
+// CofferSplit carves a new coffer with a different permission out of an
+// existing one (Table 5: coffer_split), moving the given pages to it.
+// Every moved page is retagged individually in the allocation table —
+// "the split procedure will change the coffer of all file pages, which
+// takes a long time" (Table 9). rootInode/custom are the new coffer's entry
+// points (chosen by the µFS from among the moved pages).
+func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mode coffer.Mode, uid, gid uint32, pages []int64, rootInode, custom int64) (coffer.ID, error) {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[old]
+	if ci == nil {
+		return 0, ErrNotFound
+	}
+	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
+		return 0, ErrPerm
+	}
+	if _, dup := k.paths.lookup(th.Clk, newPath); dup {
+		return 0, ErrExists
+	}
+	// New root page.
+	exts, err := k.space.allocate(th.Clk, 0, 1)
+	if err != nil {
+		return 0, err
+	}
+	rootPg := exts[0].Start
+	id := coffer.ID(rootPg)
+	k.space.writeRun(th.Clk, rootPg, 1, id)
+	k.space.ownerSet(0).Remove(rootPg, 1)
+	k.space.ownerSet(id).Add(rootPg, 1)
+
+	// Move pages one at a time (the expensive part).
+	for _, pg := range pages {
+		if err := k.space.retag(th.Clk, old, id, pg, 1); err != nil {
+			return 0, err
+		}
+		// Unmap moved pages from every process mapping the old coffer:
+		// they now belong to a coffer with a different permission.
+		for _, m := range ci.mappers {
+			m.p.Mem.Unmap(pg, 1)
+		}
+		th.CPU(perfmodel.CPUSmallOp)
+	}
+
+	rp := coffer.RootPage{
+		ID: id, Type: ci.rp.Type, Mode: mode, UID: uid, GID: gid,
+		RootInode: rootInode, Custom: custom, Path: newPath,
+	}
+	k.dev.WriteNT(th.Clk, rootPg*nvm.PageSize, coffer.EncodeRootPage(&rp))
+	if err := k.paths.insert(th.Clk, newPath, id); err != nil {
+		return 0, err
+	}
+	k.coffers[id] = &cofferInfo{rp: rp, mappers: map[int]*procState{}}
+	return id, nil
+}
+
+// CofferMerge folds coffer src into coffer dst (Table 5: coffer_merge).
+// Both must carry identical permissions; src's pages are retagged one by
+// one and its root page freed.
+func (k *KernFS) CofferMerge(th *proc.Thread, dst, src coffer.ID) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	di, si := k.coffers[dst], k.coffers[src]
+	if di == nil || si == nil {
+		return ErrNotFound
+	}
+	if u := th.Proc.UID(); u != 0 && (u != di.rp.UID || u != si.rp.UID) {
+		return ErrPerm
+	}
+	if di.rp.Mode&^0o111 != si.rp.Mode&^0o111 || di.rp.UID != si.rp.UID || di.rp.GID != si.rp.GID {
+		return fmt.Errorf("%w: merge requires identical permissions", ErrInvalid)
+	}
+	for pid := range si.mappers {
+		if _, alsoDst := di.mappers[pid]; !alsoDst {
+			return ErrBusy
+		}
+	}
+	srcRoot := int64(src)
+	for _, e := range k.space.extentsOf(src) {
+		for pg := e.Start; pg < e.End(); pg++ {
+			if pg == srcRoot {
+				continue
+			}
+			if err := k.space.retag(th.Clk, src, dst, pg, 1); err != nil {
+				return err
+			}
+			// Remap under dst's key for every dst mapper.
+			for _, m := range di.mappers {
+				m.p.Mem.Map(pg, 1, m.keys[dst], m.writable[dst])
+			}
+			th.CPU(perfmodel.CPUSmallOp)
+		}
+	}
+	for _, m := range si.mappers {
+		k.unmapLocked(m, src)
+	}
+	if err := k.space.release(th.Clk, src, srcRoot, 1); err != nil {
+		return err
+	}
+	if err := k.paths.remove(th.Clk, si.rp.Path); err != nil {
+		return err
+	}
+	delete(k.coffers, src)
+	return nil
+}
+
+// ---- coffer_recover ----------------------------------------------------------
+
+// BeginRecover marks a coffer in-recovery with a lease and unmaps it from
+// every process except the initiator (Table 5: coffer_recover; §3.5).
+// Returns the coffer's extents for the initiator's scan.
+func (k *KernFS) BeginRecover(th *proc.Thread, id coffer.ID, leaseNS uint64) ([]coffer.Extent, error) {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return nil, ErrNotFound
+	}
+	if !coffer.Access(ci.rp.Mode, ci.rp.UID, ci.rp.GID, th.Proc.UID(), th.Proc.GID(), true) {
+		return nil, ErrPerm
+	}
+	ci.rp.Flags |= coffer.FlagInRecovery
+	ci.rp.Lease = uint64(th.Clk.Now()) + leaseNS
+	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	for pid, ps := range ci.mappers {
+		if pid != th.Proc.PID {
+			k.unmapLocked(ps, id)
+		}
+	}
+	return k.space.extentsOf(id), nil
+}
+
+// EndRecover completes recovery: pages owned by the coffer but absent from
+// inUse are reclaimed, and the in-recovery flag cleared (§3.5: "sends the
+// addresses of in-use pages to KernFS, who will compare them to pages
+// allocated to the coffer and reclaim pages that are not used").
+func (k *KernFS) EndRecover(th *proc.Thread, id coffer.ID, inUse []int64) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	if ci.rp.Flags&coffer.FlagInRecovery == 0 {
+		return fmt.Errorf("%w: coffer not in recovery", ErrInvalid)
+	}
+	used := make(map[int64]bool, len(inUse)+1)
+	used[int64(id)] = true // root page always lives
+	for _, pg := range inUse {
+		used[pg] = true
+	}
+	// "compare them to pages allocated to the coffer and reclaim pages that
+	// are not used" (§3.5): the kernel walks every owned page — the bulk of
+	// the paper's kernel-side recovery time.
+	var reclaim []int64
+	for _, e := range k.space.extentsOf(id) {
+		for pg := e.Start; pg < e.End(); pg++ {
+			th.CPU(perfmodel.CPUSmallOp)
+			if !used[pg] {
+				reclaim = append(reclaim, pg)
+			}
+		}
+	}
+	for _, pg := range reclaim {
+		if err := k.space.release(th.Clk, id, pg, 1); err != nil {
+			return err
+		}
+		for _, m := range ci.mappers {
+			m.p.Mem.Unmap(pg, 1)
+		}
+		th.CPU(perfmodel.CPUSmallOp)
+	}
+	ci.rp.Flags &^= coffer.FlagInRecovery
+	ci.rp.Lease = 0
+	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	return nil
+}
+
+// ---- file_mmap / file_execve ---------------------------------------------------
+
+// FileMmap maps file data pages into the process as ordinary application
+// memory (key 0), the Table 5 file_mmap operation: the µFS supplies the
+// data locations, the kernel edits the page table.
+func (k *KernFS) FileMmap(th *proc.Thread, id coffer.ID, pages []int64, writable bool) error {
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	ps := ci.mappers[th.Proc.PID]
+	if ps == nil {
+		return ErrNotMapped
+	}
+	if writable && !ps.writable[id] {
+		return ErrPerm
+	}
+	own := k.space.byOwner[id]
+	for _, pg := range pages {
+		if own == nil || !own.Contains(pg, 1) {
+			return fmt.Errorf("%w: page %d not in coffer %d", ErrInvalid, pg, id)
+		}
+		th.Proc.Mem.Map(pg, 1, 0, writable)
+		th.CPU(perfmodel.CPUSmallOp)
+	}
+	return nil
+}
+
+// FileExecve validates an execve target (Table 5: file_execve): the µFS
+// supplies the executable's data pages; the kernel charges the exec setup.
+// Actual program launch is outside the simulation's scope.
+func (k *KernFS) FileExecve(th *proc.Thread, id coffer.ID, pages []int64) error {
+	if err := k.FileMmap(th, id, pages, false); err != nil {
+		return err
+	}
+	th.CPU(perfmodel.ContextSwitch)
+	return nil
+}

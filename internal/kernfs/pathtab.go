@@ -1,0 +1,243 @@
+package kernfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"zofs/internal/coffer"
+	"zofs/internal/nvm"
+	"zofs/internal/perfmodel"
+	"zofs/internal/simclock"
+)
+
+// Persistent path→coffer hash table (§4.1: "Treasury also introduces a
+// persistent hash table ... The key of the hash table is the path of the
+// coffer, and the value is the coffer-ID").
+//
+// Layout: a fixed region of bucket-head pages (8-byte page numbers, one per
+// bucket) followed by dynamically allocated entry pages. Each entry page:
+//
+//	0  next    u64  (page number of next entry page in the chain; 0 = none)
+//	8  used    u16  (bytes used beyond the header)
+//	10 pad[6]
+//	16 entries: {hash u64, cofferID u32, state u8, pathLen u16, pad u8,
+//	             path bytes, padded to 8-byte alignment}
+//
+// Deletion tombstones entries (state = entryDead); recovery compacts them.
+// A volatile map mirrors the table for O(1) lookups.
+const (
+	pathBuckets     = 4096
+	entryPageHdr    = 16
+	entryHdr        = 16
+	entryLive       = 1
+	entryDead       = 2
+	entryPageUsable = nvm.PageSize - entryPageHdr
+)
+
+type pathTable struct {
+	dev       *nvm.Device
+	bucketOff int64 // byte offset of bucket-head array
+	sm        *spaceManager
+
+	// wmu is the write-side coupling to KernFS.pmu: callers of insert/
+	// remove/rename hold the kernel lock; the volatile map additionally
+	// synchronizes with lock-free readers through this pointer.
+	wmu *simclock.RWMutex
+
+	vol map[string]coffer.ID
+}
+
+// pathTabBytes is the persistent size of the bucket-head region.
+func pathTabBytes() int64 { return pathBuckets * 8 }
+
+func pathHash(p string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p))
+	return h.Sum64()
+}
+
+func (pt *pathTable) bucketFor(p string) int64 {
+	return int64(pathHash(p) % pathBuckets)
+}
+
+func (pt *pathTable) bucketHead(clk *simclock.Clock, b int64) int64 {
+	var buf [8]byte
+	pt.dev.Read(clk, pt.bucketOff+b*8, buf[:])
+	return int64(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func (pt *pathTable) setBucketHead(clk *simclock.Clock, b, page int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(page))
+	pt.dev.WriteNT(clk, pt.bucketOff+b*8, buf[:])
+}
+
+func entrySize(pathLen int) int64 {
+	n := int64(entryHdr + pathLen)
+	return (n + 7) &^ 7
+}
+
+// init formats the bucket heads to empty.
+func (pt *pathTable) init(clk *simclock.Clock) {
+	pt.dev.Zero(clk, pt.bucketOff, pathTabBytes())
+	pt.vol = map[string]coffer.ID{}
+}
+
+// load rebuilds the volatile map by walking every bucket chain.
+func (pt *pathTable) load(clk *simclock.Clock) error {
+	pt.vol = map[string]coffer.ID{}
+	page := make([]byte, nvm.PageSize)
+	for b := int64(0); b < pathBuckets; b++ {
+		for pg := pt.bucketHead(clk, b); pg != 0; {
+			pt.dev.Read(clk, pg*nvm.PageSize, page)
+			next := int64(binary.LittleEndian.Uint64(page[0:]))
+			used := int64(binary.LittleEndian.Uint16(page[8:]))
+			if used > entryPageUsable {
+				return fmt.Errorf("kernfs: corrupt path-table page %d (used %d)", pg, used)
+			}
+			for off := int64(entryPageHdr); off < entryPageHdr+used; {
+				id := coffer.ID(binary.LittleEndian.Uint32(page[off+8:]))
+				state := page[off+12]
+				plen := int(binary.LittleEndian.Uint16(page[off+13:]))
+				sz := entrySize(plen)
+				if off+sz > int64(nvm.PageSize) {
+					return fmt.Errorf("kernfs: corrupt path-table entry at page %d off %d", pg, off)
+				}
+				if state == entryLive {
+					pt.vol[string(page[off+entryHdr:off+entryHdr+int64(plen)])] = id
+				}
+				off += sz
+			}
+			pg = next
+		}
+	}
+	return nil
+}
+
+// lookup finds the coffer for an exact path. The volatile map answers, with
+// a hash-probe CPU charge — this is the per-prefix cost that makes deep
+// paths slower in ZoFS (§6.2).
+func (pt *pathTable) lookup(clk *simclock.Clock, p string) (coffer.ID, bool) {
+	if clk != nil {
+		clk.Advance(perfmodel.CPUHashLookup)
+	}
+	id, ok := pt.vol[p]
+	return id, ok
+}
+
+// insert adds a live entry, persisting it in the bucket chain.
+func (pt *pathTable) insert(clk *simclock.Clock, p string, id coffer.ID) error {
+	if pt.wmu != nil {
+		pt.wmu.Lock(clk)
+		defer pt.wmu.Unlock(clk)
+	}
+	if _, dup := pt.vol[p]; dup {
+		return ErrExists
+	}
+	if len(p) > coffer.MaxPathLen {
+		return fmt.Errorf("%w: path too long", ErrInvalid)
+	}
+	b := pt.bucketFor(p)
+	sz := entrySize(len(p))
+
+	// Find an entry page with room.
+	var hdr [16]byte
+	pg := pt.bucketHead(clk, b)
+	for cur := pg; cur != 0; {
+		pt.dev.Read(clk, cur*nvm.PageSize, hdr[:])
+		used := int64(binary.LittleEndian.Uint16(hdr[8:]))
+		if used+sz <= entryPageUsable {
+			pt.writeEntry(clk, cur, entryPageHdr+used, p, id)
+			binary.LittleEndian.PutUint16(hdr[8:], uint16(used+sz))
+			pt.dev.WriteNT(clk, cur*nvm.PageSize+8, hdr[8:10])
+			pt.vol[p] = id
+			return nil
+		}
+		cur = int64(binary.LittleEndian.Uint64(hdr[0:]))
+	}
+
+	// Allocate a fresh entry page at the head of the chain.
+	exts, err := pt.sm.allocate(clk, coffer.KernelID, 1)
+	if err != nil {
+		return err
+	}
+	newPg := exts[0].Start
+	page := make([]byte, nvm.PageSize)
+	binary.LittleEndian.PutUint64(page[0:], uint64(pg))
+	binary.LittleEndian.PutUint16(page[8:], uint16(sz))
+	pt.encodeEntry(page[entryPageHdr:], p, id)
+	pt.dev.WriteNT(clk, newPg*nvm.PageSize, page)
+	pt.setBucketHead(clk, b, newPg)
+	pt.vol[p] = id
+	return nil
+}
+
+func (pt *pathTable) encodeEntry(dst []byte, p string, id coffer.ID) {
+	binary.LittleEndian.PutUint64(dst[0:], pathHash(p))
+	binary.LittleEndian.PutUint32(dst[8:], uint32(id))
+	dst[12] = entryLive
+	binary.LittleEndian.PutUint16(dst[13:], uint16(len(p)))
+	copy(dst[entryHdr:], p)
+}
+
+func (pt *pathTable) writeEntry(clk *simclock.Clock, pg, off int64, p string, id coffer.ID) {
+	buf := make([]byte, entrySize(len(p)))
+	pt.encodeEntry(buf, p, id)
+	pt.dev.WriteNT(clk, pg*nvm.PageSize+off, buf)
+}
+
+// remove tombstones the entry for path p.
+func (pt *pathTable) remove(clk *simclock.Clock, p string) error {
+	if pt.wmu != nil {
+		pt.wmu.Lock(clk)
+		defer pt.wmu.Unlock(clk)
+	}
+	if _, ok := pt.vol[p]; !ok {
+		return ErrNotFound
+	}
+	b := pt.bucketFor(p)
+	h := pathHash(p)
+	page := make([]byte, nvm.PageSize)
+	for pg := pt.bucketHead(clk, b); pg != 0; {
+		pt.dev.Read(clk, pg*nvm.PageSize, page)
+		next := int64(binary.LittleEndian.Uint64(page[0:]))
+		used := int64(binary.LittleEndian.Uint16(page[8:]))
+		for off := int64(entryPageHdr); off < entryPageHdr+used; {
+			eh := binary.LittleEndian.Uint64(page[off:])
+			state := page[off+12]
+			plen := int(binary.LittleEndian.Uint16(page[off+13:]))
+			sz := entrySize(plen)
+			if state == entryLive && eh == h && string(page[off+entryHdr:off+entryHdr+int64(plen)]) == p {
+				pt.dev.WriteNT(clk, pg*nvm.PageSize+off+12, []byte{entryDead})
+				delete(pt.vol, p)
+				return nil
+			}
+			off += sz
+		}
+		pg = next
+	}
+	// Volatile map said it existed; persistent chain disagrees.
+	return fmt.Errorf("kernfs: path table inconsistency for %q", p)
+}
+
+// rename atomically (in the volatile view) re-keys an entry.
+func (pt *pathTable) rename(clk *simclock.Clock, oldPath, newPath string, id coffer.ID) error {
+	if err := pt.insert(clk, newPath, id); err != nil {
+		return err
+	}
+	if err := pt.remove(clk, oldPath); err != nil {
+		pt.remove(clk, newPath) // roll back best-effort
+		return err
+	}
+	return nil
+}
+
+// all returns a snapshot of every live path→coffer mapping.
+func (pt *pathTable) all() map[string]coffer.ID {
+	out := make(map[string]coffer.ID, len(pt.vol))
+	for k, v := range pt.vol {
+		out[k] = v
+	}
+	return out
+}

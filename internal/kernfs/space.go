@@ -1,0 +1,179 @@
+package kernfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zofs/internal/coffer"
+	"zofs/internal/nvm"
+	"zofs/internal/simclock"
+)
+
+// Persistent allocation table (paper §4.1, Figure 3): for every device page
+// an 8-byte slot holding {coffer-ID u32, run-length u32}. Coffer-ID 0 means
+// free; run-length counts consecutive pages from this one sharing the same
+// coffer-ID. The table itself plus the superblock and path table are tagged
+// with coffer.KernelID.
+const allocSlotSize = 8
+
+// spaceManager owns the persistent allocation table and the volatile trees
+// that accelerate allocation: a free-space extent tree and a per-coffer
+// allocated-space extent tree (§4.1). It is not internally locked; KernFS
+// serializes access under its kernel mutex.
+type spaceManager struct {
+	dev      *nvm.Device
+	tabStart int64 // byte offset of the allocation table
+	npages   int64
+
+	free    *extentSet
+	byOwner map[coffer.ID]*extentSet
+}
+
+// allocTableBytes returns the table size for a device of npages.
+func allocTableBytes(npages int64) int64 { return npages * allocSlotSize }
+
+// slotOff returns the byte offset of a page's slot.
+func (sm *spaceManager) slotOff(page int64) int64 { return sm.tabStart + page*allocSlotSize }
+
+// writeRun persists slots for [start, start+count) as owned by id, as one
+// streaming non-temporal write. Run lengths descend from count to 1, as in
+// Figure 3.
+func (sm *spaceManager) writeRun(clk *simclock.Clock, start, count int64, id coffer.ID) {
+	buf := make([]byte, count*allocSlotSize)
+	for i := int64(0); i < count; i++ {
+		binary.LittleEndian.PutUint32(buf[i*allocSlotSize:], uint32(id))
+		binary.LittleEndian.PutUint32(buf[i*allocSlotSize+4:], uint32(count-i))
+	}
+	sm.dev.WriteNT(clk, sm.slotOff(start), buf)
+}
+
+// readSlot reads one page's slot.
+func (sm *spaceManager) readSlot(clk *simclock.Clock, page int64) (coffer.ID, int64) {
+	var b [allocSlotSize]byte
+	sm.dev.Read(clk, sm.slotOff(page), b[:])
+	return coffer.ID(binary.LittleEndian.Uint32(b[:])), int64(binary.LittleEndian.Uint32(b[4:]))
+}
+
+// initTable formats the table: kernel metadata pages [0, kernPages) owned by
+// KernelID, everything else free.
+func (sm *spaceManager) initTable(clk *simclock.Clock, kernPages int64) {
+	sm.free = newExtentSet()
+	sm.byOwner = map[coffer.ID]*extentSet{}
+	sm.writeRun(clk, 0, kernPages, coffer.KernelID)
+	sm.writeRun(clk, kernPages, sm.npages-kernPages, 0)
+	sm.ownerSet(coffer.KernelID).Add(0, kernPages)
+	sm.free.Add(kernPages, sm.npages-kernPages)
+}
+
+// scan rebuilds the volatile trees from the persistent table (mount and
+// recovery path). Ownership authority is each slot's own coffer-ID: the
+// run-length field only accelerates in-order scans and is NOT trusted
+// across slots, because coffer_split/merge retag single pages inside older
+// runs without rewriting their predecessors (Figure 3's merged slots are a
+// write-time optimization, not an invariant).
+func (sm *spaceManager) scan(clk *simclock.Clock) error {
+	sm.free = newExtentSet()
+	sm.byOwner = map[coffer.ID]*extentSet{}
+	const slotsPerRead = int64(nvm.PageSize / allocSlotSize)
+	buf := make([]byte, nvm.PageSize)
+	var runStart, runLen int64
+	var runID coffer.ID
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		if runID == 0 {
+			sm.free.Add(runStart, runLen)
+		} else {
+			sm.ownerSet(runID).Add(runStart, runLen)
+		}
+		runLen = 0
+	}
+	for page := int64(0); page < sm.npages; page += slotsPerRead {
+		n := slotsPerRead
+		if page+n > sm.npages {
+			n = sm.npages - page
+		}
+		sm.dev.Read(clk, sm.slotOff(page), buf[:n*allocSlotSize])
+		for i := int64(0); i < n; i++ {
+			id := coffer.ID(binary.LittleEndian.Uint32(buf[i*allocSlotSize:]))
+			if runLen > 0 && id == runID {
+				runLen++
+				continue
+			}
+			flush()
+			runStart, runLen, runID = page+i, 1, id
+		}
+	}
+	flush()
+	return nil
+}
+
+func (sm *spaceManager) ownerSet(id coffer.ID) *extentSet {
+	s := sm.byOwner[id]
+	if s == nil {
+		s = newExtentSet()
+		sm.byOwner[id] = s
+	}
+	return s
+}
+
+// allocate takes want pages from the free pool for coffer id, persisting
+// the table updates. Returns ErrNoSpace without partial allocation if the
+// pool is short.
+func (sm *spaceManager) allocate(clk *simclock.Clock, id coffer.ID, want int64) ([]coffer.Extent, error) {
+	if sm.free.Pages() < want {
+		return nil, ErrNoSpace
+	}
+	exts := sm.free.TakeFirst(want)
+	own := sm.ownerSet(id)
+	for _, e := range exts {
+		sm.writeRun(clk, e.Start, e.Count, id)
+		own.Add(e.Start, e.Count)
+	}
+	return exts, nil
+}
+
+// release returns [start, start+count) owned by id to the free pool.
+func (sm *spaceManager) release(clk *simclock.Clock, id coffer.ID, start, count int64) error {
+	own := sm.ownerSet(id)
+	if !own.Remove(start, count) {
+		return fmt.Errorf("%w: pages %d+%d not owned by coffer %d", ErrInvalid, start, count, id)
+	}
+	sm.writeRun(clk, start, count, 0)
+	sm.free.Add(start, count)
+	return nil
+}
+
+// retag moves [start, start+count) from coffer from to coffer to. This is
+// the per-page-expensive primitive behind coffer_split/merge (Table 9).
+func (sm *spaceManager) retag(clk *simclock.Clock, from, to coffer.ID, start, count int64) error {
+	own := sm.ownerSet(from)
+	if !own.Remove(start, count) {
+		return fmt.Errorf("%w: pages %d+%d not owned by coffer %d", ErrInvalid, start, count, from)
+	}
+	sm.writeRun(clk, start, count, to)
+	sm.ownerSet(to).Add(start, count)
+	return nil
+}
+
+// extentsOf returns all extents owned by a coffer, in address order.
+func (sm *spaceManager) extentsOf(id coffer.ID) []coffer.Extent {
+	s := sm.byOwner[id]
+	if s == nil {
+		return nil
+	}
+	return s.All()
+}
+
+// pagesOf returns the page count owned by a coffer.
+func (sm *spaceManager) pagesOf(id coffer.ID) int64 {
+	s := sm.byOwner[id]
+	if s == nil {
+		return 0
+	}
+	return s.Pages()
+}
+
+// freePages returns the number of unallocated pages.
+func (sm *spaceManager) freePages() int64 { return sm.free.Pages() }

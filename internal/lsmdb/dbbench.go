@@ -1,0 +1,131 @@
+package lsmdb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+)
+
+// db_bench driver (paper Table 7). Operation names follow the table rows;
+// keys are 16 bytes, values 100 bytes as in LevelDB's db_bench defaults.
+
+// BenchOp names one db_bench workload.
+type BenchOp string
+
+const (
+	WriteSync  BenchOp = "Write sync."
+	WriteSeq   BenchOp = "Write seq."
+	WriteRand  BenchOp = "Write rand."
+	Overwrite  BenchOp = "Overwrite."
+	ReadSeq    BenchOp = "Read seq."
+	ReadRand   BenchOp = "Read rand."
+	ReadHot    BenchOp = "Read hot."
+	DeleteRand BenchOp = "Delete rand."
+)
+
+// BenchOps lists Table 7's rows in order.
+var BenchOps = []BenchOp{WriteSync, WriteSeq, WriteRand, Overwrite, ReadSeq, ReadRand, ReadHot, DeleteRand}
+
+const (
+	benchValueSize = 100
+	benchKeyFmt    = "%016d"
+)
+
+// BenchResult is one Table 7 cell.
+type BenchResult struct {
+	Op        BenchOp
+	Ops       int64
+	VirtualNS int64
+	// MicrosPerOp is the Table 7 metric.
+	MicrosPerOp float64
+}
+
+// RunBench executes one db_bench workload with n operations on a fresh or
+// pre-filled database (read workloads fill n keys first without charging
+// the measurement clock window).
+func RunBench(fs vfs.FileSystem, p *proc.Process, op BenchOp, n int) (BenchResult, error) {
+	th := p.NewThread()
+	val := make([]byte, benchValueSize)
+	rng := rand.New(rand.NewSource(42))
+
+	opts := Options{Dir: "/dbbench-" + string(op[:4])}
+	if op == WriteSync {
+		opts.SyncWrites = true
+	}
+	db, err := Open(fs, th, opts)
+	if err != nil {
+		return BenchResult{}, err
+	}
+
+	// Pre-fill for read/overwrite/delete workloads.
+	needFill := op == Overwrite || op == ReadSeq || op == ReadRand || op == ReadHot || op == DeleteRand
+	if needFill {
+		for i := 0; i < n; i++ {
+			if err := db.Put(th, fmt.Sprintf(benchKeyFmt, i), val); err != nil {
+				return BenchResult{}, err
+			}
+		}
+		if err := db.Flush(th); err != nil {
+			return BenchResult{}, err
+		}
+	}
+
+	start := th.Clk.Now()
+	switch op {
+	case WriteSync, WriteSeq:
+		for i := 0; i < n; i++ {
+			if err := db.Put(th, fmt.Sprintf(benchKeyFmt, i), val); err != nil {
+				return BenchResult{}, err
+			}
+		}
+	case WriteRand, Overwrite:
+		for i := 0; i < n; i++ {
+			if err := db.Put(th, fmt.Sprintf(benchKeyFmt, rng.Intn(n)), val); err != nil {
+				return BenchResult{}, err
+			}
+		}
+	case ReadSeq:
+		count := 0
+		err := db.Scan(th, func(string, []byte) bool {
+			count++
+			return count < n
+		})
+		if err != nil {
+			return BenchResult{}, err
+		}
+	case ReadRand:
+		for i := 0; i < n; i++ {
+			if _, err := db.Get(th, fmt.Sprintf(benchKeyFmt, rng.Intn(n))); err != nil && err != ErrNotFound {
+				return BenchResult{}, err
+			}
+		}
+	case ReadHot:
+		hot := n / 100
+		if hot < 1 {
+			hot = 1
+		}
+		for i := 0; i < n; i++ {
+			if _, err := db.Get(th, fmt.Sprintf(benchKeyFmt, rng.Intn(hot))); err != nil && err != ErrNotFound {
+				return BenchResult{}, err
+			}
+		}
+	case DeleteRand:
+		for i := 0; i < n; i++ {
+			if err := db.Delete(th, fmt.Sprintf(benchKeyFmt, rng.Intn(n))); err != nil {
+				return BenchResult{}, err
+			}
+		}
+	default:
+		return BenchResult{}, fmt.Errorf("lsmdb: unknown bench op %q", op)
+	}
+	elapsed := th.Clk.Now() - start
+	if err := db.Close(th); err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Op: op, Ops: int64(n), VirtualNS: elapsed,
+		MicrosPerOp: float64(elapsed) / float64(n) / 1e3,
+	}, nil
+}

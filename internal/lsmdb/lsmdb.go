@@ -1,0 +1,494 @@
+// Package lsmdb is a from-scratch LevelDB-style LSM-tree key/value store
+// built on the vfs.FileSystem API — the application substrate for the
+// paper's Table 7 (db_bench) experiment. It implements the structures that
+// generate LevelDB's file system traffic: a write-ahead log of small
+// synchronous appends, an in-memory memtable flushed to sorted string
+// tables (SSTs), leveled compaction that rewrites files, and merged
+// iterators for sequential scans.
+package lsmdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"zofs/internal/perfmodel"
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+)
+
+// Options tunes the store.
+type Options struct {
+	// Dir is the database directory (created if missing).
+	Dir string
+	// SyncWrites forces a WAL sync per write (db_bench "write sync").
+	SyncWrites bool
+	// MemtableBytes is the flush threshold (LevelDB default 4MB).
+	MemtableBytes int64
+	// L0Limit triggers compaction into L1 (LevelDB default 4).
+	L0Limit int
+}
+
+func (o *Options) fill() {
+	if o.Dir == "" {
+		o.Dir = "/db"
+	}
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.L0Limit <= 0 {
+		o.L0Limit = 4
+	}
+}
+
+// tombstone marks deletions inside the tree.
+var tombstone = []byte{0xde, 0xad, 0xbe, 0xef, 0x00}
+
+func isTombstone(v []byte) bool {
+	return len(v) == len(tombstone) && string(v) == string(tombstone)
+}
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("lsmdb: key not found")
+
+// DB is an open database.
+type DB struct {
+	fs   vfs.FileSystem
+	opts Options
+
+	mu      sync.Mutex
+	mem     map[string][]byte
+	memSize int64
+	wal     vfs.Handle
+	walSeq  int
+	nextSST int
+	l0      []*sst // newest first
+	l1      []*sst // sorted, non-overlapping
+}
+
+// sst is one sorted string table: data on the file system, sparse index in
+// memory (as LevelDB keeps via its table cache).
+type sst struct {
+	path    string
+	keys    []string // all keys, sorted (index)
+	offs    []int64  // entry offsets
+	lens    []int32  // entry lengths
+	minKey  string
+	maxKey  string
+	entries int
+}
+
+// Open creates or opens a database directory, replaying any existing WAL.
+func Open(fs vfs.FileSystem, th *proc.Thread, opts Options) (*DB, error) {
+	opts.fill()
+	db := &DB{fs: fs, opts: opts, mem: map[string][]byte{}}
+	if err := fs.Mkdir(th, opts.Dir, 0o755); err != nil && !errors.Is(err, vfs.ErrExist) {
+		return nil, err
+	}
+	if err := db.replayWAL(th); err != nil {
+		return nil, err
+	}
+	return db, db.rotateWAL(th)
+}
+
+func (db *DB) walPath(seq int) string { return fmt.Sprintf("%s/%06d.log", db.opts.Dir, seq) }
+func (db *DB) sstPath(seq int) string { return fmt.Sprintf("%s/%06d.sst", db.opts.Dir, seq) }
+
+// replayWAL restores the memtable from a log left by a previous run.
+func (db *DB) replayWAL(th *proc.Thread) error {
+	h, err := db.fs.Open(th, db.walPath(db.walSeq), vfs.O_RDONLY)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer h.Close(th)
+	fi, err := h.Stat(th)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, fi.Size)
+	if _, err := h.ReadAt(th, buf, 0); err != nil {
+		return err
+	}
+	for off := 0; off+6 <= len(buf); {
+		klen := int(binary.LittleEndian.Uint16(buf[off:]))
+		vlen := int(binary.LittleEndian.Uint32(buf[off+2:]))
+		off += 6
+		if off+klen+vlen > len(buf) {
+			break // torn tail record
+		}
+		k := string(buf[off : off+klen])
+		v := append([]byte(nil), buf[off+klen:off+klen+vlen]...)
+		db.mem[k] = v
+		db.memSize += int64(klen + vlen + 6)
+		off += klen + vlen
+	}
+	return nil
+}
+
+func (db *DB) rotateWAL(th *proc.Thread) error {
+	if db.wal != nil {
+		db.wal.Close(th)
+		db.fs.Unlink(th, db.walPath(db.walSeq))
+		db.walSeq++
+	}
+	h, err := db.fs.Create(th, db.walPath(db.walSeq), 0o644)
+	if err != nil {
+		return err
+	}
+	db.wal = h
+	return nil
+}
+
+func encodeRecord(key string, val []byte) []byte {
+	rec := make([]byte, 6+len(key)+len(val))
+	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
+	binary.LittleEndian.PutUint32(rec[2:], uint32(len(val)))
+	copy(rec[6:], key)
+	copy(rec[6+len(key):], val)
+	return rec
+}
+
+// Put inserts or updates a key.
+func (db *DB) Put(th *proc.Thread, key string, val []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.putLocked(th, key, val)
+}
+
+func (db *DB) putLocked(th *proc.Thread, key string, val []byte) error {
+	rec := encodeRecord(key, val)
+	if _, err := db.wal.Append(th, rec); err != nil {
+		return err
+	}
+	if db.opts.SyncWrites {
+		if err := db.wal.Sync(th); err != nil {
+			return err
+		}
+	}
+	th.CPU(perfmodel.CPUHashLookup) // memtable insert
+	db.mem[key] = append([]byte(nil), val...)
+	db.memSize += int64(len(rec))
+	if db.memSize >= db.opts.MemtableBytes {
+		return db.flushLocked(th)
+	}
+	return nil
+}
+
+// Delete removes a key (a tombstone that compaction drops).
+func (db *DB) Delete(th *proc.Thread, key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.putLocked(th, key, tombstone)
+}
+
+// Get retrieves a key: memtable, then L0 newest-first, then L1.
+func (db *DB) Get(th *proc.Thread, key string) ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	th.CPU(perfmodel.CPUHashLookup)
+	if v, ok := db.mem[key]; ok {
+		if isTombstone(v) {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	for _, t := range db.l0 {
+		if v, ok, err := db.sstGet(th, t, key); err != nil {
+			return nil, err
+		} else if ok {
+			if isTombstone(v) {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	// L1 is sorted and non-overlapping: binary search for the table.
+	i := sort.Search(len(db.l1), func(i int) bool { return db.l1[i].maxKey >= key })
+	if i < len(db.l1) && db.l1[i].minKey <= key {
+		if v, ok, err := db.sstGet(th, db.l1[i], key); err != nil {
+			return nil, err
+		} else if ok {
+			if isTombstone(v) {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// sstGet looks a key up in one table.
+func (db *DB) sstGet(th *proc.Thread, t *sst, key string) ([]byte, bool, error) {
+	th.CPU(perfmodel.CPUHashLookup) // index binary search
+	i := sort.SearchStrings(t.keys, key)
+	if i >= len(t.keys) || t.keys[i] != key {
+		return nil, false, nil
+	}
+	h, err := db.fs.Open(th, t.path, vfs.O_RDONLY)
+	if err != nil {
+		return nil, false, err
+	}
+	defer h.Close(th)
+	buf := make([]byte, t.lens[i])
+	if _, err := h.ReadAt(th, buf, t.offs[i]); err != nil {
+		return nil, false, err
+	}
+	klen := int(binary.LittleEndian.Uint16(buf))
+	vlen := int(binary.LittleEndian.Uint32(buf[2:]))
+	return append([]byte(nil), buf[6+klen:6+klen+vlen]...), true, nil
+}
+
+// flushLocked writes the memtable as a new L0 table and rotates the WAL.
+func (db *DB) flushLocked(th *proc.Thread) error {
+	if len(db.mem) == 0 {
+		return nil
+	}
+	t, err := db.writeSST(th, sortedEntries(db.mem))
+	if err != nil {
+		return err
+	}
+	db.l0 = append([]*sst{t}, db.l0...)
+	db.mem = map[string][]byte{}
+	db.memSize = 0
+	if err := db.rotateWAL(th); err != nil {
+		return err
+	}
+	if len(db.l0) > db.opts.L0Limit {
+		return db.compactLocked(th)
+	}
+	return nil
+}
+
+// Flush forces the memtable out (used by benchmarks between phases).
+func (db *DB) Flush(th *proc.Thread) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked(th)
+}
+
+type kv struct {
+	k string
+	v []byte
+}
+
+func sortedEntries(m map[string][]byte) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+// writeSST streams sorted entries into a new table file.
+func (db *DB) writeSST(th *proc.Thread, entries []kv) (*sst, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("lsmdb: empty sst")
+	}
+	path := db.sstPath(db.nextSST)
+	db.nextSST++
+	h, err := db.fs.Create(th, path, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close(th)
+	t := &sst{path: path, minKey: entries[0].k, maxKey: entries[len(entries)-1].k, entries: len(entries)}
+	var off int64
+	const chunkTarget = 64 << 10
+	chunk := make([]byte, 0, chunkTarget+4096)
+	for _, e := range entries {
+		rec := encodeRecord(e.k, e.v)
+		t.keys = append(t.keys, e.k)
+		t.offs = append(t.offs, off)
+		t.lens = append(t.lens, int32(len(rec)))
+		chunk = append(chunk, rec...)
+		off += int64(len(rec))
+		if len(chunk) >= chunkTarget {
+			if _, err := h.Append(th, chunk); err != nil {
+				return nil, err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if len(chunk) > 0 {
+		if _, err := h.Append(th, chunk); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// compactLocked merges all of L0 with L1 into a fresh L1 (full-merge
+// compaction: simple, with the same double-write traffic pattern).
+func (db *DB) compactLocked(th *proc.Thread) error {
+	merged := map[string][]byte{}
+	// Oldest first so newer tables win.
+	read := func(t *sst) error {
+		h, err := db.fs.Open(th, t.path, vfs.O_RDONLY)
+		if err != nil {
+			return err
+		}
+		defer h.Close(th)
+		buf := make([]byte, 256<<10)
+		var off int64
+		// Stream the file sequentially.
+		var pending []byte
+		for {
+			n, err := h.ReadAt(th, buf, off)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			pending = append(pending, buf[:n]...)
+			off += int64(n)
+			for len(pending) >= 6 {
+				klen := int(binary.LittleEndian.Uint16(pending))
+				vlen := int(binary.LittleEndian.Uint32(pending[2:]))
+				if len(pending) < 6+klen+vlen {
+					break
+				}
+				k := string(pending[6 : 6+klen])
+				v := append([]byte(nil), pending[6+klen:6+klen+vlen]...)
+				merged[k] = v
+				pending = pending[6+klen+vlen:]
+			}
+		}
+		return nil
+	}
+	for _, t := range db.l1 {
+		if err := read(t); err != nil {
+			return err
+		}
+	}
+	for i := len(db.l0) - 1; i >= 0; i-- {
+		if err := read(db.l0[i]); err != nil {
+			return err
+		}
+	}
+	// Drop tombstones at the bottom level.
+	for k, v := range merged {
+		if isTombstone(v) {
+			delete(merged, k)
+		}
+	}
+	old := append(append([]*sst(nil), db.l0...), db.l1...)
+	db.l0 = nil
+	db.l1 = nil
+	if len(merged) > 0 {
+		entries := sortedEntries(merged)
+		// Split into ~8MB runs.
+		const runBytes = 8 << 20
+		var runSize int64
+		start := 0
+		for i, e := range entries {
+			runSize += int64(len(e.k) + len(e.v) + 6)
+			if runSize >= runBytes || i == len(entries)-1 {
+				t, err := db.writeSST(th, entries[start:i+1])
+				if err != nil {
+					return err
+				}
+				db.l1 = append(db.l1, t)
+				start, runSize = i+1, 0
+			}
+		}
+	}
+	for _, t := range old {
+		if err := db.fs.Unlink(th, t.path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan iterates all live keys in order, calling fn until it returns false.
+// It merges the memtable, L0 and L1 (newest shadowing oldest), streaming
+// table files sequentially.
+func (db *DB) Scan(th *proc.Thread, fn func(key string, val []byte) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Build the merged view (memtable shadows L0 shadows L1).
+	shadow := map[string]bool{}
+	type src struct {
+		entries []kv
+	}
+	var sources []src
+	memEntries := sortedEntries(db.mem)
+	sources = append(sources, src{memEntries})
+	for _, t := range append(append([]*sst(nil), db.l0...), db.l1...) {
+		h, err := db.fs.Open(th, t.path, vfs.O_RDONLY)
+		if err != nil {
+			return err
+		}
+		fi, _ := h.Stat(th)
+		raw := make([]byte, fi.Size)
+		if _, err := h.ReadAt(th, raw, 0); err != nil {
+			h.Close(th)
+			return err
+		}
+		h.Close(th)
+		var entries []kv
+		for off := 0; off+6 <= len(raw); {
+			klen := int(binary.LittleEndian.Uint16(raw[off:]))
+			vlen := int(binary.LittleEndian.Uint32(raw[off+2:]))
+			if off+6+klen+vlen > len(raw) {
+				break
+			}
+			entries = append(entries, kv{string(raw[off+6 : off+6+klen]), raw[off+6+klen : off+6+klen+vlen]})
+			off += 6 + klen + vlen
+		}
+		sources = append(sources, src{entries})
+	}
+	// Emit in global key order, newest source wins.
+	for {
+		best := ""
+		bestSrc := -1
+		for si := range sources {
+			for len(sources[si].entries) > 0 && shadow[sources[si].entries[0].k] {
+				sources[si].entries = sources[si].entries[1:]
+			}
+			if len(sources[si].entries) == 0 {
+				continue
+			}
+			k := sources[si].entries[0].k
+			if bestSrc == -1 || k < best {
+				best, bestSrc = k, si
+			}
+		}
+		if bestSrc == -1 {
+			return nil
+		}
+		e := sources[bestSrc].entries[0]
+		sources[bestSrc].entries = sources[bestSrc].entries[1:]
+		shadow[e.k] = true
+		th.CPU(perfmodel.CPUSmallOp)
+		if !isTombstone(e.v) {
+			if !fn(e.k, e.v) {
+				return nil
+			}
+		}
+	}
+}
+
+// Close flushes and releases the WAL handle.
+func (db *DB) Close(th *proc.Thread) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.flushLocked(th); err != nil {
+		return err
+	}
+	return db.wal.Close(th)
+}
+
+// Stats reports table counts for tests.
+func (db *DB) Stats() (l0, l1 int, memEntries int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.l0), len(db.l1), len(db.mem)
+}

@@ -1,0 +1,157 @@
+// Package mpk simulates Intel Memory Protection Keys (paper §2.4).
+//
+// The kernel (KernFS) tags each mapped page with a 4-bit protection key in
+// the per-process address space; each thread carries a PKRU register holding
+// a pair of permission bits (access-disable, write-disable) per key. Every
+// user-space access to the device is checked against both the page-table
+// permission (present/writable) and the PKRU, exactly mirroring the
+// hardware: a violation is delivered as a panic (the analogue of SIGSEGV)
+// that FSLibs catches and converts to a file system error (§3.4.2).
+package mpk
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NumKeys is the number of protection keys (16; key 0 is conventionally the
+// process's ordinary memory, leaving 15 for coffers — §3.4.2).
+const NumKeys = 16
+
+// Key is a 4-bit protection key.
+type Key uint8
+
+// PKRU is the per-thread protection-key rights register: two bits per key,
+// bit 2k = access-disable (AD), bit 2k+1 = write-disable (WD).
+type PKRU uint32
+
+// DefaultPKRU returns the register state KernFS installs before returning
+// to user space: key 0 fully accessible, every other key access-disabled.
+func DefaultPKRU() PKRU {
+	var p PKRU
+	for k := Key(1); k < NumKeys; k++ {
+		p |= 1 << (2 * k) // AD
+	}
+	return p
+}
+
+// CanRead reports whether the register permits loads from pages with key k.
+func (p PKRU) CanRead(k Key) bool { return p&(1<<(2*k)) == 0 }
+
+// CanWrite reports whether the register permits stores to pages with key k.
+func (p PKRU) CanWrite(k Key) bool { return p&(3<<(2*k)) == 0 }
+
+// WithAccess returns a copy of the register with key k's permissions set.
+func (p PKRU) WithAccess(k Key, read, write bool) PKRU {
+	p |= 3 << (2 * k)
+	if read {
+		p &^= 1 << (2 * k)
+	}
+	if write {
+		p &^= 2 << (2 * k)
+	}
+	return p
+}
+
+// Violation is the panic value raised on a protection fault. It carries
+// enough context for FSLibs to translate it into a file system error.
+type Violation struct {
+	Page  int64
+	Key   Key
+	Write bool
+	Cause string
+}
+
+func (v Violation) Error() string {
+	op := "read"
+	if v.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("mpk violation: %s page %d key %d: %s", op, v.Page, v.Key, v.Cause)
+}
+
+// Page-table entry bits stored per page in an AddressSpace.
+const (
+	ptePresent  = 1 << 4
+	pteWritable = 1 << 5
+	pteKeyMask  = 0x0f
+)
+
+// AddressSpace is the per-process page table: for each device page it
+// records whether the page is mapped into the process, whether it is
+// writable, and its protection key. Only the kernel (KernFS) mutates it.
+type AddressSpace struct {
+	mu    sync.RWMutex
+	pages []uint8
+}
+
+// NewAddressSpace creates an empty address space covering npages pages.
+func NewAddressSpace(npages int64) *AddressSpace {
+	return &AddressSpace{pages: make([]uint8, npages)}
+}
+
+// Map marks [page, page+count) present with the given key and writability.
+func (a *AddressSpace) Map(page, count int64, key Key, writable bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := uint8(key&pteKeyMask) | ptePresent
+	if writable {
+		e |= pteWritable
+	}
+	for i := page; i < page+count; i++ {
+		a.pages[i] = e
+	}
+}
+
+// Unmap removes [page, page+count) from the address space.
+func (a *AddressSpace) Unmap(page, count int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := page; i < page+count; i++ {
+		a.pages[i] = 0
+	}
+}
+
+// Check validates one access spanning [page, page+count) under the given
+// register, panicking with a Violation on the first failing page.
+func (a *AddressSpace) Check(pkru PKRU, page, count int64, write bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for i := page; i < page+count; i++ {
+		if i < 0 || i >= int64(len(a.pages)) {
+			panic(Violation{Page: i, Write: write, Cause: "page not in address space"})
+		}
+		e := a.pages[i]
+		if e&ptePresent == 0 {
+			panic(Violation{Page: i, Write: write, Cause: "page not mapped"})
+		}
+		k := Key(e & pteKeyMask)
+		if write {
+			if e&pteWritable == 0 {
+				panic(Violation{Page: i, Key: k, Write: true, Cause: "page mapped read-only"})
+			}
+			if !pkru.CanWrite(k) {
+				panic(Violation{Page: i, Key: k, Write: true, Cause: "PKRU write-disable"})
+			}
+		} else if !pkru.CanRead(k) {
+			panic(Violation{Page: i, Key: k, Cause: "PKRU access-disable"})
+		}
+	}
+}
+
+// Mapped reports whether a page is present.
+func (a *AddressSpace) Mapped(page int64) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return page >= 0 && page < int64(len(a.pages)) && a.pages[page]&ptePresent != 0
+}
+
+// KeyOf returns the protection key of a mapped page.
+func (a *AddressSpace) KeyOf(page int64) (Key, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if page < 0 || page >= int64(len(a.pages)) || a.pages[page]&ptePresent == 0 {
+		return 0, false
+	}
+	return Key(a.pages[page] & pteKeyMask), true
+}

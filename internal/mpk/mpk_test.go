@@ -1,0 +1,152 @@
+package mpk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultPKRU(t *testing.T) {
+	p := DefaultPKRU()
+	if !p.CanRead(0) || !p.CanWrite(0) {
+		t.Fatal("key 0 must be fully accessible by default")
+	}
+	for k := Key(1); k < NumKeys; k++ {
+		if p.CanRead(k) || p.CanWrite(k) {
+			t.Fatalf("key %d must be access-disabled by default", k)
+		}
+	}
+}
+
+func TestWithAccess(t *testing.T) {
+	p := DefaultPKRU().WithAccess(3, true, false)
+	if !p.CanRead(3) {
+		t.Fatal("read should be enabled")
+	}
+	if p.CanWrite(3) {
+		t.Fatal("write should remain disabled")
+	}
+	p = p.WithAccess(3, true, true)
+	if !p.CanWrite(3) {
+		t.Fatal("write should now be enabled")
+	}
+	p = p.WithAccess(3, false, false)
+	if p.CanRead(3) || p.CanWrite(3) {
+		t.Fatal("access should be fully revoked")
+	}
+}
+
+func TestWriteImpliesReadCheck(t *testing.T) {
+	// A key with AD set cannot be written even if WD is clear.
+	var p PKRU
+	p |= 1 << (2 * 5) // AD only
+	if p.CanWrite(5) {
+		t.Fatal("AD must block writes")
+	}
+}
+
+func expectViolation(t *testing.T, f func()) Violation {
+	t.Helper()
+	var got Violation
+	func() {
+		defer func() {
+			r := recover()
+			v, ok := r.(Violation)
+			if !ok {
+				t.Fatalf("expected Violation panic, got %v", r)
+			}
+			got = v
+		}()
+		f()
+	}()
+	return got
+}
+
+func TestAddressSpaceCheck(t *testing.T) {
+	a := NewAddressSpace(64)
+	a.Map(10, 4, 2, true)
+	pkru := DefaultPKRU().WithAccess(2, true, true)
+
+	a.Check(pkru, 10, 4, true) // should not panic
+
+	v := expectViolation(t, func() { a.Check(pkru, 9, 1, false) })
+	if v.Cause != "page not mapped" {
+		t.Fatalf("cause = %q", v.Cause)
+	}
+	v = expectViolation(t, func() { a.Check(DefaultPKRU(), 10, 1, false) })
+	if v.Key != 2 {
+		t.Fatalf("violation key = %d, want 2", v.Key)
+	}
+	v = expectViolation(t, func() { a.Check(pkru, -1, 1, false) })
+	if v.Cause != "page not in address space" {
+		t.Fatalf("cause = %q", v.Cause)
+	}
+}
+
+func TestReadOnlyMapping(t *testing.T) {
+	a := NewAddressSpace(16)
+	a.Map(0, 1, 1, false) // read-only page permission
+	pkru := DefaultPKRU().WithAccess(1, true, true)
+	a.Check(pkru, 0, 1, false)
+	v := expectViolation(t, func() { a.Check(pkru, 0, 1, true) })
+	if v.Cause != "page mapped read-only" {
+		t.Fatalf("cause = %q", v.Cause)
+	}
+}
+
+func TestPKRUWriteDisable(t *testing.T) {
+	a := NewAddressSpace(16)
+	a.Map(0, 1, 1, true)
+	roPKRU := DefaultPKRU().WithAccess(1, true, false)
+	a.Check(roPKRU, 0, 1, false)
+	v := expectViolation(t, func() { a.Check(roPKRU, 0, 1, true) })
+	if v.Cause != "PKRU write-disable" {
+		t.Fatalf("cause = %q", v.Cause)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	a := NewAddressSpace(16)
+	a.Map(4, 2, 3, true)
+	if !a.Mapped(4) || !a.Mapped(5) {
+		t.Fatal("pages should be mapped")
+	}
+	if k, ok := a.KeyOf(4); !ok || k != 3 {
+		t.Fatalf("KeyOf = %d,%v", k, ok)
+	}
+	a.Unmap(4, 2)
+	if a.Mapped(4) {
+		t.Fatal("page should be unmapped")
+	}
+	if _, ok := a.KeyOf(4); ok {
+		t.Fatal("KeyOf on unmapped page should report false")
+	}
+}
+
+// Property: WithAccess(k, r, w) yields exactly the requested permissions on
+// key k and never affects any other key.
+func TestWithAccessIsolatedProperty(t *testing.T) {
+	f := func(base uint32, kRaw uint8, r, w bool) bool {
+		k := Key(kRaw % NumKeys)
+		p := PKRU(base)
+		q := p.WithAccess(k, r, w)
+		if q.CanRead(k) != r {
+			return false
+		}
+		// CanWrite requires both AD and WD clear.
+		if q.CanWrite(k) != (r && w) {
+			return false
+		}
+		for other := Key(0); other < NumKeys; other++ {
+			if other == k {
+				continue
+			}
+			if p.CanRead(other) != q.CanRead(other) || p.CanWrite(other) != q.CanWrite(other) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

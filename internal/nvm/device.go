@@ -1,0 +1,503 @@
+// Package nvm simulates a byte-addressable non-volatile memory device.
+//
+// The device is an in-memory byte image with the cost model of Optane DC
+// persistent memory (paper Table 1): per-cacheline read/write latencies, a
+// shared write-bandwidth channel that caps aggregate write throughput, and
+// flush/fence persistence semantics. All file system structures in this
+// repository live directly inside the image, exactly as they would in real
+// NVM.
+//
+// Persistence is simulated precisely enough to test crash consistency:
+// cached stores leave cachelines dirty until they are flushed; a simulated
+// crash (Crash) reverts every dirty line to its last persisted content.
+// Non-temporal stores (WriteNT) persist at the next fence, which the model
+// folds into the store itself. Tests can also inject a crash after the k-th
+// persisting store (FailAfter) to probe every intermediate state of a
+// multi-step update.
+package nvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"zofs/internal/perfmodel"
+	"zofs/internal/simclock"
+)
+
+// PageSize is the device allocation granularity.
+const PageSize = perfmodel.PageSize
+
+// LineSize is the cacheline size used for persistence tracking.
+const LineSize = perfmodel.CachelineSize
+
+// crashSentinel is the panic value used by injected crashes.
+type crashSentinel struct{ writes int64 }
+
+func (c crashSentinel) String() string {
+	return fmt.Sprintf("nvm: injected crash after %d writes", c.writes)
+}
+
+// IsInjectedCrash reports whether a recovered panic value is an injected
+// device crash from FailAfter.
+func IsInjectedCrash(v any) bool {
+	_, ok := v.(crashSentinel)
+	return ok
+}
+
+const lockStripes = 256
+
+// Config controls optional device behaviour.
+type Config struct {
+	// Size is the device capacity in bytes; it is rounded up to a whole
+	// number of pages.
+	Size int64
+	// TrackPersistence enables dirty-line tracking so Crash() can revert
+	// unflushed stores. Disable for large throughput benchmarks.
+	TrackPersistence bool
+}
+
+// chunkBytes is the lazy-allocation granularity of the device image:
+// space is materialized only when first written, so multi-gigabyte devices
+// cost memory proportional to their live data.
+const chunkBytes = 4 << 20
+
+// Device is a simulated NVM DIMM. All methods are safe for concurrent use,
+// but — as with real memory — racing unsynchronized writes to the same
+// bytes is the caller's bug; file systems must use their own locking.
+type Device struct {
+	size    int64
+	chunks  []atomic.Pointer[chunk]
+	allocMu sync.Mutex
+
+	readBW  *simclock.Bandwidth
+	writeBW *simclock.Bandwidth
+
+	track bool
+	dirty [lockStripes]struct {
+		mu    sync.Mutex
+		lines map[int64][]byte // line offset -> last persisted content
+	}
+
+	casMu [lockStripes]sync.Mutex
+
+	writeCount atomic.Int64
+	failAfter  atomic.Int64 // 0 = disabled
+
+	uid uint64 // process-unique identity; see UID
+}
+
+var nextDeviceUID atomic.Uint64
+
+// NewDevice creates a device of the given size with persistence tracking on.
+func NewDevice(size int64) *Device {
+	return New(Config{Size: size, TrackPersistence: true})
+}
+
+// New creates a device from a Config.
+func New(cfg Config) *Device {
+	if cfg.Size <= 0 {
+		panic("nvm: non-positive device size")
+	}
+	pages := (cfg.Size + PageSize - 1) / PageSize
+	size := pages * PageSize
+	d := &Device{
+		size:    size,
+		chunks:  make([]atomic.Pointer[chunk], (size+chunkBytes-1)/chunkBytes),
+		readBW:  simclock.NewBandwidth(perfmodel.NVMReadBandwidth),
+		writeBW: simclock.NewBandwidth(perfmodel.NVMWriteBandwidth),
+		track:   cfg.TrackPersistence,
+		uid:     nextDeviceUID.Add(1),
+	}
+	if d.track {
+		for i := range d.dirty {
+			d.dirty[i].lines = make(map[int64][]byte)
+		}
+	}
+	return d
+}
+
+type chunk [chunkBytes]byte
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return d.size }
+
+// UID returns a process-unique identity for this device. Registries that
+// outlive individual devices key on the UID rather than the pointer so a
+// discarded device (and its lazily materialized chunks) can be collected.
+func (d *Device) UID() uint64 { return d.uid }
+
+// Pages returns the device capacity in pages.
+func (d *Device) Pages() int64 { return d.size / PageSize }
+
+// chunkFor returns the chunk containing offset off, materializing it if
+// mustAlloc is set; a nil return means the chunk is untouched (all zero).
+func (d *Device) chunkFor(off int64, mustAlloc bool) *chunk {
+	idx := off / chunkBytes
+	if c := d.chunks[idx].Load(); c != nil {
+		return c
+	}
+	if !mustAlloc {
+		return nil
+	}
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
+	if c := d.chunks[idx].Load(); c != nil {
+		return c
+	}
+	c := new(chunk)
+	d.chunks[idx].Store(c)
+	return c
+}
+
+// copyOut copies device bytes [off, off+len(buf)) into buf.
+func (d *Device) copyOut(off int64, buf []byte) {
+	for len(buf) > 0 {
+		c := d.chunkFor(off, false)
+		co := off % chunkBytes
+		n := chunkBytes - co
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if c == nil {
+			for i := int64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		} else {
+			copy(buf[:n], c[co:co+n])
+		}
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// copyIn copies buf into the device at off.
+func (d *Device) copyIn(off int64, buf []byte) {
+	for len(buf) > 0 {
+		c := d.chunkFor(off, true)
+		co := off % chunkBytes
+		n := chunkBytes - co
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		copy(c[co:co+n], buf[:n])
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// SetConcurrency informs the cost model of the number of threads actively
+// writing, applying the Optane write-bandwidth degradation factor.
+func (d *Device) SetConcurrency(n int) {
+	d.writeBW.SetDegradation(perfmodel.WriteBWDegradation(n))
+}
+
+// check panics (like a machine check / SIGSEGV) on out-of-range access.
+// Higher layers (FSLibs) recover such panics into file system errors,
+// mirroring the paper's sigsetjmp/siglongjmp graceful error return.
+func (d *Device) check(off, n int64) {
+	if off < 0 || n < 0 || off+n > d.size {
+		panic(Fault{Off: off, Len: n, Cause: "access outside device"})
+	}
+}
+
+// Fault is the panic value raised by invalid device accesses.
+type Fault struct {
+	Off, Len int64
+	Cause    string
+}
+
+func (f Fault) Error() string {
+	return fmt.Sprintf("nvm fault: %s (off=%d len=%d)", f.Cause, f.Off, f.Len)
+}
+
+// lines returns the number of cachelines touched by [off, off+n).
+func lines(off, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	return last - first + 1
+}
+
+// Read copies device bytes into buf, charging read latency plus bandwidth.
+func (d *Device) Read(clk *simclock.Clock, off int64, buf []byte) {
+	n := int64(len(buf))
+	d.check(off, n)
+	if clk != nil {
+		clk.Advance(perfmodel.NVMReadLatency)
+		d.readBW.TransferUnqueued(clk, int(n))
+	}
+	d.copyOut(off, buf)
+}
+
+// ReadNoCharge copies bytes without advancing any clock (DRAM-cached reads,
+// test harness verification).
+func (d *Device) ReadNoCharge(off int64, buf []byte) {
+	d.check(off, int64(len(buf)))
+	d.copyOut(off, buf)
+}
+
+// saveDirty records the persisted content of every line in [off,off+n)
+// before it is modified by a cached store.
+func (d *Device) saveDirty(off, n int64) {
+	first := off / LineSize * LineSize
+	for lo := first; lo < off+n; lo += LineSize {
+		s := &d.dirty[(lo/LineSize)%lockStripes]
+		s.mu.Lock()
+		if _, ok := s.lines[lo]; !ok {
+			saved := make([]byte, LineSize)
+			d.copyOut(lo, saved)
+			s.lines[lo] = saved
+		}
+		s.mu.Unlock()
+	}
+}
+
+// clearDirty marks every line in [off,off+n) persisted.
+func (d *Device) clearDirty(off, n int64) {
+	first := off / LineSize * LineSize
+	for lo := first; lo < off+n; lo += LineSize {
+		s := &d.dirty[(lo/LineSize)%lockStripes]
+		s.mu.Lock()
+		delete(s.lines, lo)
+		s.mu.Unlock()
+	}
+}
+
+// countWrite applies crash injection accounting for one persisting store.
+func (d *Device) countWrite() {
+	n := d.writeCount.Add(1)
+	if fa := d.failAfter.Load(); fa > 0 && n >= fa {
+		panic(crashSentinel{writes: n})
+	}
+}
+
+// Write performs a cached (write-back) store: the new data is visible
+// immediately but not persistent until flushed. It charges the
+// read-for-ownership penalty and leaves the lines dirty.
+func (d *Device) Write(clk *simclock.Clock, off int64, data []byte) {
+	n := int64(len(data))
+	d.check(off, n)
+	if clk != nil {
+		clk.Advance(perfmodel.CachedWriteRFO)
+		d.readBW.TransferUnqueued(clk, int(n))
+	}
+	if d.track {
+		d.saveDirty(off, n)
+	}
+	d.copyIn(off, data)
+}
+
+// smallWrite is the threshold below which stores slip through the WPQ
+// without queueing on the bulk write channel (no head-of-line blocking for
+// metadata-sized stores).
+const smallWrite = 1024
+
+// WriteNT performs a non-temporal store followed (logically) by a fence:
+// the data is persistent when the call returns. This is the write flavour
+// ZoFS, NOVA and PMFS-nocache use for bulk data (§6.1).
+func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
+	n := int64(len(data))
+	d.check(off, n)
+	if clk != nil {
+		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.NTStoreExtra)
+		if n < smallWrite {
+			d.writeBW.TransferUnqueued(clk, int(n))
+		} else {
+			d.writeBW.Transfer(clk, int(n))
+		}
+	}
+	d.copyIn(off, data)
+	if d.track {
+		d.clearDirty(off, n)
+	}
+	d.countWrite()
+}
+
+// Flush issues clwb over [off, off+n) and a fence, making the range
+// persistent. Charges per-line clwb cost plus write bandwidth.
+func (d *Device) Flush(clk *simclock.Clock, off, n int64) {
+	d.check(off, n)
+	if clk != nil {
+		clk.Advance(lines(off, n)*perfmodel.CLWBCost + perfmodel.FenceCost + perfmodel.NVMWriteLatency)
+		if n < smallWrite {
+			d.writeBW.TransferUnqueued(clk, int(n))
+		} else {
+			d.writeBW.Transfer(clk, int(n))
+		}
+	}
+	if d.track {
+		d.clearDirty(off, n)
+	}
+	d.countWrite()
+}
+
+// Fence charges a store fence without persisting anything further (WriteNT
+// and Flush already fold persistence in).
+func (d *Device) Fence(clk *simclock.Clock) {
+	if clk != nil {
+		clk.Advance(perfmodel.FenceCost)
+	}
+}
+
+// Zero writes zeros over the range with non-temporal stores. Scrubbing is
+// charged without occupying the shared write channel: zeroing of recycled
+// pages is deferrable work that real systems overlap with foreground
+// writes, so it must not head-of-line block them.
+func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
+	d.check(off, n)
+	if clk != nil {
+		clk.Advance(perfmodel.NVMWriteLatency)
+		d.writeBW.TransferUnqueued(clk, int(n))
+	}
+	for rem := n; rem > 0; {
+		c := d.chunkFor(off, false)
+		co := off % chunkBytes
+		step := chunkBytes - co
+		if step > rem {
+			step = rem
+		}
+		if c != nil {
+			clear(c[co : co+step])
+		}
+		off += step
+		rem -= step
+	}
+	if d.track {
+		d.clearDirty(off-n, n)
+	}
+	d.countWrite()
+}
+
+// Load64 atomically reads an 8-byte little-endian word.
+func (d *Device) Load64(clk *simclock.Clock, off int64) uint64 {
+	d.check(off, 8)
+	if off%8 != 0 {
+		panic(Fault{Off: off, Len: 8, Cause: "unaligned atomic load"})
+	}
+	if clk != nil {
+		clk.Advance(perfmodel.NVMReadLatency)
+	}
+	c := d.chunkFor(off, false)
+	if c == nil {
+		return 0
+	}
+	mu := &d.casMu[(off/8)%lockStripes]
+	mu.Lock()
+	v := binary.LittleEndian.Uint64(c[off%chunkBytes:])
+	mu.Unlock()
+	return v
+}
+
+// Store64 atomically writes an 8-byte word with persistence (ntstore+fence
+// semantics) — the atomic building block of ZoFS's ordered metadata updates.
+func (d *Device) Store64(clk *simclock.Clock, off int64, v uint64) {
+	d.check(off, 8)
+	if off%8 != 0 {
+		panic(Fault{Off: off, Len: 8, Cause: "unaligned atomic store"})
+	}
+	if clk != nil {
+		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.FenceCost)
+		d.writeBW.TransferUnqueued(clk, 8)
+	}
+	c := d.chunkFor(off, true)
+	mu := &d.casMu[(off/8)%lockStripes]
+	mu.Lock()
+	binary.LittleEndian.PutUint64(c[off%chunkBytes:], v)
+	mu.Unlock()
+	if d.track {
+		d.clearDirty(off, 8)
+	}
+	d.countWrite()
+}
+
+// CAS64 atomically compares-and-swaps an 8-byte word, persisting on
+// success. Returns true if the swap happened.
+func (d *Device) CAS64(clk *simclock.Clock, off int64, old, new uint64) bool {
+	d.check(off, 8)
+	if off%8 != 0 {
+		panic(Fault{Off: off, Len: 8, Cause: "unaligned CAS"})
+	}
+	if clk != nil {
+		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.FenceCost)
+	}
+	c := d.chunkFor(off, true)
+	mu := &d.casMu[(off/8)%lockStripes]
+	mu.Lock()
+	cur := binary.LittleEndian.Uint64(c[off%chunkBytes:])
+	if cur != old {
+		mu.Unlock()
+		return false
+	}
+	binary.LittleEndian.PutUint64(c[off%chunkBytes:], new)
+	mu.Unlock()
+	if d.track {
+		d.clearDirty(off, 8)
+	}
+	d.countWrite()
+	return true
+}
+
+// Crash simulates a power failure: every dirty (unflushed) line reverts to
+// its last persisted content. Volatile caller state must be discarded by
+// the caller; the device image afterwards is exactly what a real NVM DIMM
+// would hold after the crash.
+func (d *Device) Crash() {
+	if !d.track {
+		return
+	}
+	for i := range d.dirty {
+		s := &d.dirty[i]
+		s.mu.Lock()
+		for lo, saved := range s.lines {
+			d.copyIn(lo, saved)
+			delete(s.lines, lo)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// DirtyLines reports how many cachelines are currently unpersisted.
+func (d *Device) DirtyLines() int {
+	if !d.track {
+		return 0
+	}
+	n := 0
+	for i := range d.dirty {
+		s := &d.dirty[i]
+		s.mu.Lock()
+		n += len(s.lines)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// FailAfter arms crash injection: the n-th persisting store from now will
+// panic with an injected-crash sentinel (recover with IsInjectedCrash, then
+// call Crash and run recovery). n <= 0 disarms.
+func (d *Device) FailAfter(n int64) {
+	if n <= 0 {
+		d.failAfter.Store(0)
+		return
+	}
+	d.writeCount.Store(0)
+	d.failAfter.Store(n)
+}
+
+// WriteCount returns the number of persisting stores performed.
+func (d *Device) WriteCount() int64 { return d.writeCount.Load() }
+
+// ResetBandwidth clears bandwidth accounting between benchmark phases.
+func (d *Device) ResetBandwidth() {
+	d.readBW.Reset()
+	d.writeBW.Reset()
+}
+
+// BytesWritten reports cumulative bytes pushed through the write channel.
+func (d *Device) BytesWritten() int64 { return d.writeBW.TotalBytes() }
+
+// BytesRead reports cumulative bytes pulled through the read channel.
+func (d *Device) BytesRead() int64 { return d.readBW.TotalBytes() }

@@ -1,0 +1,269 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"zofs/internal/simclock"
+)
+
+func TestDeviceSizeRounding(t *testing.T) {
+	d := NewDevice(PageSize + 1)
+	if d.Size() != 2*PageSize {
+		t.Fatalf("Size = %d, want %d", d.Size(), 2*PageSize)
+	}
+	if d.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2", d.Pages())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := NewDevice(1 << 20)
+	clk := simclock.NewClock()
+	in := []byte("hello, persistent world")
+	d.WriteNT(clk, 4096, in)
+	out := make([]byte, len(in))
+	d.Read(clk, 4096, out)
+	if !bytes.Equal(in, out) {
+		t.Fatalf("round trip mismatch: %q vs %q", in, out)
+	}
+	if clk.Now() == 0 {
+		t.Fatal("clock should have been charged")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := NewDevice(PageSize)
+	for _, tc := range []func(){
+		func() { d.Read(nil, -1, make([]byte, 8)) },
+		func() { d.Read(nil, PageSize-4, make([]byte, 8)) },
+		func() { d.WriteNT(nil, PageSize, []byte{1}) },
+		func() { d.Load64(nil, 4) }, // unaligned
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("expected panic")
+				} else if _, ok := r.(Fault); !ok {
+					t.Fatalf("expected Fault, got %T", r)
+				}
+			}()
+			tc()
+		}()
+	}
+}
+
+func TestCachedWriteNotPersistedUntilFlush(t *testing.T) {
+	d := NewDevice(1 << 16)
+	clk := simclock.NewClock()
+	d.WriteNT(clk, 0, []byte("persisted-base-content-here!"))
+	d.Write(clk, 0, []byte("CACHED")) // dirty, unflushed
+	if d.DirtyLines() == 0 {
+		t.Fatal("expected dirty lines after cached write")
+	}
+	d.Crash()
+	out := make([]byte, 6)
+	d.ReadNoCharge(0, out)
+	if string(out) != "persis" {
+		t.Fatalf("crash should revert unflushed write, got %q", out)
+	}
+}
+
+func TestFlushPersists(t *testing.T) {
+	d := NewDevice(1 << 16)
+	clk := simclock.NewClock()
+	d.Write(clk, 128, []byte("durable"))
+	d.Flush(clk, 128, 7)
+	if d.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines after flush = %d", d.DirtyLines())
+	}
+	d.Crash()
+	out := make([]byte, 7)
+	d.ReadNoCharge(128, out)
+	if string(out) != "durable" {
+		t.Fatalf("flushed data must survive crash, got %q", out)
+	}
+}
+
+func TestWriteNTSurvivesCrash(t *testing.T) {
+	d := NewDevice(1 << 16)
+	d.WriteNT(nil, 64, []byte("ntstore"))
+	d.Crash()
+	out := make([]byte, 7)
+	d.ReadNoCharge(64, out)
+	if string(out) != "ntstore" {
+		t.Fatalf("ntstore must survive crash, got %q", out)
+	}
+}
+
+func TestCrashRevertsOnlyDirtyLines(t *testing.T) {
+	d := NewDevice(1 << 16)
+	d.WriteNT(nil, 0, []byte("AAAA"))
+	d.WriteNT(nil, 64, []byte("BBBB"))
+	d.Write(nil, 64, []byte("XXXX")) // dirty line 1 only
+	d.Crash()
+	a, b := make([]byte, 4), make([]byte, 4)
+	d.ReadNoCharge(0, a)
+	d.ReadNoCharge(64, b)
+	if string(a) != "AAAA" || string(b) != "BBBB" {
+		t.Fatalf("got %q %q, want AAAA BBBB", a, b)
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	d := NewDevice(1 << 16)
+	clk := simclock.NewClock()
+	d.Store64(clk, 8, 0xdeadbeef)
+	if got := d.Load64(clk, 8); got != 0xdeadbeef {
+		t.Fatalf("Load64 = %x", got)
+	}
+	if !d.CAS64(clk, 8, 0xdeadbeef, 42) {
+		t.Fatal("CAS should succeed")
+	}
+	if d.CAS64(clk, 8, 0xdeadbeef, 43) {
+		t.Fatal("CAS with stale old value should fail")
+	}
+	if got := d.Load64(clk, 8); got != 42 {
+		t.Fatalf("Load64 after CAS = %d", got)
+	}
+}
+
+func TestStore64SurvivesCrash(t *testing.T) {
+	d := NewDevice(1 << 16)
+	d.Store64(nil, 16, 7)
+	d.Crash()
+	if got := d.Load64(nil, 16); got != 7 {
+		t.Fatalf("atomic store must be durable, got %d", got)
+	}
+}
+
+func TestFailAfterInjectsCrash(t *testing.T) {
+	d := NewDevice(1 << 16)
+	d.FailAfter(3)
+	crashed := false
+	func() {
+		defer func() {
+			r := recover()
+			if !IsInjectedCrash(r) {
+				t.Fatalf("expected injected crash, got %v", r)
+			}
+			crashed = true
+		}()
+		for i := int64(0); i < 10; i++ {
+			d.Store64(nil, i*8, uint64(i))
+		}
+	}()
+	if !crashed {
+		t.Fatal("crash was not injected")
+	}
+	if d.WriteCount() != 3 {
+		t.Fatalf("WriteCount = %d, want 3", d.WriteCount())
+	}
+	d.FailAfter(0) // disarm
+	d.Store64(nil, 0, 1)
+}
+
+func TestZero(t *testing.T) {
+	d := NewDevice(1 << 16)
+	d.WriteNT(nil, 0, bytes.Repeat([]byte{0xff}, 256))
+	d.Zero(nil, 0, 256)
+	out := make([]byte, 256)
+	d.ReadNoCharge(0, out)
+	for i, b := range out {
+		if b != 0 {
+			t.Fatalf("byte %d = %x after Zero", i, b)
+		}
+	}
+}
+
+func TestWriteBandwidthCeiling(t *testing.T) {
+	// Two threads each NT-writing 1MB must take ~2x the single-thread
+	// virtual time on the shared write channel.
+	d := New(Config{Size: 8 << 20, TrackPersistence: false})
+	a := simclock.NewClock()
+	buf := make([]byte, 1<<20)
+	d.WriteNT(a, 0, buf)
+	solo := a.Now()
+	b := simclock.NewClock()
+	d.WriteNT(b, 1<<20, buf)
+	if b.Now() < 2*solo-solo/4 {
+		t.Fatalf("second writer should queue behind first: %d vs solo %d", b.Now(), solo)
+	}
+}
+
+func TestConcurrencyDegradation(t *testing.T) {
+	d := New(Config{Size: 1 << 20, TrackPersistence: false})
+	buf := make([]byte, 4096)
+	a := simclock.NewClock()
+	d.WriteNT(a, 0, buf)
+	base := a.Now()
+	d.ResetBandwidth()
+	d.SetConcurrency(20)
+	b := simclock.NewClock()
+	d.WriteNT(b, 0, buf)
+	if b.Now() <= base {
+		t.Fatalf("20-thread writes must be slower per byte: %d vs %d", b.Now(), base)
+	}
+}
+
+// Property: any sequence of WriteNT operations is fully crash-durable.
+func TestNTWritesDurableProperty(t *testing.T) {
+	f := func(ops []struct {
+		Off  uint16
+		Data [8]byte
+	}) bool {
+		d := NewDevice(1 << 16)
+		want := make(map[int64][8]byte)
+		for _, op := range ops {
+			off := int64(op.Off) % (1<<16 - 8)
+			d.WriteNT(nil, off, op.Data[:])
+			// Later overlapping writes supersede earlier ones; replaying
+			// the map in insertion order is wrong, so just track exact
+			// final bytes via a shadow image instead.
+			want[off] = op.Data
+		}
+		shadow := make([]byte, d.Size())
+		d.ReadNoCharge(0, shadow)
+		d.Crash()
+		after := make([]byte, d.Size())
+		d.ReadNoCharge(0, after)
+		return bytes.Equal(shadow, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cached writes never survive a crash unless flushed.
+func TestCachedWritesRevertProperty(t *testing.T) {
+	f := func(offs []uint16) bool {
+		d := NewDevice(1 << 16)
+		base := make([]byte, d.Size())
+		d.ReadNoCharge(0, base) // all zeros, persisted
+		for _, o := range offs {
+			off := int64(o) % (1<<16 - 4)
+			d.Write(nil, off, []byte{1, 2, 3, 4})
+		}
+		d.Crash()
+		after := make([]byte, d.Size())
+		d.ReadNoCharge(0, after)
+		return bytes.Equal(base, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceUIDsUnique: registries key volatile per-device state on the
+// UID; a collision would silently share lock tables between file systems.
+func TestDeviceUIDsUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		d := NewDevice(1 << 20)
+		if seen[d.UID()] {
+			t.Fatalf("duplicate device UID %d", d.UID())
+		}
+		seen[d.UID()] = true
+	}
+}

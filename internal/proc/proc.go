@@ -1,0 +1,217 @@
+// Package proc models processes and threads for the Treasury architecture.
+//
+// A Process owns a user identity (uid/gid), an MPK-tagged address space
+// maintained by the kernel, and the set of coffers currently mapped into it.
+// A Thread owns a virtual clock and a PKRU register. All user-space accesses
+// to the NVM device flow through Thread accessors, which enforce the page
+// table and PKRU exactly as the MMU would (§2.4, §3.4); kernel code accesses
+// the device directly.
+package proc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"zofs/internal/mpk"
+	"zofs/internal/nvm"
+	"zofs/internal/perfmodel"
+	"zofs/internal/simclock"
+)
+
+// Process is a simulated OS process.
+type Process struct {
+	PID int
+	dev *nvm.Device
+
+	mu  sync.RWMutex
+	uid uint32
+	gid uint32
+
+	// Mem is the kernel-maintained, MPK-tagged page table for this process.
+	Mem *mpk.AddressSpace
+
+	// Kernel-private per-process state attached by KernFS (mapped coffers,
+	// assigned MPK regions). Typed as any to avoid a dependency cycle.
+	KernState any
+
+	nextTID atomic.Int64
+}
+
+var nextPID atomic.Int64
+
+// NewProcess creates a process with the given identity over a device.
+func NewProcess(dev *nvm.Device, uid, gid uint32) *Process {
+	return &Process{
+		PID: int(nextPID.Add(1)),
+		dev: dev,
+		uid: uid,
+		gid: gid,
+		Mem: mpk.NewAddressSpace(dev.Pages()),
+	}
+}
+
+// UID returns the process's current user id.
+func (p *Process) UID() uint32 { p.mu.RLock(); defer p.mu.RUnlock(); return p.uid }
+
+// GID returns the process's current group id.
+func (p *Process) GID() uint32 { p.mu.RLock(); defer p.mu.RUnlock(); return p.gid }
+
+// SetIdentity changes uid/gid (setuid); KernFS unmaps all coffers when this
+// happens (§3.3) — callers must go through the kernel wrapper that does so.
+func (p *Process) SetIdentity(uid, gid uint32) {
+	p.mu.Lock()
+	p.uid, p.gid = uid, gid
+	p.mu.Unlock()
+}
+
+// Device returns the NVM device backing this process's mappings.
+func (p *Process) Device() *nvm.Device { return p.dev }
+
+// NewThread creates a thread with a fresh clock and the default PKRU
+// (all coffer regions access-disabled).
+func (p *Process) NewThread() *Thread {
+	return &Thread{
+		Proc: p,
+		Clk:  simclock.NewClock(),
+		TID:  int(p.nextTID.Add(1)),
+		pkru: mpk.DefaultPKRU(),
+	}
+}
+
+// Thread is a simulated thread: the unit of virtual-time accounting and of
+// PKRU-based protection state.
+type Thread struct {
+	Proc *Process
+	Clk  *simclock.Clock
+	TID  int
+	pkru mpk.PKRU
+}
+
+// PKRU returns the thread's current protection-key rights register.
+func (t *Thread) PKRU() mpk.PKRU { return t.pkru }
+
+// WrPKRU writes the register, charging the WRPKRU instruction cost
+// (~16 cycles, §3.4.1).
+func (t *Thread) WrPKRU(v mpk.PKRU) {
+	t.Clk.Advance(perfmodel.WRPKRUCost())
+	t.pkru = v
+}
+
+// OpenWindow grants this thread access to exactly one coffer region,
+// disabling all others — guidelines G1 and G2 in one step. It returns the
+// previous register value for restoring via WrPKRU.
+func (t *Thread) OpenWindow(key mpk.Key, write bool) mpk.PKRU {
+	prev := t.pkru
+	t.WrPKRU(mpk.DefaultPKRU().WithAccess(key, true, write))
+	return prev
+}
+
+// CloseWindow disables access to all coffer regions (back to default).
+func (t *Thread) CloseWindow() { t.WrPKRU(mpk.DefaultPKRU()) }
+
+// SetPKRUFree updates the register without charging the WRPKRU cost. Used
+// by kernel-side FS variants whose accesses are not MPK-mediated at all:
+// the simulation still tracks the register for memory-safety checks, but no
+// protection-switch cost exists on the modeled hardware path.
+func (t *Thread) SetPKRUFree(v mpk.PKRU) { t.pkru = v }
+
+func pageSpan(off, n int64) (page, count int64) {
+	if n <= 0 {
+		n = 1
+	}
+	first := off / nvm.PageSize
+	last := (off + n - 1) / nvm.PageSize
+	return first, last - first + 1
+}
+
+// check enforces the page table + PKRU for an access from user space.
+func (t *Thread) check(off, n int64, write bool) {
+	page, count := pageSpan(off, n)
+	t.Proc.Mem.Check(t.pkru, page, count, write)
+}
+
+// CheckAccess exposes the MMU check for callers that batch the cost of a
+// group of accesses but must still enforce protection per access.
+func (t *Thread) CheckAccess(off, n int64, write bool) { t.check(off, n, write) }
+
+// Read performs a checked user-space load.
+func (t *Thread) Read(off int64, buf []byte) {
+	t.check(off, int64(len(buf)), false)
+	t.Proc.dev.Read(t.Clk, off, buf)
+}
+
+// ReadCached performs a checked load charged as a CPU-cache hit (used for
+// hot metadata the library has touched recently).
+func (t *Thread) ReadCached(off int64, buf []byte) {
+	t.check(off, int64(len(buf)), false)
+	t.Clk.Advance(perfmodel.CPUSmallOp)
+	t.Proc.dev.ReadNoCharge(off, buf)
+}
+
+// Write performs a checked cached store (dirty until flushed).
+func (t *Thread) Write(off int64, data []byte) {
+	t.check(off, int64(len(data)), true)
+	t.Proc.dev.Write(t.Clk, off, data)
+}
+
+// WriteNT performs a checked non-temporal (immediately persistent) store.
+func (t *Thread) WriteNT(off int64, data []byte) {
+	t.check(off, int64(len(data)), true)
+	t.Proc.dev.WriteNT(t.Clk, off, data)
+}
+
+// Flush persists a previously written range (clwb + fence).
+func (t *Thread) Flush(off, n int64) {
+	t.check(off, n, true)
+	t.Proc.dev.Flush(t.Clk, off, n)
+}
+
+// Fence charges a store fence.
+func (t *Thread) Fence() { t.Proc.dev.Fence(t.Clk) }
+
+// Load64 performs a checked atomic load.
+func (t *Thread) Load64(off int64) uint64 {
+	t.check(off, 8, false)
+	return t.Proc.dev.Load64(t.Clk, off)
+}
+
+// Load64Cached performs a checked atomic load charged as a CPU-cache hit,
+// for hot metadata words (a thread repeatedly operating on one file keeps
+// its inode header and block pointers in L1).
+func (t *Thread) Load64Cached(off int64) uint64 {
+	t.check(off, 8, false)
+	t.Clk.Advance(perfmodel.CPUSmallOp)
+	return t.Proc.dev.Load64(nil, off)
+}
+
+// Store64 performs a checked atomic persistent store.
+func (t *Thread) Store64(off int64, v uint64) {
+	t.check(off, 8, true)
+	t.Proc.dev.Store64(t.Clk, off, v)
+}
+
+// CAS64 performs a checked atomic compare-and-swap.
+func (t *Thread) CAS64(off int64, old, new uint64) bool {
+	t.check(off, 8, true)
+	return t.Proc.dev.CAS64(t.Clk, off, old, new)
+}
+
+// Zero zeroes a checked range with non-temporal stores.
+func (t *Thread) Zero(off, n int64) {
+	t.check(off, n, true)
+	t.Proc.dev.Zero(t.Clk, off, n)
+}
+
+// StrayWrite models a wild store from buggy application code (§6.5): it is
+// subject to exactly the same page-table/PKRU enforcement as library code,
+// so with all windows closed it faults instead of corrupting a coffer.
+func (t *Thread) StrayWrite(off int64, data []byte) {
+	t.Write(off, data)
+}
+
+// CPU charges pure CPU time (software path costs).
+func (t *Thread) CPU(ns int64) { t.Clk.Advance(ns) }
+
+// Syscall charges one kernel entry/exit (used by KernFS and the kernel-side
+// baseline file systems on every operation).
+func (t *Thread) Syscall() { t.Clk.Advance(perfmodel.Syscall) }

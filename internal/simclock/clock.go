@@ -1,0 +1,245 @@
+// Package simclock provides the virtual-time substrate used by every
+// benchmark and file system in this repository.
+//
+// All file system code runs as ordinary Go code on ordinary goroutines, but
+// performance is accounted in virtual nanoseconds: each simulated thread owns
+// a Clock, every modeled action (an NVM access, a syscall, a WRPKRU, a lock
+// hold) advances that clock, and shared hardware/software resources are
+// modeled as Resources whose grant time is max(arrival, busyUntil). This
+// yields throughput ceilings, lock convoys and scalability collapses in
+// virtual time at the same places they occur on real hardware, while the
+// underlying data-structure work remains real (real locks, real CAS, real
+// memory).
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the virtual clock of one simulated thread. It is not safe for
+// concurrent use; each simulated thread owns exactly one Clock.
+type Clock struct {
+	now int64 // virtual nanoseconds since simulation start
+}
+
+// NewClock returns a clock starting at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// NewClockAt returns a clock starting at the given virtual time.
+func NewClockAt(ns int64) *Clock { return &Clock{now: ns} }
+
+// Now returns the current virtual time in nanoseconds.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by d virtual nanoseconds. Negative
+// advances are ignored so cost formulas may safely round down to zero.
+func (c *Clock) Advance(d int64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to time t if t is in the future.
+func (c *Clock) AdvanceTo(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Duration is a convenience converter from time.Duration to virtual ns.
+func Duration(d time.Duration) int64 { return int64(d) }
+
+// Resource models an exclusively held resource (a lock, a journal tail, a
+// global allocator, a device write port). A user arriving at virtual time t
+// is granted the resource at max(t, busyUntil) and holds it for the given
+// duration; the caller's clock is advanced to the release time.
+//
+// Resource is safe for concurrent use by many simulated threads.
+type Resource struct {
+	mu        sync.Mutex
+	busyUntil int64
+}
+
+// NewResource returns an idle resource.
+func NewResource() *Resource { return &Resource{} }
+
+// Use acquires the resource at the clock's current time, holds it for hold
+// virtual nanoseconds, and advances the clock past the wait plus the hold.
+// It returns the virtual time at which the resource was granted.
+func (r *Resource) Use(c *Clock, hold int64) int64 {
+	if hold < 0 {
+		hold = 0
+	}
+	r.mu.Lock()
+	grant := r.busyUntil
+	if c.now > grant {
+		grant = c.now
+	}
+	r.busyUntil = grant + hold
+	r.mu.Unlock()
+	c.now = grant + hold
+	return grant
+}
+
+// Enqueue hands the resource a unit of asynchronous work: the work occupies
+// the resource for hold ns starting at max(arrival, busyUntil), but the
+// caller only waits until the resource ACCEPTS the work (i.e., until prior
+// work has drained), not until it completes. This models background workers
+// (e.g., Strata's kernel digestion thread): producers run ahead of the
+// worker until its backlog pushes acceptance time past them.
+func (r *Resource) Enqueue(c *Clock, hold int64) (accepted int64) {
+	if hold < 0 {
+		hold = 0
+	}
+	r.mu.Lock()
+	grant := r.busyUntil
+	if c.Now() > grant {
+		grant = c.Now()
+	}
+	r.busyUntil = grant + hold
+	r.mu.Unlock()
+	c.AdvanceTo(grant)
+	return grant
+}
+
+// BusyUntil reports the virtual time at which the resource becomes free.
+func (r *Resource) BusyUntil() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busyUntil
+}
+
+// Reset makes the resource idle again (used between benchmark phases).
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	r.busyUntil = 0
+	r.mu.Unlock()
+}
+
+// RWResource models a readers-writer resource in virtual time: readers
+// overlap freely with each other but must wait for a preceding writer;
+// writers wait for all preceding readers and writers.
+type RWResource struct {
+	mu            sync.Mutex
+	writeBusy     int64 // release time of the last writer
+	lastReaderEnd int64 // latest release time among readers
+}
+
+// NewRWResource returns an idle readers-writer resource.
+func NewRWResource() *RWResource { return &RWResource{} }
+
+// UseRead performs a read-side hold: the caller waits only for the last
+// writer, then holds for the given duration, overlapping other readers.
+func (r *RWResource) UseRead(c *Clock, hold int64) int64 {
+	if hold < 0 {
+		hold = 0
+	}
+	r.mu.Lock()
+	grant := r.writeBusy
+	if c.now > grant {
+		grant = c.now
+	}
+	end := grant + hold
+	if end > r.lastReaderEnd {
+		r.lastReaderEnd = end
+	}
+	r.mu.Unlock()
+	c.now = end
+	return grant
+}
+
+// UseWrite performs a write-side hold: the caller waits for all prior
+// readers and writers, then holds exclusively.
+func (r *RWResource) UseWrite(c *Clock, hold int64) int64 {
+	if hold < 0 {
+		hold = 0
+	}
+	r.mu.Lock()
+	grant := r.writeBusy
+	if r.lastReaderEnd > grant {
+		grant = r.lastReaderEnd
+	}
+	if c.now > grant {
+		grant = c.now
+	}
+	r.writeBusy = grant + hold
+	r.mu.Unlock()
+	c.now = grant + hold
+	return grant
+}
+
+// Reset makes the resource idle again.
+func (r *RWResource) Reset() {
+	r.mu.Lock()
+	r.writeBusy, r.lastReaderEnd = 0, 0
+	r.mu.Unlock()
+}
+
+// Bandwidth models a shared transfer channel with a fixed peak rate
+// (bytes/second) and an optional concurrency-degradation factor. A transfer
+// of n bytes holds the channel for n/effectiveRate seconds, so aggregate
+// throughput across all threads cannot exceed the effective rate — exactly
+// the ceiling behaviour of Optane DC PM write bandwidth.
+type Bandwidth struct {
+	res        *Resource
+	peakBps    float64
+	scale      atomic.Uint64 // effective rate multiplier in 1/1024ths
+	totalBytes atomic.Int64
+}
+
+// NewBandwidth returns a channel with the given peak rate in bytes/second.
+func NewBandwidth(bytesPerSecond float64) *Bandwidth {
+	if bytesPerSecond <= 0 {
+		panic(fmt.Sprintf("simclock: invalid bandwidth %v", bytesPerSecond))
+	}
+	b := &Bandwidth{res: NewResource(), peakBps: bytesPerSecond}
+	b.scale.Store(1024)
+	return b
+}
+
+// SetDegradation sets the effective-rate multiplier (0 < f <= 1). Workload
+// harnesses call this with a factor derived from the number of concurrently
+// active writers to model Optane's bandwidth decline under high concurrency.
+func (b *Bandwidth) SetDegradation(f float64) {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	b.scale.Store(uint64(f * 1024))
+}
+
+// Transfer charges the channel for n bytes at the clock's current time,
+// advancing the clock past any queueing delay plus the transfer itself.
+func (b *Bandwidth) Transfer(c *Clock, n int) {
+	if n <= 0 {
+		return
+	}
+	rate := b.peakBps * float64(b.scale.Load()) / 1024
+	hold := int64(float64(n) / rate * 1e9)
+	b.res.Use(c, hold)
+	b.totalBytes.Add(int64(n))
+}
+
+// TransferUnqueued charges only the local clock for n bytes without
+// occupying the shared channel. Used for read paths where the device
+// sustains enough parallelism that reads rarely queue.
+func (b *Bandwidth) TransferUnqueued(c *Clock, n int) {
+	if n <= 0 {
+		return
+	}
+	rate := b.peakBps * float64(b.scale.Load()) / 1024
+	c.Advance(int64(float64(n) / rate * 1e9))
+	b.totalBytes.Add(int64(n))
+}
+
+// TotalBytes reports the cumulative bytes transferred.
+func (b *Bandwidth) TotalBytes() int64 { return b.totalBytes.Load() }
+
+// Reset makes the channel idle and zeroes the byte counter.
+func (b *Bandwidth) Reset() {
+	b.res.Reset()
+	b.totalBytes.Store(0)
+	b.scale.Store(1024)
+}

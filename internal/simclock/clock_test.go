@@ -1,0 +1,238 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock Now() = %d, want 0", c.Now())
+	}
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", c.Now())
+	}
+	c.Advance(-50) // negative advances are ignored
+	if c.Now() != 100 {
+		t.Fatalf("Now() after negative advance = %d, want 100", c.Now())
+	}
+	c.AdvanceTo(80) // past times are ignored
+	if c.Now() != 100 {
+		t.Fatalf("Now() after AdvanceTo(80) = %d, want 100", c.Now())
+	}
+	c.AdvanceTo(250)
+	if c.Now() != 250 {
+		t.Fatalf("Now() after AdvanceTo(250) = %d, want 250", c.Now())
+	}
+}
+
+func TestClockAt(t *testing.T) {
+	c := NewClockAt(500)
+	if c.Now() != 500 {
+		t.Fatalf("NewClockAt(500).Now() = %d", c.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource()
+	a, b := NewClock(), NewClock()
+
+	grantA := r.Use(a, 100)
+	if grantA != 0 || a.Now() != 100 {
+		t.Fatalf("first use: grant=%d now=%d, want 0/100", grantA, a.Now())
+	}
+	grantB := r.Use(b, 100)
+	if grantB != 100 || b.Now() != 200 {
+		t.Fatalf("queued use: grant=%d now=%d, want 100/200", grantB, b.Now())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	r := NewResource()
+	c := NewClock()
+	r.Use(c, 10) // busy until 10
+	late := NewClockAt(1000)
+	grant := r.Use(late, 5)
+	if grant != 1000 || late.Now() != 1005 {
+		t.Fatalf("idle resource should grant at arrival: grant=%d now=%d", grant, late.Now())
+	}
+}
+
+func TestResourceThroughputCeiling(t *testing.T) {
+	// N threads each performing ops holding the resource 100ns must see
+	// aggregate throughput of exactly 1 op / 100ns regardless of N.
+	r := NewResource()
+	const threads, opsPer = 8, 100
+	var wg sync.WaitGroup
+	clocks := make([]*Clock, threads)
+	for i := range clocks {
+		clocks[i] = NewClock()
+		wg.Add(1)
+		go func(c *Clock) {
+			defer wg.Done()
+			for j := 0; j < opsPer; j++ {
+				r.Use(c, 100)
+			}
+		}(clocks[i])
+	}
+	wg.Wait()
+	var maxEnd int64
+	for _, c := range clocks {
+		if c.Now() > maxEnd {
+			maxEnd = c.Now()
+		}
+	}
+	want := int64(threads * opsPer * 100)
+	if maxEnd != want {
+		t.Fatalf("serialized end time = %d, want %d", maxEnd, want)
+	}
+}
+
+func TestRWResourceReadersOverlap(t *testing.T) {
+	r := NewRWResource()
+	a, b := NewClock(), NewClock()
+	r.UseRead(a, 100)
+	r.UseRead(b, 100)
+	if a.Now() != 100 || b.Now() != 100 {
+		t.Fatalf("readers should overlap: a=%d b=%d", a.Now(), b.Now())
+	}
+	w := NewClock()
+	grant := r.UseWrite(w, 50)
+	if grant != 100 || w.Now() != 150 {
+		t.Fatalf("writer should wait for readers: grant=%d now=%d", grant, w.Now())
+	}
+	c := NewClock()
+	grantR := r.UseRead(c, 10)
+	if grantR != 150 {
+		t.Fatalf("reader should wait for writer: grant=%d", grantR)
+	}
+}
+
+func TestRWResourceWriterAfterWriter(t *testing.T) {
+	r := NewRWResource()
+	a, b := NewClock(), NewClock()
+	r.UseWrite(a, 100)
+	r.UseWrite(b, 100)
+	if b.Now() != 200 {
+		t.Fatalf("writers must serialize: b=%d, want 200", b.Now())
+	}
+}
+
+func TestBandwidthCeiling(t *testing.T) {
+	// 1 GB/s; 1 MB transfer should hold the channel ~1ms.
+	bw := NewBandwidth(1e9)
+	a, b := NewClock(), NewClock()
+	bw.Transfer(a, 1<<20)
+	bw.Transfer(b, 1<<20)
+	holdA, holdB := a.Now(), b.Now()
+	if holdA < 1_000_000 || holdA > 1_100_000 {
+		t.Fatalf("first transfer time %d, want ~1.05ms", holdA)
+	}
+	if holdB < 2*holdA-1000 || holdB > 2*holdA+1000 {
+		t.Fatalf("second transfer should queue: %d vs first %d", holdB, holdA)
+	}
+	if bw.TotalBytes() != 2<<20 {
+		t.Fatalf("TotalBytes = %d", bw.TotalBytes())
+	}
+}
+
+func TestBandwidthUnqueuedOverlaps(t *testing.T) {
+	bw := NewBandwidth(1e9)
+	a, b := NewClock(), NewClock()
+	bw.TransferUnqueued(a, 1<<20)
+	bw.TransferUnqueued(b, 1<<20)
+	if a.Now() != b.Now() {
+		t.Fatalf("unqueued transfers must not serialize: %d vs %d", a.Now(), b.Now())
+	}
+}
+
+func TestBandwidthDegradation(t *testing.T) {
+	bw := NewBandwidth(1e9)
+	c := NewClock()
+	bw.Transfer(c, 1000)
+	base := c.Now()
+	bw.Reset()
+	bw.SetDegradation(0.5)
+	c2 := NewClock()
+	bw.Transfer(c2, 1000)
+	if c2.Now() < 2*base-100 || c2.Now() > 2*base+100 {
+		t.Fatalf("degraded transfer = %d, want ~2x %d", c2.Now(), base)
+	}
+	// Invalid factors fall back to 1.
+	bw.SetDegradation(0)
+	c3 := NewClock()
+	bw.Reset()
+	bw.Transfer(c3, 1000)
+	if c3.Now() != base {
+		t.Fatalf("invalid degradation should reset to 1: %d vs %d", c3.Now(), base)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource()
+	c := NewClock()
+	r.Use(c, 1000)
+	r.Reset()
+	if r.BusyUntil() != 0 {
+		t.Fatalf("BusyUntil after Reset = %d", r.BusyUntil())
+	}
+}
+
+// Property: a resource never grants two overlapping holds, and grants are
+// never earlier than arrival.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(holds []uint16) bool {
+		r := NewResource()
+		var prevEnd int64 = -1
+		c := NewClock()
+		for _, h := range holds {
+			hold := int64(h % 1000)
+			arrival := c.Now()
+			grant := r.Use(c, hold)
+			if grant < arrival || grant < prevEnd {
+				return false
+			}
+			if c.Now() != grant+hold {
+				return false
+			}
+			prevEnd = grant + hold
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent Use calls always advance total busy time by exactly
+// the sum of holds (no lost or double-counted holds).
+func TestResourceConservationProperty(t *testing.T) {
+	r := NewResource()
+	const threads = 4
+	var wg sync.WaitGroup
+	var sum int64
+	var mu sync.Mutex
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := NewClock()
+			var local int64
+			for j := int64(0); j < 50; j++ {
+				h := (seed*31 + j*17) % 97
+				r.Use(c, h)
+				local += h
+			}
+			mu.Lock()
+			sum += local
+			mu.Unlock()
+		}(int64(i))
+	}
+	wg.Wait()
+	if r.BusyUntil() != sum {
+		t.Fatalf("busyUntil = %d, want sum of holds %d", r.BusyUntil(), sum)
+	}
+}

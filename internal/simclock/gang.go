@@ -1,0 +1,81 @@
+package simclock
+
+import "sync"
+
+// Gang keeps a group of simulated threads' virtual clocks within a bounded
+// window of each other. Without pacing, the real scheduler can run one
+// goroutine's entire virtual timeline before another starts, which makes
+// shared virtual-time resources (bandwidth channels, locks) serialize
+// spuriously — the lead thread pushes busyUntil past everyone else's
+// deadline. Workload harnesses call Pace after every operation; a thread
+// more than the window ahead of the slowest active member blocks (really)
+// until the others catch up (virtually).
+type Gang struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	window int64
+	times  map[int]int64
+	active map[int]bool
+}
+
+// NewGang creates a gang with the given virtual window (ns). A window of a
+// few tens of microseconds keeps interleaving realistic without heavy
+// synchronization overhead.
+func NewGang(window int64) *Gang {
+	g := &Gang{window: window, times: map[int]int64{}, active: map[int]bool{}}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Join registers a member starting at virtual time start.
+func (g *Gang) Join(id int, start int64) {
+	g.mu.Lock()
+	g.times[id] = start
+	g.active[id] = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// minActive returns the smallest clock among active members; callers hold
+// g.mu.
+func (g *Gang) minActive() (int64, bool) {
+	var min int64
+	found := false
+	for id, act := range g.active {
+		if !act {
+			continue
+		}
+		if t := g.times[id]; !found || t < min {
+			min, found = t, true
+		}
+	}
+	return min, found
+}
+
+// Pace publishes the member's current virtual time and blocks while it is
+// more than the window ahead of the slowest active member.
+func (g *Gang) Pace(id int, now int64) {
+	g.mu.Lock()
+	g.times[id] = now
+	g.cond.Broadcast()
+	for {
+		min, ok := g.minActive()
+		if !ok || now-min <= g.window {
+			break
+		}
+		// If we ARE the minimum (possible when others left), don't wait.
+		if min == now {
+			break
+		}
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Leave deregisters a member (its clock no longer holds others back).
+func (g *Gang) Leave(id int) {
+	g.mu.Lock()
+	g.active[id] = false
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}

@@ -1,0 +1,93 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGangBoundsSkew(t *testing.T) {
+	g := NewGang(1000)
+	const members = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	times := make([]int64, members)
+	maxSkew := int64(0)
+	for i := 0; i < members; i++ {
+		g.Join(i, 0)
+	}
+	for i := 0; i < members; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer g.Leave(i)
+			c := NewClock()
+			for c.Now() < 100_000 {
+				c.Advance(int64(100 * (i + 1))) // different speeds
+				g.Pace(i, c.Now())
+				mu.Lock()
+				times[i] = c.Now()
+				var min, max int64 = 1 << 62, 0
+				for _, v := range times {
+					if v < min {
+						min = v
+					}
+					if v > max {
+						max = v
+					}
+				}
+				if s := max - min; s > maxSkew {
+					maxSkew = s
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Skew can exceed the window by one step (the op granularity), here
+	// 400ns max step + 1000ns window.
+	if maxSkew > 1000+400 {
+		t.Fatalf("max skew %d exceeds window+step", maxSkew)
+	}
+}
+
+func TestGangLeaveUnblocks(t *testing.T) {
+	g := NewGang(100)
+	g.Join(0, 0)
+	g.Join(1, 0)
+	done := make(chan struct{})
+	go func() {
+		// Member 0 runs far ahead; it must block until member 1 leaves.
+		g.Pace(0, 10_000)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("leader did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Leave(1)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("leader not released after Leave")
+	}
+	g.Leave(0)
+}
+
+func TestGangSingleMemberNeverBlocks(t *testing.T) {
+	g := NewGang(10)
+	g.Join(7, 0)
+	done := make(chan struct{})
+	go func() {
+		for i := int64(1); i < 100; i++ {
+			g.Pace(7, i*1000)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("single member blocked")
+	}
+}

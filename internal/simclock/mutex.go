@@ -1,0 +1,95 @@
+package simclock
+
+import "sync"
+
+// Mutex couples a real sync.Mutex with a virtual-time resource: Lock blocks
+// the calling goroutine for real and advances the caller's clock past the
+// previous holder's release time, and Unlock stamps the release. Critical
+// sections therefore serialize in both real time (protecting the shared Go
+// data structures) and virtual time (modeling the lock's performance cost),
+// with the virtual hold equal to whatever the caller charged its clock while
+// holding the lock.
+type Mutex struct {
+	mu        sync.Mutex
+	busyUntil int64
+}
+
+// Lock acquires the mutex and advances c past the last release. A nil clock
+// acquires real mutual exclusion only (used by one-time setup code).
+func (m *Mutex) Lock(c *Clock) {
+	m.mu.Lock()
+	if c != nil && m.busyUntil > c.Now() {
+		c.AdvanceTo(m.busyUntil)
+	}
+}
+
+// Unlock records the virtual release time and releases the mutex.
+func (m *Mutex) Unlock(c *Clock) {
+	if c != nil && c.Now() > m.busyUntil {
+		m.busyUntil = c.Now()
+	}
+	m.mu.Unlock()
+}
+
+// RWMutex is the readers-writer analogue of Mutex: real sync.RWMutex
+// semantics for the protected Go data plus virtual-time accounting in which
+// readers overlap and writers serialize. It models the per-file
+// readers-writer locks that let data reads scale in FxMark (§6.1).
+type RWMutex struct {
+	mu            sync.RWMutex
+	vmu           sync.Mutex
+	writeBusy     int64
+	lastReaderEnd int64
+}
+
+// Lock acquires the write side, waiting (virtually) for all prior readers
+// and writers.
+func (m *RWMutex) Lock(c *Clock) {
+	m.mu.Lock()
+	if c != nil {
+		m.vmu.Lock()
+		if m.writeBusy > c.Now() {
+			c.AdvanceTo(m.writeBusy)
+		}
+		if m.lastReaderEnd > c.Now() {
+			c.AdvanceTo(m.lastReaderEnd)
+		}
+		m.vmu.Unlock()
+	}
+}
+
+// Unlock releases the write side, stamping the virtual release time.
+func (m *RWMutex) Unlock(c *Clock) {
+	if c != nil {
+		m.vmu.Lock()
+		if c.Now() > m.writeBusy {
+			m.writeBusy = c.Now()
+		}
+		m.vmu.Unlock()
+	}
+	m.mu.Unlock()
+}
+
+// RLock acquires the read side, waiting (virtually) only for prior writers.
+func (m *RWMutex) RLock(c *Clock) {
+	m.mu.RLock()
+	if c != nil {
+		m.vmu.Lock()
+		if m.writeBusy > c.Now() {
+			c.AdvanceTo(m.writeBusy)
+		}
+		m.vmu.Unlock()
+	}
+}
+
+// RUnlock releases the read side, recording the latest reader end time.
+func (m *RWMutex) RUnlock(c *Clock) {
+	if c != nil {
+		m.vmu.Lock()
+		if c.Now() > m.lastReaderEnd {
+			m.lastReaderEnd = c.Now()
+		}
+		m.vmu.Unlock()
+	}
+	m.mu.RUnlock()
+}

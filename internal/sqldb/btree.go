@@ -1,0 +1,317 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zofs/internal/perfmodel"
+	"zofs/internal/proc"
+)
+
+// B-tree pages. Interior cells {key, child} mean "subtree child holds keys
+// <= key"; the rightmost pointer holds keys greater than every cell key.
+// Leaves are chained through right-sibling pointers for range scans.
+const (
+	pgLeaf     = 1
+	pgInterior = 2
+
+	btTypeOff  = 0  // u8
+	btNCellOff = 2  // u16
+	btRightOff = 8  // u64: leaf right sibling / interior rightmost child
+	btCellsOff = 16 // packed cells
+
+	// MaxKeyLen / MaxValLen bound cells so a page always fits two.
+	MaxKeyLen = 256
+	MaxValLen = 1200
+)
+
+type cell struct {
+	key   string
+	val   []byte // leaf payload
+	child int64  // interior child
+}
+
+// decodePage parses a B-tree page into memory.
+func decodePage(pg []byte) (typ byte, right int64, cells []cell) {
+	typ = pg[btTypeOff]
+	n := int(binary.LittleEndian.Uint16(pg[btNCellOff:]))
+	right = int64(binary.LittleEndian.Uint64(pg[btRightOff:]))
+	off := btCellsOff
+	cells = make([]cell, 0, n)
+	for i := 0; i < n; i++ {
+		klen := int(binary.LittleEndian.Uint16(pg[off:]))
+		if typ == pgLeaf {
+			vlen := int(binary.LittleEndian.Uint16(pg[off+2:]))
+			key := string(pg[off+4 : off+4+klen])
+			val := append([]byte(nil), pg[off+4+klen:off+4+klen+vlen]...)
+			cells = append(cells, cell{key: key, val: val})
+			off += 4 + klen + vlen
+		} else {
+			child := int64(binary.LittleEndian.Uint64(pg[off+2:]))
+			key := string(pg[off+10 : off+10+klen])
+			cells = append(cells, cell{key: key, child: child})
+			off += 10 + klen
+		}
+	}
+	return typ, right, cells
+}
+
+// encodedSize computes the byte size of a page holding the cells.
+func encodedSize(typ byte, cells []cell) int {
+	sz := btCellsOff
+	for _, c := range cells {
+		if typ == pgLeaf {
+			sz += 4 + len(c.key) + len(c.val)
+		} else {
+			sz += 10 + len(c.key)
+		}
+	}
+	return sz
+}
+
+// encodePage serializes cells into pg; returns false if they do not fit.
+func encodePage(pg []byte, typ byte, right int64, cells []cell) bool {
+	if encodedSize(typ, cells) > PageSize {
+		return false
+	}
+	clear(pg)
+	pg[btTypeOff] = typ
+	binary.LittleEndian.PutUint16(pg[btNCellOff:], uint16(len(cells)))
+	binary.LittleEndian.PutUint64(pg[btRightOff:], uint64(right))
+	off := btCellsOff
+	for _, c := range cells {
+		binary.LittleEndian.PutUint16(pg[off:], uint16(len(c.key)))
+		if typ == pgLeaf {
+			binary.LittleEndian.PutUint16(pg[off+2:], uint16(len(c.val)))
+			copy(pg[off+4:], c.key)
+			copy(pg[off+4+len(c.key):], c.val)
+			off += 4 + len(c.key) + len(c.val)
+		} else {
+			binary.LittleEndian.PutUint64(pg[off+2:], uint64(c.child))
+			copy(pg[off+10:], c.key)
+			off += 10 + len(c.key)
+		}
+	}
+	return true
+}
+
+// btree is one tree (a table or index) within the database file.
+type btree struct {
+	pg   *pager
+	root int64
+}
+
+// newBtree allocates an empty leaf root.
+func newBtree(th *proc.Thread, p *pager) (*btree, error) {
+	no, pg := p.allocPage(th)
+	encodePage(pg, pgLeaf, 0, nil)
+	if err := p.write(th, no); err != nil {
+		return nil, err
+	}
+	return &btree{pg: p, root: no}, nil
+}
+
+// search finds the index of the first cell with key >= k.
+func search(cells []cell, k string) int {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cells[mid].key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value for key.
+func (t *btree) Get(th *proc.Thread, key string) ([]byte, error) {
+	no := t.root
+	for {
+		th.CPU(perfmodel.CPUHashLookup)
+		pg, err := t.pg.page(th, no)
+		if err != nil {
+			return nil, err
+		}
+		typ, right, cells := decodePage(pg)
+		if typ == pgLeaf {
+			i := search(cells, key)
+			if i < len(cells) && cells[i].key == key {
+				return cells[i].val, nil
+			}
+			return nil, ErrNotFound
+		}
+		i := search(cells, key)
+		if i < len(cells) {
+			no = cells[i].child
+		} else {
+			no = right
+		}
+	}
+}
+
+// Put inserts or replaces a key.
+func (t *btree) Put(th *proc.Thread, key string, val []byte) error {
+	if len(key) > MaxKeyLen || len(val) > MaxValLen {
+		return fmt.Errorf("sqldb: key/value too large (%d/%d)", len(key), len(val))
+	}
+	promoted, newPage, err := t.insert(th, t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if newPage != 0 {
+		// Root split: grow the tree by one level.
+		rootNo, rootPg := t.pg.allocPage(th)
+		encodePage(rootPg, pgInterior, newPage, []cell{{key: promoted, child: t.root}})
+		if err := t.pg.write(th, rootNo); err != nil {
+			return err
+		}
+		t.root = rootNo
+	}
+	return nil
+}
+
+// insert recursively inserts into subtree no; on split it returns the
+// promoted separator key and the new right page.
+func (t *btree) insert(th *proc.Thread, no int64, key string, val []byte) (string, int64, error) {
+	th.CPU(perfmodel.CPUHashLookup)
+	pg, err := t.pg.page(th, no)
+	if err != nil {
+		return "", 0, err
+	}
+	typ, right, cells := decodePage(pg)
+
+	if typ == pgLeaf {
+		i := search(cells, key)
+		if i < len(cells) && cells[i].key == key {
+			cells[i].val = val
+		} else {
+			cells = append(cells, cell{})
+			copy(cells[i+1:], cells[i:])
+			cells[i] = cell{key: key, val: val}
+		}
+		if err := t.pg.write(th, no); err != nil {
+			return "", 0, err
+		}
+		if encodePage(pg, pgLeaf, right, cells) {
+			return "", 0, nil
+		}
+		// Split: lower half stays, upper half moves to a new right leaf.
+		h := len(cells) / 2
+		newNo, newPg := t.pg.allocPage(th)
+		encodePage(newPg, pgLeaf, right, cells[h:])
+		encodePage(pg, pgLeaf, newNo, cells[:h])
+		if err := t.pg.write(th, newNo); err != nil {
+			return "", 0, err
+		}
+		return cells[h-1].key, newNo, nil
+	}
+
+	i := search(cells, key)
+	childNo := right
+	if i < len(cells) {
+		childNo = cells[i].child
+	}
+	promoted, newChild, err := t.insert(th, childNo, key, val)
+	if err != nil || newChild == 0 {
+		return "", 0, err
+	}
+	// The child split: insert {promoted, childNo} before position i and
+	// point the old slot at the new child.
+	if err := t.pg.write(th, no); err != nil {
+		return "", 0, err
+	}
+	if i < len(cells) {
+		cells = append(cells, cell{})
+		copy(cells[i+1:], cells[i:])
+		cells[i] = cell{key: promoted, child: childNo}
+		cells[i+1].child = newChild
+	} else {
+		cells = append(cells, cell{key: promoted, child: childNo})
+		right = newChild
+	}
+	if encodePage(pg, pgInterior, right, cells) {
+		return "", 0, nil
+	}
+	// Split the interior node around the median.
+	h := len(cells) / 2
+	median := cells[h]
+	newNo, newPg := t.pg.allocPage(th)
+	encodePage(newPg, pgInterior, right, cells[h+1:])
+	encodePage(pg, pgInterior, median.child, cells[:h])
+	if err := t.pg.write(th, newNo); err != nil {
+		return "", 0, err
+	}
+	return median.key, newNo, nil
+}
+
+// Delete removes a key (leaves are not rebalanced; empty leaves remain in
+// the chain, as tombstone-free deletion suffices for TPC-C's new_order).
+func (t *btree) Delete(th *proc.Thread, key string) error {
+	no := t.root
+	for {
+		pg, err := t.pg.page(th, no)
+		if err != nil {
+			return err
+		}
+		typ, right, cells := decodePage(pg)
+		if typ == pgLeaf {
+			i := search(cells, key)
+			if i >= len(cells) || cells[i].key != key {
+				return ErrNotFound
+			}
+			cells = append(cells[:i], cells[i+1:]...)
+			if err := t.pg.write(th, no); err != nil {
+				return err
+			}
+			encodePage(pg, pgLeaf, right, cells)
+			return nil
+		}
+		i := search(cells, key)
+		if i < len(cells) {
+			no = cells[i].child
+		} else {
+			no = right
+		}
+	}
+}
+
+// Scan iterates keys >= start in order, calling fn until it returns false.
+func (t *btree) Scan(th *proc.Thread, start string, fn func(key string, val []byte) bool) error {
+	no := t.root
+	// Descend to the leaf containing start.
+	for {
+		th.CPU(perfmodel.CPUHashLookup)
+		pg, err := t.pg.page(th, no)
+		if err != nil {
+			return err
+		}
+		typ, right, cells := decodePage(pg)
+		if typ == pgLeaf {
+			break
+		}
+		i := search(cells, start)
+		if i < len(cells) {
+			no = cells[i].child
+		} else {
+			no = right
+		}
+	}
+	// Walk the leaf chain.
+	for no != 0 {
+		pg, err := t.pg.page(th, no)
+		if err != nil {
+			return err
+		}
+		_, right, cells := decodePage(pg)
+		for i := search(cells, start); i < len(cells); i++ {
+			th.CPU(perfmodel.CPUSmallOp)
+			if !fn(cells[i].key, cells[i].val) {
+				return nil
+			}
+		}
+		no = right
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"zofs/internal/proc"
+	"zofs/internal/simclock"
+	"zofs/internal/vfs"
+)
+
+// DB is an open database: a pager, a catalog B-tree mapping table names to
+// root pages, and cached table handles. Writers serialize on a database
+// lock, as SQLite serializes on its file lock.
+type DB struct {
+	p       *pager
+	lock    simclock.Mutex
+	catalog *btree
+	tables  map[string]*btree
+}
+
+// Open opens (creating if needed) a database file.
+func Open(fs vfs.FileSystem, th *proc.Thread, path string) (*DB, error) {
+	p, err := openPager(fs, th, path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{p: p, tables: map[string]*btree{}}
+	catRoot, err := p.loadHeader(th)
+	if err != nil {
+		return nil, err
+	}
+	if catRoot == 0 {
+		// Fresh database: initialize the catalog within a transaction.
+		if err := p.begin(th); err != nil {
+			return nil, err
+		}
+		cat, err := newBtree(th, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.storeHeader(th, cat.root); err != nil {
+			return nil, err
+		}
+		if err := p.commit(th); err != nil {
+			return nil, err
+		}
+		db.catalog = cat
+	} else {
+		db.catalog = &btree{pg: p, root: catRoot}
+	}
+	return db, nil
+}
+
+// Close rolls back any open transaction and releases the file.
+func (db *DB) Close(th *proc.Thread) error { return db.p.close(th) }
+
+// Tx is an open transaction. All mutations go through a Tx; the journal
+// guarantees all-or-nothing visibility across crashes.
+type Tx struct {
+	db   *DB
+	th   *proc.Thread
+	done bool
+}
+
+// Begin starts a transaction, taking the database write lock.
+func (db *DB) Begin(th *proc.Thread) (*Tx, error) {
+	db.lock.Lock(th.Clk)
+	if err := db.p.begin(th); err != nil {
+		db.lock.Unlock(th.Clk)
+		return nil, err
+	}
+	return &Tx{db: db, th: th}, nil
+}
+
+// Commit makes the transaction durable.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return errors.New("sqldb: transaction finished")
+	}
+	tx.done = true
+	err := tx.db.p.commit(tx.th)
+	tx.db.lock.Unlock(tx.th.Clk)
+	return err
+}
+
+// Rollback undoes the transaction; cached table handles are invalidated
+// because their roots may have been rolled back.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	err := tx.db.p.rollback(tx.th)
+	tx.db.tables = map[string]*btree{}
+	catRoot, herr := tx.db.p.loadHeader(tx.th)
+	if herr == nil {
+		tx.db.catalog = &btree{pg: tx.db.p, root: catRoot}
+	}
+	tx.db.lock.Unlock(tx.th.Clk)
+	if err != nil {
+		return err
+	}
+	return herr
+}
+
+// table fetches (or, inside a transaction, creates) a table handle.
+func (db *DB) table(th *proc.Thread, name string, create bool) (*btree, error) {
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	v, err := db.catalog.Get(th, name)
+	if err == nil {
+		t := &btree{pg: db.p, root: int64(binary.LittleEndian.Uint64(v))}
+		db.tables[name] = t
+		return t, nil
+	}
+	if !errors.Is(err, ErrNotFound) || !create {
+		return nil, err
+	}
+	t, err := newBtree(th, db.p)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.setTableRoot(th, name, t.root); err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// setTableRoot records a table's root page in the catalog, following the
+// catalog's own root if it splits.
+func (db *DB) setTableRoot(th *proc.Thread, name string, root int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(root))
+	oldCat := db.catalog.root
+	if err := db.catalog.Put(th, name, buf[:]); err != nil {
+		return err
+	}
+	if db.catalog.root != oldCat {
+		return db.p.storeHeader(th, db.catalog.root)
+	}
+	return nil
+}
+
+// CreateTable ensures a table exists.
+func (tx *Tx) CreateTable(name string) error {
+	_, err := tx.db.table(tx.th, name, true)
+	return err
+}
+
+// Put inserts or replaces a row.
+func (tx *Tx) Put(table, key string, val []byte) error {
+	t, err := tx.db.table(tx.th, table, true)
+	if err != nil {
+		return err
+	}
+	old := t.root
+	if err := t.Put(tx.th, key, val); err != nil {
+		return err
+	}
+	if t.root != old {
+		return tx.db.setTableRoot(tx.th, table, t.root)
+	}
+	return nil
+}
+
+// Get reads a row inside the transaction.
+func (tx *Tx) Get(table, key string) ([]byte, error) {
+	t, err := tx.db.table(tx.th, table, false)
+	if err != nil {
+		return nil, err
+	}
+	return t.Get(tx.th, key)
+}
+
+// Delete removes a row.
+func (tx *Tx) Delete(table, key string) error {
+	t, err := tx.db.table(tx.th, table, false)
+	if err != nil {
+		return err
+	}
+	return t.Delete(tx.th, key)
+}
+
+// Scan iterates rows with key >= start until fn returns false.
+func (tx *Tx) Scan(table, start string, fn func(key string, val []byte) bool) error {
+	t, err := tx.db.table(tx.th, table, false)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	return t.Scan(tx.th, start, fn)
+}
+
+// Get performs a read-only lookup outside any transaction.
+func (db *DB) Get(th *proc.Thread, table, key string) ([]byte, error) {
+	db.lock.Lock(th.Clk)
+	defer db.lock.Unlock(th.Clk)
+	t, err := db.table(th, table, false)
+	if err != nil {
+		return nil, err
+	}
+	return t.Get(th, key)
+}
+
+// Scan performs a read-only range scan outside any transaction.
+func (db *DB) Scan(th *proc.Thread, table, start string, fn func(key string, val []byte) bool) error {
+	db.lock.Lock(th.Clk)
+	defer db.lock.Unlock(th.Clk)
+	t, err := db.table(th, table, false)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	return t.Scan(th, start, fn)
+}
+
+var _ = fmt.Errorf

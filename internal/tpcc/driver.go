@@ -1,0 +1,127 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"zofs/internal/proc"
+	"zofs/internal/sqldb"
+	"zofs/internal/vfs"
+)
+
+// TxType names a TPC-C transaction.
+type TxType string
+
+const (
+	NEW TxType = "NEW"
+	PAY TxType = "PAY"
+	OS  TxType = "OS"
+	DLY TxType = "DLY"
+	SL  TxType = "SL"
+)
+
+// Mix is the paper's transaction mix (Table 8): 44/44/4/4/4.
+var Mix = map[TxType]int{NEW: 44, PAY: 44, OS: 4, DLY: 4, SL: 4}
+
+// MixOrder lists types in Table 8 order.
+var MixOrder = []TxType{NEW, PAY, OS, DLY, SL}
+
+// Result is one Figure 11 bar.
+type Result struct {
+	Workload  string // "mixed", "NEW", "OS", "PAY"
+	Tx        int64
+	VirtualNS int64
+	TxPerSec  float64
+}
+
+// Exec runs one transaction of the given type.
+func (cl *Client) Exec(th *proc.Thread, t TxType) error {
+	var err error
+	switch t {
+	case NEW:
+		err = cl.NewOrder(th)
+	case PAY:
+		err = cl.Payment(th)
+	case OS:
+		err = cl.OrderStatus(th)
+	case DLY:
+		err = cl.Delivery(th)
+	case SL:
+		err = cl.StockLevel(th)
+	default:
+		return fmt.Errorf("tpcc: unknown tx type %q", t)
+	}
+	if errors.Is(err, ErrAborted) {
+		return nil // the 1% rollback still counts as an executed tx
+	}
+	return err
+}
+
+// deck builds a shuffled deck realizing the mix exactly.
+func deck(rng *rand.Rand, n int) []TxType {
+	var d []TxType
+	for len(d) < n {
+		for _, t := range MixOrder {
+			for i := 0; i < Mix[t]; i++ {
+				d = append(d, t)
+			}
+		}
+	}
+	rng.Shuffle(len(d), func(i, j int) { d[i], d[j] = d[j], d[i] })
+	return d[:n]
+}
+
+// Setup opens (creating + loading) a TPC-C database on a file system.
+func Setup(fs vfs.FileSystem, th *proc.Thread, cfg Config) (*sqldb.DB, error) {
+	db, err := sqldb.Open(fs, th, "/tpcc.db")
+	if err != nil {
+		return nil, err
+	}
+	if err := Load(db, th, cfg); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// RunWorkload executes n transactions of the paper's four workloads:
+// "mixed" (the Table 8 mix) or a single type ("NEW", "OS", "PAY").
+// It runs a single client thread, as the paper does ("We run each workload
+// with a single thread that hosts 1 warehouse and 10 districts").
+func RunWorkload(db *sqldb.DB, p *proc.Process, cfg Config, workload string, n int) (Result, error) {
+	th := p.NewThread()
+	cl := NewClient(db, cfg, 12345)
+
+	var seq []TxType
+	if workload == "mixed" {
+		seq = deck(cl.rng, n)
+	} else {
+		t := TxType(workload)
+		if _, ok := Mix[t]; !ok {
+			return Result{}, fmt.Errorf("tpcc: unknown workload %q", workload)
+		}
+		seq = make([]TxType, n)
+		for i := range seq {
+			seq[i] = t
+		}
+	}
+	// Warm the working set so the measurement window reflects steady state
+	// (and so OS/DLY/SL have orders to act on).
+	for i := 0; i < 50; i++ {
+		if err := cl.Exec(th, NEW); err != nil {
+			return Result{}, fmt.Errorf("tpcc warmup: %w", err)
+		}
+	}
+	start := th.Clk.Now()
+	for i, t := range seq {
+		if err := cl.Exec(th, t); err != nil {
+			return Result{}, fmt.Errorf("tpcc %s #%d: %w", t, i, err)
+		}
+	}
+	elapsed := th.Clk.Now() - start
+	r := Result{Workload: workload, Tx: int64(n), VirtualNS: elapsed}
+	if elapsed > 0 {
+		r.TxPerSec = float64(n) / (float64(elapsed) / 1e9)
+	}
+	return r, nil
+}

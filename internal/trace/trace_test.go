@@ -1,0 +1,87 @@
+package trace_test
+
+import (
+	"testing"
+
+	"zofs/internal/trace"
+)
+
+func TestGroupingSingleUniformTree(t *testing.T) {
+	// A tree where every node shares one permission is exactly one group.
+	root := &trace.Node{Name: "/", Type: 'd', Perm: 0o755, UID: 1, GID: 1}
+	cur := root
+	for i := 0; i < 10; i++ {
+		n := &trace.Node{Name: "d", Type: 'd', Perm: 0o644 | 0o111, UID: 1, GID: 1, Size: 100}
+		cur.Children = append(cur.Children, n)
+		cur = n
+	}
+	groups := trace.GroupByPermission(root)
+	if len(groups) != 1 {
+		t.Fatalf("uniform tree produced %d groups (execution bits must be ignored)", len(groups))
+	}
+	if groups[0].Files != 11 {
+		t.Fatalf("group holds %d files", groups[0].Files)
+	}
+}
+
+func TestGroupingSplitsOnPermChange(t *testing.T) {
+	root := &trace.Node{Name: "/", Type: 'd', Perm: 0o755, UID: 1, GID: 1}
+	same := &trace.Node{Name: "a", Type: 'f', Perm: 0o644, UID: 1, GID: 1}
+	diffPerm := &trace.Node{Name: "b", Type: 'f', Perm: 0o600, UID: 1, GID: 1}
+	diffOwner := &trace.Node{Name: "c", Type: 'f', Perm: 0o644, UID: 2, GID: 2}
+	root.Children = []*trace.Node{same, diffPerm, diffOwner}
+	groups := trace.GroupByPermission(root)
+	if len(groups) != 3 {
+		t.Fatalf("expected 3 groups (root+a, b, c), got %d", len(groups))
+	}
+}
+
+func TestFSLHomesMarginals(t *testing.T) {
+	root := trace.GenerateFSLHomes(0.05, 42)
+	reg, sym, dir, _ := trace.Count(root)
+	total := reg + sym + dir
+	// 5% scale of 726,751 ≈ 36k; tolerate generator rounding.
+	if total < 20000 || total > 60000 {
+		t.Fatalf("scaled tree has %d files", total)
+	}
+	groups := trace.GroupByPermission(root)
+	stats := trace.Summarize(groups)
+	if len(stats) < 6 {
+		t.Fatalf("only %d permission classes present", len(stats))
+	}
+	// 644 dominates, as in the snapshot.
+	if stats[0].Perm != 0o644 {
+		t.Fatalf("dominant class = %o, want 644", stats[0].Perm)
+	}
+	// Grouping must be non-trivial: far fewer groups than files.
+	if len(groups) >= total/3 {
+		t.Fatalf("%d groups for %d files — grouping ineffective", len(groups), total)
+	}
+}
+
+func TestAppTreesMatchTable3(t *testing.T) {
+	for _, app := range trace.GenerateAppTrees(7) {
+		rows := trace.Survey(app)
+		if len(rows) < 2 {
+			t.Fatalf("%s: %d rows", app.System, len(rows))
+		}
+		// Permissions are concentrated: the top row holds most files.
+		total := 0
+		for _, r := range rows {
+			total += r.Files
+		}
+		if rows[0].Files*100/total < 80 {
+			t.Fatalf("%s: top class only %d/%d files", app.System, rows[0].Files, total)
+		}
+	}
+}
+
+func TestMobiGenSummaries(t *testing.T) {
+	stats := trace.MobiGen()
+	if len(stats) != 2 {
+		t.Fatal("want 2 traces")
+	}
+	if stats[0].Chmods != 0 || stats[1].Chmods != 16 {
+		t.Fatalf("chmod counts = %d/%d", stats[0].Chmods, stats[1].Chmods)
+	}
+}

@@ -1,0 +1,200 @@
+// Package vfs defines the file system interface implemented by every file
+// system in this repository — ZoFS and the four baselines (Ext4-DAX, PMFS,
+// NOVA, Strata) — so that the benchmark workloads (FxMark, Filebench,
+// db_bench, TPC-C) and the FSLibs dispatcher can drive any of them
+// interchangeably.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+
+	"zofs/internal/coffer"
+	"zofs/internal/proc"
+)
+
+// Open flags (a subset of POSIX).
+const (
+	O_RDONLY = 0x0
+	O_WRONLY = 0x1
+	O_RDWR   = 0x2
+	O_ACCESS = 0x3 // mask for the access mode
+	O_CREATE = 0x40
+	O_EXCL   = 0x80
+	O_TRUNC  = 0x200
+	O_APPEND = 0x400
+)
+
+// FileType distinguishes inode types.
+type FileType uint8
+
+const (
+	TypeRegular FileType = iota + 1
+	TypeDir
+	TypeSymlink
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return "?"
+	}
+}
+
+// FileInfo is the stat result.
+type FileInfo struct {
+	Type   FileType
+	Mode   coffer.Mode
+	UID    uint32
+	GID    uint32
+	Size   int64
+	Nlink  uint32
+	Mtime  int64 // virtual ns
+	Inode  int64 // implementation-defined inode identifier
+	Coffer coffer.ID
+}
+
+// DirEntry is one readdir result.
+type DirEntry struct {
+	Name   string
+	Type   FileType
+	Inode  int64
+	Coffer coffer.ID
+}
+
+// Error sentinels (errno analogues).
+var (
+	ErrNotExist    = errors.New("vfs: no such file or directory")
+	ErrExist       = errors.New("vfs: file exists")
+	ErrIsDir       = errors.New("vfs: is a directory")
+	ErrNotDir      = errors.New("vfs: not a directory")
+	ErrNotEmpty    = errors.New("vfs: directory not empty")
+	ErrPerm        = errors.New("vfs: permission denied")
+	ErrNoSpace     = errors.New("vfs: no space left on device")
+	ErrNameTooLong = errors.New("vfs: file name too long")
+	ErrInvalid     = errors.New("vfs: invalid argument")
+	ErrBadFD       = errors.New("vfs: bad file descriptor")
+	ErrCorrupted   = errors.New("vfs: file system structure corrupted")
+	ErrIO          = errors.New("vfs: input/output error")
+	ErrCrossDevice = errors.New("vfs: cross-device link")
+)
+
+// SymlinkError is returned when a path walk expands a symbolic link: the
+// µFS reports the rewritten path to the dispatcher, which re-dispatches the
+// request (§4.2 "whenever one symlink is expanded in a µFS, the new path
+// will be returned to the dispatcher").
+type SymlinkError struct {
+	// Path is the remaining path after expanding the link.
+	Path string
+}
+
+func (e *SymlinkError) Error() string { return fmt.Sprintf("vfs: symlink expansion to %q", e.Path) }
+
+// Handle is an open file.
+type Handle interface {
+	// ReadAt reads len(p) bytes from offset off, returning short counts at
+	// end of file.
+	ReadAt(th *proc.Thread, p []byte, off int64) (int, error)
+	// WriteAt writes p at offset off, extending the file as needed.
+	WriteAt(th *proc.Thread, p []byte, off int64) (int, error)
+	// Append atomically appends p at the end of file, returning the offset
+	// at which it landed.
+	Append(th *proc.Thread, p []byte) (int64, error)
+	// Stat returns current metadata.
+	Stat(th *proc.Thread) (FileInfo, error)
+	// Sync persists pending data (a no-op for the synchronous FSs).
+	Sync(th *proc.Thread) error
+	// Close releases the handle.
+	Close(th *proc.Thread) error
+}
+
+// FileSystem is the interface every file system implements. Paths are
+// absolute, slash-separated, already cleaned by the dispatcher.
+type FileSystem interface {
+	Name() string
+
+	Create(th *proc.Thread, path string, mode coffer.Mode) (Handle, error)
+	Open(th *proc.Thread, path string, flags int) (Handle, error)
+	Mkdir(th *proc.Thread, path string, mode coffer.Mode) error
+	Unlink(th *proc.Thread, path string) error
+	Rmdir(th *proc.Thread, path string) error
+	Rename(th *proc.Thread, oldPath, newPath string) error
+	Stat(th *proc.Thread, path string) (FileInfo, error)
+	Chmod(th *proc.Thread, path string, mode coffer.Mode) error
+	Chown(th *proc.Thread, path string, uid, gid uint32) error
+	Symlink(th *proc.Thread, target, link string) error
+	Readlink(th *proc.Thread, path string) (string, error)
+	ReadDir(th *proc.Thread, path string) ([]DirEntry, error)
+	Truncate(th *proc.Thread, path string, size int64) error
+}
+
+// SplitPath returns the parent directory and base name of a cleaned
+// absolute path ("/a/b/c" -> "/a/b", "c"; "/x" -> "/", "x").
+func SplitPath(p string) (dir, base string) {
+	if p == "/" || p == "" {
+		return "/", ""
+	}
+	i := len(p) - 1
+	for i >= 0 && p[i] != '/' {
+		i--
+	}
+	if i <= 0 {
+		return "/", p[i+1:]
+	}
+	return p[:i], p[i+1:]
+}
+
+// Clean lexically normalizes a path: collapses "//", resolves "." and
+// "..". Absolute paths stay absolute.
+func Clean(p string) string {
+	abs := len(p) > 0 && p[0] == '/'
+	var out []string
+	start := 0
+	flush := func(c string) {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(out) > 0 && out[len(out)-1] != ".." {
+				out = out[:len(out)-1]
+			} else if !abs {
+				out = append(out, "..")
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			flush(p[start:i])
+			start = i + 1
+		}
+	}
+	s := ""
+	for i, c := range out {
+		if i > 0 {
+			s += "/"
+		}
+		s += c
+	}
+	if abs {
+		return "/" + s
+	}
+	if s == "" {
+		return "."
+	}
+	return s
+}
+
+// Join concatenates a directory and a name.
+func Join(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}

@@ -1,0 +1,86 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct{ in, dir, base string }{
+		{"/", "/", ""},
+		{"", "/", ""},
+		{"/a", "/", "a"},
+		{"/a/b", "/a", "b"},
+		{"/a/b/c.txt", "/a/b", "c.txt"},
+	}
+	for _, c := range cases {
+		d, b := SplitPath(c.in)
+		if d != c.dir || b != c.base {
+			t.Errorf("SplitPath(%q) = %q,%q want %q,%q", c.in, d, b, c.dir, c.base)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if Join("/", "x") != "/x" || Join("/a", "b") != "/a/b" {
+		t.Fatal("Join broken")
+	}
+}
+
+func TestClean(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/", "/"},
+		{"//a//b/", "/a/b"},
+		{"/a/./b", "/a/b"},
+		{"/a/../b", "/b"},
+		{"/../a", "/a"},
+		{"/a/b/../../c", "/c"},
+		{"a/../b", "b"},
+		{"../x", "../x"},
+		{".", "."},
+		{"a/..", "."},
+	}
+	for _, c := range cases {
+		if got := Clean(c.in); got != c.want {
+			t.Errorf("Clean(%q) = %q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: Clean is idempotent and Join/SplitPath invert on clean paths.
+func TestPathProperty(t *testing.T) {
+	f := func(parts []uint8) bool {
+		segs := make([]string, 0, len(parts))
+		for _, p := range parts {
+			segs = append(segs, string(rune('a'+p%26)))
+		}
+		p := "/" + strings.Join(segs, "/")
+		cp := Clean(p)
+		if Clean(cp) != cp {
+			return false
+		}
+		if len(segs) == 0 {
+			return cp == "/"
+		}
+		dir, base := SplitPath(cp)
+		return Join(dir, base) == cp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileTypeString(t *testing.T) {
+	if TypeRegular.String() != "file" || TypeDir.String() != "dir" ||
+		TypeSymlink.String() != "symlink" || FileType(99).String() != "?" {
+		t.Fatal("FileType.String broken")
+	}
+}
+
+func TestSymlinkErrorMessage(t *testing.T) {
+	e := &SymlinkError{Path: "/t"}
+	if !strings.Contains(e.Error(), "/t") {
+		t.Fatal("SymlinkError message")
+	}
+}

@@ -1,0 +1,248 @@
+package zofs
+
+import (
+	"fmt"
+	"sync"
+
+	"zofs/internal/coffer"
+	"zofs/internal/perfmodel"
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+)
+
+// Leased per-thread allocator (paper §5.2, Figure 6).
+//
+// The coffer's custom page holds a shared pool of leased free-list
+// structures {TID, lease, head, count}. A thread wanting pages first checks
+// its cached slot; if the lease is valid it renews and allocates from its
+// own free list (no cross-thread contention). Otherwise it claims a free or
+// lease-expired slot from the pool. When a free list runs dry the thread
+// requests a batch from KernFS via coffer_enlarge; freed pages are pushed
+// back to the caller's own list. Free pages are chained through their first
+// 8 bytes.
+//
+// Two classes exist per thread: metadata pages (kernel-zeroed grants, small
+// batch) and data pages (unzeroed grants, large batch).
+
+func slotOffset(custom int64, idx int32) int64 {
+	return custom*pageSize + poolOff + int64(idx)*slotSize
+}
+
+// threadSlotsFor returns (creating if needed) the calling thread's slot
+// cache for a mount.
+func (m *mount) threadSlotsFor(tid int) *threadSlots {
+	m.slotMu.Lock()
+	defer m.slotMu.Unlock()
+	ts := m.slots[tid]
+	if ts == nil {
+		ts = &threadSlots{slot: [2]int32{-1, -1}}
+		m.slots[tid] = ts
+	}
+	return ts
+}
+
+// initPoolIfNeeded lazily formats the custom page's pool (idempotent; the
+// first claimer wins the magic CAS).
+func (f *FS) initPoolIfNeeded(th *proc.Thread, m *mount) {
+	if th.Load64(m.custom*pageSize+customMagicOff) == customMagic {
+		return
+	}
+	th.CAS64(m.custom*pageSize+customMagicOff, 0, customMagic)
+}
+
+// claimSlot finds a pool slot for the calling thread and allocation class:
+// first its own previous slot of that class (the volatile cache may have
+// been dropped by an unmap/remap cycle, but the lease still names this
+// thread), then any free or expired slot. The class is recorded in the
+// slot's TID field so meta and data free lists can never cross.
+func (f *FS) claimSlot(th *proc.Thread, m *mount, class int) (int32, error) {
+	f.initPoolIfNeeded(th, m)
+	now := th.Clk.Now()
+	myTID := th.TID & 0xffff
+	for idx := int32(0); idx < poolSlots; idx++ {
+		off := slotOffset(m.custom, idx)
+		lease := th.Load64(off + slotLeaseOff)
+		tid, expiry := unpackLease(lease)
+		if lease == 0 || tid != myTID || expiry <= now {
+			continue
+		}
+		if int(th.Load64(off+slotTIDOff)>>32) != class {
+			continue
+		}
+		// Our own still-valid lease of the right class: renew and reuse.
+		th.Store64(off+slotLeaseOff, leaseWord(th.TID, now+leaseDuration))
+		return idx, nil
+	}
+	for idx := int32(0); idx < poolSlots; idx++ {
+		off := slotOffset(m.custom, idx)
+		lease := th.Load64(off + slotLeaseOff)
+		_, expiry := unpackLease(lease)
+		if lease != 0 && expiry > now {
+			continue
+		}
+		if th.CAS64(off+slotLeaseOff, lease, leaseWord(th.TID, now+leaseDuration)) {
+			th.Store64(off+slotTIDOff, uint64(th.TID)|uint64(class)<<32)
+			return idx, nil
+		}
+	}
+	if debugPool {
+		println("claimSlot exhausted: coffer", m.id, "now", now)
+		for idx := int32(0); idx < 8; idx++ {
+			w := th.Load64(slotOffset(m.custom, idx) + slotLeaseOff)
+			tid, exp := unpackLease(w)
+			println("  slot", idx, "tid", tid, "expiry", exp)
+		}
+	}
+	return -1, vfs.ErrNoSpace
+}
+
+// debugPool enables claimSlot diagnostics in tests.
+var debugPool = false
+
+// SetDebugPool toggles allocator pool diagnostics (tests only).
+func SetDebugPool(v bool) { debugPool = v }
+
+// debugFree tracks page states (1=on a free list, 2=live) to catch double
+// grants and double frees in tests.
+var debugFree sync.Map // page -> int
+
+// slotFor returns the thread's claimed slot for a class, claiming or
+// re-validating the lease as needed, along with the cached free-list head.
+func (f *FS) slotFor(th *proc.Thread, m *mount, class int) (*threadSlots, int64, error) {
+	th.CPU(perfmodel.CPULockAcquire) // clock_gettime for the lease check
+	ts := m.threadSlotsFor(th.TID)
+	if ts.slot[class] >= 0 {
+		off := slotOffset(m.custom, ts.slot[class])
+		lease := th.Load64Cached(off + slotLeaseOff)
+		tid, expiry := unpackLease(lease)
+		if tid == th.TID&0xffff && expiry > th.Clk.Now() {
+			// Renew lazily: a persistent lease write per allocation would
+			// dominate the hot path; half the lease window is plenty.
+			if expiry-th.Clk.Now() < leaseDuration/2 {
+				th.Store64(off+slotLeaseOff, leaseWord(th.TID, th.Clk.Now()+leaseDuration))
+			}
+			return ts, slotOffset(m.custom, ts.slot[class]), nil
+		}
+		// Lease lost (expired and stolen): drop the cache.
+		ts.slot[class] = -1
+		ts.head[class] = 0
+	}
+	idx, err := f.claimSlot(th, m, class)
+	if err != nil {
+		return nil, 0, err
+	}
+	ts.slot[class] = idx
+	off := slotOffset(m.custom, idx)
+	ts.head[class] = int64(th.Load64(off + slotHeadOff))
+	return ts, off, nil
+}
+
+// allocPage takes one page from the thread's free list, enlarging the
+// coffer when the list is dry. Metadata pages come back zeroed.
+func (f *FS) allocPage(th *proc.Thread, m *mount, class int) (int64, error) {
+	ts, slotOff, err := f.slotFor(th, m, class)
+	if err != nil {
+		return 0, err
+	}
+	if ts.head[class] == 0 {
+		batch := f.opts.MetaEnlargeBatch
+		zero := true
+		if class == classData {
+			batch, zero = f.opts.DataEnlargeBatch, false
+		}
+		exts, err := f.kern.CofferEnlarge(th, m.id, batch, zero)
+		if err != nil {
+			return 0, errno(err)
+		}
+		f.pushExtents(th, ts, slotOff, class, exts)
+	}
+	page := ts.head[class]
+	if debugPool {
+		debugFree.Store(page, 2)
+	}
+	// The thread itself chained these next pointers when the batch was
+	// granted, so the line is cache-warm.
+	next := int64(th.Load64Cached(page * pageSize))
+	th.Store64(slotOff+slotHeadOff, uint64(next))
+	ts.head[class] = next
+	if class == classMeta {
+		// The kernel zeroed the grant, but the free-list next pointer we
+		// just consumed must be cleared before the page is used as
+		// metadata.
+		th.Store64(page*pageSize, 0)
+	}
+	return page, nil
+}
+
+// pushExtents chains freshly granted extents onto the thread's free list.
+// The next-pointer stores are independent 8-byte ntstores with one trailing
+// fence, so the device pipelines them: charge one latency plus bandwidth
+// for the batch rather than a fence per pointer.
+func (f *FS) pushExtents(th *proc.Thread, ts *threadSlots, slotOff int64, class int, exts []coffer.Extent) {
+	head := ts.head[class]
+	var n int64
+	for _, e := range exts {
+		for pg := e.End() - 1; pg >= e.Start; pg-- {
+			if debugPool {
+				// Kernel grants may legitimately recycle pages reclaimed
+				// wholesale by coffer_delete; reset their tracked state.
+				debugFree.Store(pg, 1)
+			}
+			f.chainStore(th, pg*pageSize, uint64(head))
+			head = pg
+			n++
+		}
+	}
+	th.CPU(perfmodel.NVMWriteLatency + n*perfmodel.CPUSmallOp)
+	th.Fence()
+	th.Store64(slotOff+slotHeadOff, uint64(head))
+	ts.head[class] = head
+}
+
+// chainStore performs a checked 8-byte store whose media cost is accounted
+// in bulk by the caller.
+func (f *FS) chainStore(th *proc.Thread, off int64, v uint64) {
+	th.CheckAccess(off, 8, true)
+	f.kern.Device().Store64(nil, off, v)
+}
+
+// freePage returns a page to the thread's free list. Metadata pages are
+// scrubbed on free so the metadata list invariant — pages arrive zeroed —
+// holds for recycled pages exactly as for fresh kernel grants.
+func (f *FS) freePage(th *proc.Thread, m *mount, class int, page int64) {
+	ts, slotOff, err := f.slotFor(th, m, class)
+	if err != nil {
+		// Pool exhausted: leak the page; recovery reclaims it (§5.3).
+		return
+	}
+	if debugPool {
+		if st, _ := debugFree.Load(page); st == 1 {
+			panic(fmt.Sprintf("zofs: double free of page %d (class %d)", page, class))
+		}
+		debugFree.Store(page, 1)
+	}
+	if class == classMeta {
+		th.Zero(page*pageSize, pageSize)
+	}
+	th.Store64(page*pageSize, uint64(ts.head[class]))
+	th.Store64(slotOff+slotHeadOff, uint64(page))
+	ts.head[class] = page
+}
+
+// freeListPages walks every pool slot's chain and reports the pages held in
+// free lists (used by recovery to keep them out of the kernel reclaim, or
+// to drop them deliberately).
+func (f *FS) freeListPages(th *proc.Thread, m *mount) []int64 {
+	var out []int64
+	if th.Load64(m.custom*pageSize+customMagicOff) != customMagic {
+		return nil
+	}
+	for idx := int32(0); idx < poolSlots; idx++ {
+		off := slotOffset(m.custom, idx)
+		for pg := int64(th.Load64(off + slotHeadOff)); pg != 0; {
+			out = append(out, pg)
+			pg = int64(th.Load64(pg * pageSize))
+		}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package zofs
+
+import (
+	"zofs/internal/perfmodel"
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+)
+
+// Directory implementation: adaptive two-level hash tables (paper §5.1).
+// The directory inode points to a first-level page of 512 pointers; each
+// second-level page holds 16 inline dentries (first half) and 256 hash
+// buckets (second half), each bucket heading a chain of dentry pages. New
+// dentries prefer the inline area; pages are allocated on demand.
+
+// dentry is the decoded view of an on-NVM directory entry.
+type dentry struct {
+	state    uint8
+	typ      uint8 // vfs.FileType
+	hash     uint32
+	cofferID uint32
+	inode    int64
+	name     string
+}
+
+// deLoc locates a dentry on NVM.
+type deLoc struct {
+	page int64 // page number
+	off  int64 // byte offset within the page
+}
+
+func (l deLoc) addr() int64 { return l.page*pageSize + l.off }
+
+// decodeDentry parses a 128-byte dentry image.
+func decodeDentry(b []byte) dentry {
+	state, nameLen, typ, hash := unpackCommit(u64at(b, deCommitOff))
+	d := dentry{state: state, typ: typ, hash: hash}
+	if state == deStateLive && nameLen > 0 && nameLen <= MaxNameLen {
+		d.cofferID = u32at(b, deCofferOff)
+		d.inode = int64(u64at(b, deInodeOff))
+		d.name = string(b[deNameOff : deNameOff+nameLen])
+	}
+	return d
+}
+
+// scanDentries scans a buffer of consecutive dentries, calling fn for each
+// live entry; fn returns false to stop. Returns the stop offset or -1.
+func scanDentries(buf []byte, baseOff int64, fn func(d dentry, off int64) bool) bool {
+	for o := int64(0); o+dentrySize <= int64(len(buf)); o += dentrySize {
+		d := decodeDentry(buf[o : o+dentrySize])
+		if d.state != deStateLive {
+			continue
+		}
+		if !fn(d, baseOff+o) {
+			return false
+		}
+	}
+	return true
+}
+
+// dirL1Of reads the directory's first-level page pointer (hot word).
+func (f *FS) dirL1Of(th *proc.Thread, dirIno int64) int64 {
+	return int64(th.Load64Cached(dirIno*pageSize + inoDirL1Off))
+}
+
+// dirLookup finds a name in a directory. Caller holds at least a read lock.
+func (f *FS) dirLookup(th *proc.Thread, dirIno int64, name string) (dentry, deLoc, error) {
+	h := nameHash(name)
+	th.CPU(perfmodel.CPUHashLookup)
+	l1 := f.dirL1Of(th, dirIno)
+	if l1 == 0 {
+		return dentry{}, deLoc{}, vfs.ErrNotExist
+	}
+	l2 := int64(th.Load64Cached(l1*pageSize + 8*l1Index(h)))
+	if l2 == 0 {
+		return dentry{}, deLoc{}, vfs.ErrNotExist
+	}
+	// Inline area: hot directories keep their second-level pages in the
+	// CPU cache, like a kernel dcache keeps dentries in DRAM.
+	inline := make([]byte, l2BucketOff)
+	th.ReadCached(l2*pageSize, inline)
+	want := checkHash(h)
+	var found dentry
+	var loc deLoc
+	ok := false
+	scanDentries(inline, 0, func(d dentry, off int64) bool {
+		if d.hash == want && d.name == name {
+			found, loc, ok = d, deLoc{page: l2, off: off}, true
+			return false
+		}
+		return true
+	})
+	if ok {
+		return found, loc, nil
+	}
+	// Bucket chain.
+	pg := int64(th.Load64(l2*pageSize + l2BucketOff + 8*l2Bucket(h)))
+	page := make([]byte, pageSize)
+	for pg != 0 {
+		th.Read(pg*pageSize, page)
+		next := int64(u64at(page, chainNextOff))
+		scanDentries(page[chainFirstDe:], chainFirstDe, func(d dentry, off int64) bool {
+			if d.hash == want && d.name == name {
+				found, loc, ok = d, deLoc{page: pg, off: off}, true
+				return false
+			}
+			return true
+		})
+		if ok {
+			return found, loc, nil
+		}
+		pg = next
+	}
+	return dentry{}, deLoc{}, vfs.ErrNotExist
+}
+
+// writeDentry writes a dentry body then atomically publishes its commit
+// word (§5.3's ordered update).
+func (f *FS) writeDentry(th *proc.Thread, loc deLoc, name string, typ uint8, cofferID uint32, inode int64) {
+	body := make([]byte, dentrySize-8)
+	putU32(body, deCofferOff-8, cofferID)
+	putU64(body, deInodeOff-8, uint64(inode))
+	copy(body[deNameOff-8:], name)
+	th.WriteNT(loc.addr()+8, body)
+	th.Fence()
+	th.Store64(loc.addr(), dentryCommit(deStateLive, len(name), typ, checkHash(nameHash(name))))
+}
+
+// dirInsert adds a dentry. Caller holds the directory write lock and has
+// verified the name does not exist. Allocates L1/L2/chain pages on demand.
+func (f *FS) dirInsert(th *proc.Thread, m *mount, dirIno int64, name string, typ uint8, cofferID uint32, inode int64) error {
+	if len(name) > MaxNameLen {
+		return vfs.ErrNameTooLong
+	}
+	h := nameHash(name)
+	th.CPU(perfmodel.CPUHashLookup)
+	l1 := f.dirL1Of(th, dirIno)
+	if l1 == 0 {
+		// Install the first-level page with a CAS: mutations in different
+		// buckets race here (bucket locks do not serialize this install).
+		pg, err := f.allocPage(th, m, classMeta)
+		if err != nil {
+			return err
+		}
+		if th.CAS64(dirIno*pageSize+inoDirL1Off, 0, uint64(pg)) {
+			l1 = pg
+		} else {
+			f.freePage(th, m, classMeta, pg)
+			l1 = f.dirL1Of(th, dirIno)
+		}
+	}
+	l1Slot := l1*pageSize + 8*l1Index(h)
+	l2 := int64(th.Load64(l1Slot))
+	if l2 == 0 {
+		pg, err := f.allocPage(th, m, classMeta)
+		if err != nil {
+			return err
+		}
+		th.Store64(l1Slot, uint64(pg))
+		l2 = pg
+	}
+	// Try the inline area first (§5.1: "ZoFS tries to put new dentries in
+	// the second-level page first"). Hot directories keep this page in the
+	// CPU cache, like dirLookup.
+	inline := make([]byte, l2BucketOff)
+	th.ReadCached(l2*pageSize, inline)
+	for o := int64(0); o < l2BucketOff; o += dentrySize {
+		if state, _, _, _ := unpackCommit(u64at(inline, int(o))); state != deStateLive {
+			f.writeDentry(th, deLoc{page: l2, off: o}, name, typ, cofferID, inode)
+			return nil
+		}
+	}
+	// Walk the bucket chain for a free slot.
+	bucketAddr := l2*pageSize + l2BucketOff + 8*l2Bucket(h)
+	head := int64(th.Load64(bucketAddr))
+	page := make([]byte, pageSize)
+	for pg := head; pg != 0; {
+		th.Read(pg*pageSize, page)
+		next := int64(u64at(page, chainNextOff))
+		for o := int64(chainFirstDe); o+dentrySize <= pageSize; o += dentrySize {
+			if state, _, _, _ := unpackCommit(u64at(page, int(o))); state != deStateLive {
+				f.writeDentry(th, deLoc{page: pg, off: o}, name, typ, cofferID, inode)
+				return nil
+			}
+		}
+		pg = next
+	}
+	// Allocate a fresh chain page at the head: fill it, then publish the
+	// bucket pointer atomically.
+	pg, err := f.allocPage(th, m, classMeta)
+	if err != nil {
+		return err
+	}
+	th.Store64(pg*pageSize+chainNextOff, uint64(head))
+	f.writeDentry(th, deLoc{page: pg, off: chainFirstDe}, name, typ, cofferID, inode)
+	th.Store64(bucketAddr, uint64(pg))
+	return nil
+}
+
+// dirRemove kills a dentry with a single atomic commit-word store.
+func (f *FS) dirRemove(th *proc.Thread, loc deLoc) {
+	th.Store64(loc.addr(), dentryCommit(deStateFree, 0, 0, 0))
+}
+
+// dirUpdateCoffer rewrites a dentry's cross-coffer reference in place:
+// the coffer-ID field is written, then the commit word is re-stored to
+// refresh readers (same inode/name).
+func (f *FS) dirUpdateCoffer(th *proc.Thread, loc deLoc, cofferID uint32, inode int64) {
+	var b [8]byte
+	putU32(b[:4], 0, cofferID)
+	th.WriteNT(loc.addr()+deCofferOff, b[:4])
+	th.Store64(loc.addr()+deInodeOff, uint64(inode))
+	th.Fence()
+}
+
+// dirScan calls fn for every live dentry; fn returns false to stop early.
+// Caller holds at least a read lock.
+func (f *FS) dirScan(th *proc.Thread, dirIno int64, fn func(d dentry, loc deLoc) bool) {
+	l1 := f.dirL1Of(th, dirIno)
+	if l1 == 0 {
+		return
+	}
+	l1buf := make([]byte, pageSize)
+	th.Read(l1*pageSize, l1buf)
+	page := make([]byte, pageSize)
+	for i := 0; i < dirL1Slots; i++ {
+		l2 := int64(u64at(l1buf, i*8))
+		if l2 == 0 {
+			continue
+		}
+		th.Read(l2*pageSize, page)
+		stop := false
+		scanDentries(page[:l2BucketOff], 0, func(d dentry, off int64) bool {
+			if !fn(d, deLoc{page: l2, off: off}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+		for b := 0; b < l2Buckets; b++ {
+			pg := int64(u64at(page, l2BucketOff+b*8))
+			chain := make([]byte, pageSize)
+			for pg != 0 {
+				th.Read(pg*pageSize, chain)
+				next := int64(u64at(chain, chainNextOff))
+				scanDentries(chain[chainFirstDe:], chainFirstDe, func(d dentry, off int64) bool {
+					if !fn(d, deLoc{page: pg, off: off}) {
+						stop = true
+						return false
+					}
+					return true
+				})
+				if stop {
+					return
+				}
+				pg = next
+			}
+		}
+	}
+}
+
+// dirEmpty reports whether a directory has no live entries.
+func (f *FS) dirEmpty(th *proc.Thread, dirIno int64) bool {
+	empty := true
+	f.dirScan(th, dirIno, func(dentry, deLoc) bool {
+		empty = false
+		return false
+	})
+	return empty
+}
+
+// dirPages collects every page used by the directory structure itself
+// (L1, L2 and chain pages), for truncation/recovery accounting.
+func (f *FS) dirPages(th *proc.Thread, dirIno int64) []int64 {
+	l1 := f.dirL1Of(th, dirIno)
+	if l1 == 0 {
+		return nil
+	}
+	pages := []int64{l1}
+	l1buf := make([]byte, pageSize)
+	th.Read(l1*pageSize, l1buf)
+	page := make([]byte, pageSize)
+	for i := 0; i < dirL1Slots; i++ {
+		l2 := int64(u64at(l1buf, i*8))
+		if l2 == 0 {
+			continue
+		}
+		pages = append(pages, l2)
+		th.Read(l2*pageSize, page)
+		for b := 0; b < l2Buckets; b++ {
+			pg := int64(u64at(page, l2BucketOff+b*8))
+			var next [8]byte
+			for pg != 0 {
+				pages = append(pages, pg)
+				th.Read(pg*pageSize+chainNextOff, next[:])
+				pg = int64(u64at(next[:], 0))
+			}
+		}
+	}
+	return pages
+}

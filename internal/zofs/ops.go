@@ -1,0 +1,563 @@
+package zofs
+
+import (
+	"zofs/internal/coffer"
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+)
+
+// vfs.FileSystem implementation for ZoFS.
+//
+// Every namespace operation resolves the nearest enclosing coffer by
+// backwards path parsing, maps it on demand, opens an MPK window for the
+// duration of the access (G1/G2) and publishes metadata updates with
+// single atomic 8-byte commits in a recovery-safe order (§5.3).
+
+// execMask drops the execution bits: the paper's notion of "permission"
+// ignores them (§2.3), which is what lets 0755 directories and 0644 files
+// share a coffer.
+func execMask(m coffer.Mode) coffer.Mode { return m &^ 0o111 }
+
+func modeOf(hdr []byte) coffer.Mode { return coffer.Mode(u32at(hdr, inoModeOff)) }
+
+// sameCofferPerm decides whether a file with (mode, uid, gid) may live in a
+// coffer with root-page metadata rp (§5: "a file can be stored in its
+// parent's coffer only when it has the same permission as its parent").
+func (f *FS) sameCofferPerm(rp coffer.RootPage, mode coffer.Mode, uid, gid uint32) bool {
+	if f.opts.OneCoffer {
+		return true
+	}
+	return execMask(rp.Mode) == execMask(mode) && rp.UID == uid && rp.GID == gid
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// Create makes (or truncates) a regular file. A file whose permission
+// differs from its parent coffer's becomes the root file of a fresh coffer,
+// referenced by a cross-coffer dentry (§3.1).
+func (f *FS) Create(th *proc.Thread, path string, mode coffer.Mode) (vfs.Handle, error) {
+	dir, base := vfs.SplitPath(path)
+	if base == "" {
+		return nil, vfs.ErrExist
+	}
+	if len(base) > MaxNameLen {
+		return nil, vfs.ErrNameTooLong
+	}
+	pos, err := f.walk(th, dir, true, true)
+	if err != nil {
+		return nil, err
+	}
+	defer pos.close()
+	if pos.typ != vfs.TypeDir {
+		return nil, vfs.ErrNotDir
+	}
+
+	bk := f.lockDirBucket(th, pos.ino, base)
+	defer f.unlockDirBucket(th, bk)
+
+	if de, _, err := f.dirLookup(th, pos.ino, base); err == nil {
+		// Exists: truncate (creat semantics).
+		return f.openExisting(th, pos, de, vfs.O_RDWR|vfs.O_TRUNC, path)
+	}
+
+	rp, _ := f.kern.Info(pos.m.id)
+	uid, gid := th.Proc.UID(), th.Proc.GID()
+	if f.sameCofferPerm(rp, mode, uid, gid) {
+		ino, err := f.allocPage(th, pos.m, classMeta)
+		if err != nil {
+			return nil, err
+		}
+		f.initInode(th, ino, vfs.TypeRegular, uint32(mode), uid, gid)
+		if err := f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeRegular), 0, ino); err != nil {
+			f.freePage(th, pos.m, classMeta, ino)
+			return nil, err
+		}
+		return f.newHandle(pos.m, ino, path, vfs.O_RDWR), nil
+	}
+
+	// Different permission: the file gets its own coffer.
+	newID, err := f.kern.CofferNew(th, pos.m.id, path, coffer.TypeZoFS, mode, uid, gid, 3)
+	if err != nil {
+		return nil, errno(err)
+	}
+	nm, err := f.ensureMapped(th, newID, true)
+	if err != nil {
+		return nil, err
+	}
+	f.window(th, nm, true)
+	f.initInode(th, nm.root, vfs.TypeRegular, uint32(mode), uid, gid)
+	// Back to the parent coffer to publish the cross-coffer dentry.
+	f.window(th, pos.m, true)
+	if err := f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeRegular), uint32(newID), nm.root); err != nil {
+		f.kern.CofferDelete(th, newID)
+		return nil, err
+	}
+	return f.newHandle(nm, nm.root, path, vfs.O_RDWR), nil
+}
+
+// openExisting opens a file found in a directory under the parent's lock.
+func (f *FS) openExisting(th *proc.Thread, pos walkPos, de dentry, flags int, path string) (vfs.Handle, error) {
+	m := pos.m
+	ino := de.inode
+	if de.cofferID != 0 {
+		target := coffer.ID(de.cofferID)
+		info, ok := f.kern.Info(target)
+		if !ok || info.RootInode != de.inode {
+			return nil, vfs.ErrCorrupted
+		}
+		nm, err := f.ensureMapped(th, target, flags&vfs.O_ACCESS != vfs.O_RDONLY)
+		if err != nil {
+			return nil, err
+		}
+		m, ino = nm, nm.root
+	}
+	cl := f.window(th, m, true)
+	hdr := f.readInodeHeader(th, ino)
+	typ := vfs.FileType(u32at(hdr, inoTypeOff))
+	if typ == vfs.TypeDir && flags&vfs.O_ACCESS != vfs.O_RDONLY {
+		cl()
+		return nil, vfs.ErrIsDir
+	}
+	if flags&vfs.O_TRUNC != 0 && typ == vfs.TypeRegular {
+		f.lockInode(th, m, ino)
+		err := f.truncateTo(th, m, ino, 0)
+		f.unlockInode(th, m, ino)
+		if err != nil {
+			cl()
+			return nil, err
+		}
+	}
+	cl()
+	return f.newHandle(m, ino, path, flags), nil
+}
+
+// Open opens an existing file (or creates one with O_CREATE).
+func (f *FS) Open(th *proc.Thread, path string, flags int) (vfs.Handle, error) {
+	write := flags&vfs.O_ACCESS != vfs.O_RDONLY
+	pos, err := f.walk(th, path, true, write)
+	if err != nil {
+		if err == vfs.ErrNotExist && flags&vfs.O_CREATE != 0 {
+			return f.Create(th, path, 0o644)
+		}
+		return nil, err
+	}
+	defer pos.close()
+	if flags&vfs.O_CREATE != 0 && flags&vfs.O_EXCL != 0 {
+		return nil, vfs.ErrExist
+	}
+	if pos.typ == vfs.TypeDir && write {
+		return nil, vfs.ErrIsDir
+	}
+	if flags&vfs.O_TRUNC != 0 && pos.typ == vfs.TypeRegular {
+		f.lockInode(th, pos.m, pos.ino)
+		err := f.truncateTo(th, pos.m, pos.ino, 0)
+		f.unlockInode(th, pos.m, pos.ino)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f.newHandle(pos.m, pos.ino, path, flags), nil
+}
+
+// Mkdir creates a directory, in-coffer when the permission matches the
+// parent coffer, otherwise as a new coffer.
+func (f *FS) Mkdir(th *proc.Thread, path string, mode coffer.Mode) error {
+	dir, base := vfs.SplitPath(path)
+	if base == "" {
+		return vfs.ErrExist
+	}
+	if len(base) > MaxNameLen {
+		return vfs.ErrNameTooLong
+	}
+	pos, err := f.walk(th, dir, true, true)
+	if err != nil {
+		return err
+	}
+	defer pos.close()
+	if pos.typ != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	bk := f.lockDirBucket(th, pos.ino, base)
+	defer f.unlockDirBucket(th, bk)
+	if _, _, err := f.dirLookup(th, pos.ino, base); err == nil {
+		return vfs.ErrExist
+	}
+	rp, _ := f.kern.Info(pos.m.id)
+	uid, gid := th.Proc.UID(), th.Proc.GID()
+	if f.sameCofferPerm(rp, mode, uid, gid) {
+		ino, err := f.allocPage(th, pos.m, classMeta)
+		if err != nil {
+			return err
+		}
+		f.initInode(th, ino, vfs.TypeDir, uint32(mode), uid, gid)
+		return f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeDir), 0, ino)
+	}
+	newID, err := f.kern.CofferNew(th, pos.m.id, path, coffer.TypeZoFS, mode, uid, gid, 3)
+	if err != nil {
+		return errno(err)
+	}
+	nm, err := f.ensureMapped(th, newID, true)
+	if err != nil {
+		return err
+	}
+	f.window(th, nm, true)
+	f.initInode(th, nm.root, vfs.TypeDir, uint32(mode), uid, gid)
+	f.window(th, pos.m, true)
+	if err := f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeDir), uint32(newID), nm.root); err != nil {
+		f.kern.CofferDelete(th, newID)
+		return err
+	}
+	return nil
+}
+
+// Unlink removes a file or symlink: the dentry kill is the atomic commit;
+// the content is freed afterwards (a crash in between leaks pages that
+// recovery reclaims — §5.3).
+func (f *FS) Unlink(th *proc.Thread, path string) error {
+	dir, base := vfs.SplitPath(path)
+	if base == "" {
+		return vfs.ErrIsDir
+	}
+	pos, err := f.walk(th, dir, true, true)
+	if err != nil {
+		return err
+	}
+	defer pos.close()
+	if pos.typ != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	bk := f.lockDirBucket(th, pos.ino, base)
+	de, loc, err := f.dirLookup(th, pos.ino, base)
+	if err != nil {
+		f.unlockDirBucket(th, bk)
+		return err
+	}
+	if vfs.FileType(de.typ) == vfs.TypeDir {
+		f.unlockDirBucket(th, bk)
+		return vfs.ErrIsDir
+	}
+	if de.cofferID != 0 {
+		// The file is a coffer root: killing the coffer frees everything.
+		f.dirRemove(th, loc)
+		f.unlockDirBucket(th, bk)
+		f.forgetMount(coffer.ID(de.cofferID))
+		return errno(f.kern.CofferDelete(th, coffer.ID(de.cofferID)))
+	}
+	f.dirRemove(th, loc)
+	// The dentry kill committed; content is freed outside the bucket lock
+	// so concurrent mutations in the directory proceed. If any process
+	// still holds the file open, reclamation waits for the last close.
+	f.unlockDirBucket(th, bk)
+	if f.sh.orphan(de.inode, de.typ) {
+		return nil
+	}
+	if vfs.FileType(de.typ) == vfs.TypeRegular {
+		f.freeFileContent(th, pos.m, de.inode)
+	} else {
+		f.freePage(th, pos.m, classMeta, de.inode)
+	}
+	return nil
+}
+
+// forgetMount drops a cached mapping (after the coffer is deleted).
+func (f *FS) forgetMount(id coffer.ID) {
+	f.mu.Lock()
+	delete(f.mounts, id)
+	f.mu.Unlock()
+}
+
+// InvalidateAll drops every cached coffer mapping; subsequent operations
+// re-issue coffer_map. FSLibs calls this after a protection fault, since
+// the kernel may have unmapped coffers behind the library's back (e.g.
+// another process initiated recovery — §3.5).
+func (f *FS) InvalidateAll() {
+	f.mu.Lock()
+	f.mounts = map[coffer.ID]*mount{}
+	f.mu.Unlock()
+}
+
+// Rmdir removes an empty directory.
+func (f *FS) Rmdir(th *proc.Thread, path string) error {
+	dir, base := vfs.SplitPath(path)
+	if base == "" {
+		return vfs.ErrInvalid // cannot remove "/"
+	}
+	pos, err := f.walk(th, dir, true, true)
+	if err != nil {
+		return err
+	}
+	defer pos.close()
+	if pos.typ != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	bk := f.lockDirBucket(th, pos.ino, base)
+	de, loc, err := f.dirLookup(th, pos.ino, base)
+	if err != nil {
+		f.unlockDirBucket(th, bk)
+		return err
+	}
+	if vfs.FileType(de.typ) != vfs.TypeDir {
+		f.unlockDirBucket(th, bk)
+		return vfs.ErrNotDir
+	}
+	if de.cofferID != 0 {
+		target := coffer.ID(de.cofferID)
+		nm, err := f.ensureMapped(th, target, false)
+		if err != nil {
+			f.unlockDirBucket(th, bk)
+			return err
+		}
+		f.window(th, nm, false)
+		empty := f.dirEmpty(th, nm.root)
+		f.window(th, pos.m, true)
+		if !empty {
+			f.unlockDirBucket(th, bk)
+			return vfs.ErrNotEmpty
+		}
+		f.dirRemove(th, loc)
+		f.unlockDirBucket(th, bk)
+		f.forgetMount(target)
+		return errno(f.kern.CofferDelete(th, target))
+	}
+	if !f.dirEmpty(th, de.inode) {
+		f.unlockDirBucket(th, bk)
+		return vfs.ErrNotEmpty
+	}
+	f.dirRemove(th, loc)
+	f.unlockDirBucket(th, bk)
+	f.freeDirContent(th, pos.m, de.inode)
+	return nil
+}
+
+// Stat returns file metadata; for coffer roots the authoritative
+// permission/ownership comes from the kernel-managed root page.
+func (f *FS) Stat(th *proc.Thread, path string) (vfs.FileInfo, error) {
+	pos, err := f.walk(th, path, true, false)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	defer pos.close()
+	f.rlockInode(th, pos.ino)
+	fi := f.statInode(th, pos.m, pos.ino)
+	f.runlockInode(th, pos.ino)
+	if pos.ino == pos.m.root {
+		if rp, ok := f.kern.Info(pos.m.id); ok {
+			fi.Mode, fi.UID, fi.GID = rp.Mode, rp.UID, rp.GID
+		}
+	}
+	return fi, nil
+}
+
+// ReadDir lists a directory.
+func (f *FS) ReadDir(th *proc.Thread, path string) ([]vfs.DirEntry, error) {
+	pos, err := f.walk(th, path, true, false)
+	if err != nil {
+		return nil, err
+	}
+	defer pos.close()
+	if pos.typ != vfs.TypeDir {
+		return nil, vfs.ErrNotDir
+	}
+	f.rlockInode(th, pos.ino)
+	defer f.runlockInode(th, pos.ino)
+	var out []vfs.DirEntry
+	f.dirScan(th, pos.ino, func(d dentry, _ deLoc) bool {
+		out = append(out, vfs.DirEntry{
+			Name:   d.name,
+			Type:   vfs.FileType(d.typ),
+			Inode:  d.inode,
+			Coffer: coffer.ID(d.cofferID),
+		})
+		return true
+	})
+	return out, nil
+}
+
+// Symlink creates a symbolic link (always in-coffer; links carry their
+// parent coffer's permission).
+func (f *FS) Symlink(th *proc.Thread, target, link string) error {
+	dir, base := vfs.SplitPath(link)
+	if base == "" {
+		return vfs.ErrExist
+	}
+	pos, err := f.walk(th, dir, true, true)
+	if err != nil {
+		return err
+	}
+	defer pos.close()
+	if pos.typ != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	bk := f.lockDirBucket(th, pos.ino, base)
+	defer f.unlockDirBucket(th, bk)
+	if _, _, err := f.dirLookup(th, pos.ino, base); err == nil {
+		return vfs.ErrExist
+	}
+	ino, err := f.allocPage(th, pos.m, classMeta)
+	if err != nil {
+		return err
+	}
+	f.initInode(th, ino, vfs.TypeSymlink, 0o777, th.Proc.UID(), th.Proc.GID())
+	if err := f.writeSymlinkTarget(th, ino, target); err != nil {
+		f.freePage(th, pos.m, classMeta, ino)
+		return err
+	}
+	return f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeSymlink), 0, ino)
+}
+
+// Readlink reads a symlink's target (no following of the final component).
+func (f *FS) Readlink(th *proc.Thread, path string) (string, error) {
+	pos, err := f.walk(th, path, false, false)
+	if err != nil {
+		return "", err
+	}
+	defer pos.close()
+	if pos.typ != vfs.TypeSymlink {
+		return "", vfs.ErrInvalid
+	}
+	return f.readSymlink(th, pos.ino), nil
+}
+
+// Truncate resizes a file by path.
+func (f *FS) Truncate(th *proc.Thread, path string, size int64) error {
+	pos, err := f.walk(th, path, true, true)
+	if err != nil {
+		return err
+	}
+	defer pos.close()
+	if pos.typ != vfs.TypeRegular {
+		return vfs.ErrIsDir
+	}
+	f.lockInode(th, pos.m, pos.ino)
+	defer f.unlockInode(th, pos.m, pos.ino)
+	return f.truncateTo(th, pos.m, pos.ino, size)
+}
+
+// ---- file handle -------------------------------------------------------------
+
+// file is ZoFS's vfs.Handle: an (instance, coffer, inode) triple. Offsets
+// are managed by the FD layer above.
+type file struct {
+	fs     *FS
+	m      *mount
+	ino    int64
+	path   string
+	flags  int
+	closed bool
+}
+
+// newHandle registers the open with the cross-process handle table (unlink
+// defers reclamation while handles exist).
+func (f *FS) newHandle(m *mount, ino int64, path string, flags int) *file {
+	f.sh.retain(ino)
+	return &file{fs: f, m: m, ino: ino, path: path, flags: flags}
+}
+
+func (h *file) writable() bool { return h.flags&vfs.O_ACCESS != vfs.O_RDONLY }
+
+// remap refreshes the mapping if it was evicted under MPK pressure.
+func (h *file) remap(th *proc.Thread, write bool) error {
+	m, err := h.fs.ensureMapped(th, h.m.id, write)
+	if err != nil {
+		return err
+	}
+	h.m = m
+	return nil
+}
+
+// ReadAt implements the data-read path: readers-writer lock read side, so
+// concurrent reads overlap (Fig. 7a–c).
+func (h *file) ReadAt(th *proc.Thread, p []byte, off int64) (int, error) {
+	if err := h.remap(th, false); err != nil {
+		return 0, err
+	}
+	cl := h.fs.window(th, h.m, false)
+	defer cl()
+	h.fs.rlockInode(th, h.ino)
+	defer h.fs.runlockInode(th, h.ino)
+	return h.fs.readAt(th, h.m, h.ino, p, off)
+}
+
+// WriteAt implements the data-write path under the per-file write lock
+// (Fig. 7e–f), with the Figure 8 variant hooks.
+func (h *file) WriteAt(th *proc.Thread, p []byte, off int64) (int, error) {
+	if !h.writable() {
+		return 0, vfs.ErrBadFD
+	}
+	if err := h.remap(th, true); err != nil {
+		return 0, err
+	}
+	h.fs.maybeEmptySyscall(th)
+	h.fs.maybeKernelCall(th)
+	cl := h.fs.window(th, h.m, true)
+	defer cl()
+	h.fs.lockInode(th, h.m, h.ino)
+	defer h.fs.unlockInode(th, h.m, h.ino)
+	return h.fs.writeAt(th, h.m, h.ino, p, off)
+}
+
+// Append atomically appends at end of file (the DWAL operation).
+func (h *file) Append(th *proc.Thread, p []byte) (int64, error) {
+	if !h.writable() {
+		return 0, vfs.ErrBadFD
+	}
+	if err := h.remap(th, true); err != nil {
+		return 0, err
+	}
+	h.fs.maybeEmptySyscall(th)
+	h.fs.maybeKernelCall(th)
+	cl := h.fs.window(th, h.m, true)
+	defer cl()
+	h.fs.lockInode(th, h.m, h.ino)
+	defer h.fs.unlockInode(th, h.m, h.ino)
+	off := h.fs.inodeSize(th, h.ino)
+	_, err := h.fs.writeAt(th, h.m, h.ino, p, off)
+	return off, err
+}
+
+// Stat returns the handle's current metadata.
+func (h *file) Stat(th *proc.Thread) (vfs.FileInfo, error) {
+	if err := h.remap(th, false); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	cl := h.fs.window(th, h.m, false)
+	defer cl()
+	h.fs.rlockInode(th, h.ino)
+	defer h.fs.runlockInode(th, h.ino)
+	fi := h.fs.statInode(th, h.m, h.ino)
+	if h.ino == h.m.root {
+		if rp, ok := h.fs.kern.Info(h.m.id); ok {
+			fi.Mode, fi.UID, fi.GID = rp.Mode, rp.UID, rp.GID
+		}
+	}
+	return fi, nil
+}
+
+// Sync is a no-op: ZoFS is synchronous (§5, "a synchronous file system").
+func (h *file) Sync(*proc.Thread) error { return nil }
+
+// Close releases the handle, reclaiming an orphaned (unlinked-while-open)
+// inode's content on the last close.
+func (h *file) Close(th *proc.Thread) error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	reclaim, typ := h.fs.sh.release(h.ino)
+	if !reclaim {
+		return nil
+	}
+	if err := h.remap(th, true); err != nil {
+		return nil // mapping revoked; recovery will reclaim the orphan
+	}
+	cl := h.fs.window(th, h.m, true)
+	defer cl()
+	h.fs.lockInode(th, h.m, h.ino)
+	defer h.fs.unlockInode(th, h.m, h.ino)
+	if vfs.FileType(typ) == vfs.TypeRegular {
+		h.fs.freeFileContent(th, h.m, h.ino)
+	} else {
+		h.fs.freePage(th, h.m, classMeta, h.ino)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package zofs
+
+import (
+	"sync"
+
+	"zofs/internal/nvm"
+	"zofs/internal/perfmodel"
+	"zofs/internal/proc"
+	"zofs/internal/simclock"
+)
+
+// shared holds the cross-process coordination state for one device's ZoFS
+// coffers. On real hardware this is carried entirely by NVM lease words and
+// cache coherence; in the simulation the persistent lease words are still
+// maintained (recovery inspects and clears them) while the blocking/waiting
+// behaviour is modeled by per-inode virtual-time readers-writer locks,
+// shared by every process of the same device.
+type shared struct {
+	locks sync.Map // inode page (int64) -> *simclock.RWMutex
+	// open tracks open-handle counts per inode across every process of the
+	// device, so unlink can defer content reclamation until the last close
+	// (POSIX semantics). A crash drops the table; recovery reclaims the
+	// orphans' pages (§5.3).
+	open sync.Map // inode page (int64) -> *openState
+}
+
+type openState struct {
+	mu       sync.Mutex
+	count    int
+	orphaned bool
+	typ      uint8 // vfs.FileType of the orphan, for reclamation
+}
+
+// retain registers an open handle on an inode.
+func (s *shared) retain(ino int64) {
+	v, _ := s.open.LoadOrStore(ino, &openState{})
+	st := v.(*openState)
+	st.mu.Lock()
+	st.count++
+	st.mu.Unlock()
+}
+
+// release drops a handle; it reports whether the caller must now reclaim an
+// orphaned inode's content (and of which type).
+func (s *shared) release(ino int64) (reclaim bool, typ uint8) {
+	v, ok := s.open.Load(ino)
+	if !ok {
+		return false, 0
+	}
+	st := v.(*openState)
+	st.mu.Lock()
+	st.count--
+	if st.count <= 0 {
+		reclaim, typ = st.orphaned, st.typ
+		s.open.Delete(ino)
+	}
+	st.mu.Unlock()
+	return reclaim, typ
+}
+
+// orphan marks an unlinked-but-open inode; it reports whether any handle is
+// still open (true = defer reclamation to the last close).
+func (s *shared) orphan(ino int64, typ uint8) bool {
+	v, ok := s.open.Load(ino)
+	if !ok {
+		return false
+	}
+	st := v.(*openState)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.count <= 0 {
+		return false
+	}
+	st.orphaned, st.typ = true, typ
+	return true
+}
+
+var sharedRegistry sync.Map // nvm.Device UID -> *shared
+
+// ResetShared discards all volatile cross-process coordination state for a
+// device — the analogue of every process dying in a power failure. Crash
+// tests call it right after nvm.Device.Crash, before remounting; persistent
+// lease words remain on the device for recovery to clear.
+func ResetShared(dev *nvm.Device) { sharedRegistry.Delete(dev.UID()) }
+
+func sharedFor(dev *nvm.Device) *shared {
+	if s, ok := sharedRegistry.Load(dev.UID()); ok {
+		return s.(*shared)
+	}
+	s, _ := sharedRegistry.LoadOrStore(dev.UID(), &shared{})
+	return s.(*shared)
+}
+
+func (s *shared) lockOf(page int64) *simclock.RWMutex {
+	if l, ok := s.locks.Load(page); ok {
+		return l.(*simclock.RWMutex)
+	}
+	l, _ := s.locks.LoadOrStore(page, &simclock.RWMutex{})
+	return l.(*simclock.RWMutex)
+}
+
+// lockInode write-locks an inode: virtual-time/real serialization through
+// the shared lock, plus the persistent lease word (§5.2) so that crashed
+// holders are observable and recoverable. The write window for the owning
+// coffer is (re)opened, since the lease write needs it.
+func (f *FS) lockInode(th *proc.Thread, m *mount, ino int64) {
+	th.CPU(perfmodel.CPULockAcquire) // clock_gettime via vDSO + bookkeeping
+	f.sh.lockOf(ino).Lock(th.Clk)
+	f.window(th, m, true)
+	th.Store64(ino*nvm.PageSize+inoLeaseOff, leaseWord(th.TID, th.Clk.Now()+leaseDuration))
+}
+
+func (f *FS) unlockInode(th *proc.Thread, m *mount, ino int64) {
+	f.window(th, m, true)
+	th.Store64(ino*nvm.PageSize+inoLeaseOff, 0)
+	f.sh.lockOf(ino).Unlock(th.Clk)
+}
+
+// Directory mutations lock the *hash bucket* a name falls in, not the whole
+// directory — the fine-grained locking that lets ZoFS's two-level hash
+// directories scale on huge shared directories (Fig. 9's webproxy/varmail).
+// Bucket lock keys live in a negative namespace so they never collide with
+// inode page numbers in the shared lock table. The bucket's lease word
+// conceptually lives in the second-level page; its acquisition cost is
+// charged per lock operation.
+
+// bucketKey derives the lock-table key for a name's bucket in a directory.
+func bucketKey(dirIno int64, name string) int64 {
+	return -(dirIno*dirL1Slots + l1Index(nameHash(name)) + 1)
+}
+
+// lockDirBucket write-locks the bucket of name in directory dirIno.
+func (f *FS) lockDirBucket(th *proc.Thread, dirIno int64, name string) int64 {
+	th.CPU(2 * perfmodel.CPULockAcquire) // clock_gettime + bucket lease CAS
+	k := bucketKey(dirIno, name)
+	f.sh.lockOf(k).Lock(th.Clk)
+	return k
+}
+
+func (f *FS) unlockDirBucket(th *proc.Thread, k int64) {
+	th.CPU(perfmodel.CPULockAcquire)
+	f.sh.lockOf(k).Unlock(th.Clk)
+}
+
+// rlockInode read-locks an inode (readers overlap; no lease write — reads
+// are made safe by the atomic 8-byte update discipline of §5.3).
+func (f *FS) rlockInode(th *proc.Thread, ino int64) {
+	th.CPU(perfmodel.CPULockAcquire)
+	f.sh.lockOf(ino).RLock(th.Clk)
+}
+
+func (f *FS) runlockInode(th *proc.Thread, ino int64) {
+	f.sh.lockOf(ino).RUnlock(th.Clk)
+}
