@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	zofs-bench [-quick] [-threads 1,2,4,8,12,16,20] [experiment ...]
+//	zofs-bench [-quick] [-stats] [-threads 1,2,4,8,12,16,20] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
 // fig11 table9 safety recovery — or "all" (the default).
@@ -45,6 +45,8 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller, faster runs")
 	threads := flag.String("threads", "", "comma-separated thread sweep (default 1,2,4,8,12,16,20)")
 	devGB := flag.Int64("device-gb", 8, "simulated device size in GiB")
+	stats := flag.Bool("stats", false, "per-layer telemetry: print counter/latency tables per cell and write metrics sidecar JSON")
+	statsDir := flag.String("statsdir", "results", "directory for metrics-<experiment>.json sidecars")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: zofs-bench [flags] [experiment ...]\n\nexperiments:\n")
 		for _, e := range experiments {
@@ -55,7 +57,7 @@ func main() {
 	}
 	flag.Parse()
 
-	opts := harness.Options{Quick: *quick, DeviceBytes: *devGB << 30}
+	opts := harness.Options{Quick: *quick, DeviceBytes: *devGB << 30, Stats: *stats, StatsDir: *statsDir}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

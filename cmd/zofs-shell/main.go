@@ -9,7 +9,12 @@
 // Commands: ls [path], cat <file>, write <file> <text...>, append <file>
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
 // ln -s <target> <link>, chmod <octal> <path>, chown <uid> <gid> <path>,
-// stat <path>, cd <dir>, pwd, df, coffers, recover <path>, sync, quit.
+// stat <path>, cd <dir>, pwd, df, coffers, recover <path>, stats [reset],
+// sync, quit.
+//
+// "stats" dumps the per-layer telemetry accumulated since the shell started
+// (or since the last "stats reset"): NVM media traffic, PKRU switches,
+// KernFS call counts, and per-operation simulated-latency quantiles.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"zofs/internal/kernfs"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
+	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
 
@@ -42,6 +48,7 @@ func main() {
 	if err != nil {
 		fatal("load: %v", err)
 	}
+	dev.SetRecorder(telemetry.New())
 	k, err := kernfs.Mount(dev)
 	if err != nil {
 		fatal("mount: %v", err)
@@ -90,7 +97,8 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 	fail := func(err error) { fmt.Println(cmd+":", err) }
 	switch cmd {
 	case "help":
-		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df coffers recover sync quit")
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df coffers recover stats sync quit")
+		fmt.Println("stats [reset]: dump (or zero) per-layer telemetry counters and latencies")
 	case "quit", "exit":
 		return true
 	case "sync":
@@ -218,6 +226,20 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 			}
 			fmt.Printf("%s: %s mode=%o uid=%d gid=%d size=%d nlink=%d coffer=%d inode=%d\n",
 				args[1], fi.Type, fi.Mode, fi.UID, fi.GID, fi.Size, fi.Nlink, fi.Coffer, fi.Inode)
+		}
+	case "stats":
+		rec := k.Device().Recorder()
+		if len(args) == 2 && args[1] == "reset" {
+			rec.Reset()
+			fmt.Println("stats reset")
+			return false
+		}
+		if len(args) > 1 {
+			fail(fmt.Errorf("usage: stats [reset]"))
+			return false
+		}
+		if err := rec.Snapshot().WriteText(os.Stdout); err != nil {
+			fail(err)
 		}
 	case "df":
 		fmt.Printf("%d free pages of %d\n", k.FreePages(), k.Device().Pages())

@@ -11,6 +11,7 @@ import (
 
 	"zofs/internal/fslibs"
 	"zofs/internal/kernfs"
+	"zofs/internal/mpk"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
 	"zofs/internal/vfs"
@@ -52,17 +53,22 @@ func main() {
 	fmt.Println("Scenario 1: stray writes from buggy application code")
 	rng := rand.New(rand.NewSource(1))
 	caught := 0
+	var sample string
 	for i := 0; i < 200; i++ {
 		func() {
 			defer func() {
-				if recover() != nil {
+				if r := recover(); r != nil {
 					caught++
+					if v, ok := r.(mpk.Violation); ok && sample == "" {
+						sample = v.Error()
+					}
 				}
 			}()
 			t1.StrayWrite(rng.Int63n(dev.Size()-16), []byte("GARBAGE!"))
 		}()
 	}
 	fmt.Printf("  %d/200 stray writes stopped by MPK + page table\n", caught)
+	fmt.Printf("  e.g. %s\n", sample)
 	if _, err := l2.Stat(t2, "/shared/data"); err != nil {
 		log.Fatal("victim was affected: ", err)
 	}

@@ -22,6 +22,7 @@ import (
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
+	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 	"zofs/internal/zofs"
 )
@@ -116,6 +117,11 @@ func (l *Lib) guard(th *proc.Thread, err *error) {
 	}
 	switch r.(type) {
 	case mpk.Violation, nvm.Fault:
+		rec := l.kern.Device().Recorder()
+		rec.Inc(telemetry.CtrFaultsRecovered)
+		if _, isViolation := r.(mpk.Violation); isViolation {
+			rec.Inc(telemetry.CtrMPKViolations)
+		}
 		th.CloseWindow()
 		// The kernel may have changed our mappings behind the library's
 		// back (recovery unmaps coffers, §3.5): drop cached mappings so
@@ -126,6 +132,23 @@ func (l *Lib) guard(th *proc.Thread, err *error) {
 		*err = fmt.Errorf("%w: fault inside FS library: %v", vfs.ErrIO, r)
 	default:
 		panic(r)
+	}
+}
+
+// trace starts a per-op latency measurement against the thread's virtual
+// clock, returning the closure that records it. Deferred textually before
+// guard so it observes the clock after any fault recovery has been charged.
+func (l *Lib) trace(th *proc.Thread, op telemetry.Op) func() {
+	rec := l.kern.Device().Recorder()
+	if rec == nil {
+		return func() {}
+	}
+	rec.Inc(telemetry.CtrDispatchOps)
+	start := th.Clk.Now()
+	return func() {
+		d := th.Clk.Now() - start
+		rec.Observe(op, d)
+		rec.TraceOp(th.TID, op, start, d)
 	}
 }
 
@@ -228,6 +251,7 @@ func (l *Lib) getFD(fd int) (*fdEntry, error) {
 
 // Open opens path, returning the new FD.
 func (l *Lib) Open(th *proc.Thread, path string, flags int, mode coffer.Mode) (fd int, err error) {
+	defer l.trace(th, telemetry.OpOpen)()
 	defer l.guard(th, &err)
 	var h vfs.Handle
 	var finalPath string
@@ -277,6 +301,7 @@ func (l *Lib) Create(th *proc.Thread, path string, mode coffer.Mode) (int, error
 
 // Close releases an FD.
 func (l *Lib) Close(th *proc.Thread, fd int) (err error) {
+	defer l.trace(th, telemetry.OpClose)()
 	defer l.guard(th, &err)
 	l.mu.Lock()
 	e := l.fds[fd]
@@ -321,6 +346,7 @@ func (l *Lib) Dup2(th *proc.Thread, fd, to int) (int, error) {
 
 // Read reads from the FD's current offset.
 func (l *Lib) Read(th *proc.Thread, fd int, buf []byte) (n int, err error) {
+	defer l.trace(th, telemetry.OpRead)()
 	defer l.guard(th, &err)
 	e, err := l.getFD(fd)
 	if err != nil {
@@ -339,6 +365,7 @@ func (l *Lib) Read(th *proc.Thread, fd int, buf []byte) (n int, err error) {
 // Write writes at the FD's current offset (or atomically at EOF for
 // O_APPEND FDs).
 func (l *Lib) Write(th *proc.Thread, fd int, buf []byte) (n int, err error) {
+	defer l.trace(th, telemetry.OpWrite)()
 	defer l.guard(th, &err)
 	e, err := l.getFD(fd)
 	if err != nil {
@@ -366,6 +393,7 @@ func (l *Lib) Write(th *proc.Thread, fd int, buf []byte) (n int, err error) {
 
 // Pread reads at an explicit offset without moving the FD offset.
 func (l *Lib) Pread(th *proc.Thread, fd int, buf []byte, off int64) (n int, err error) {
+	defer l.trace(th, telemetry.OpRead)()
 	defer l.guard(th, &err)
 	e, err := l.getFD(fd)
 	if err != nil {
@@ -376,6 +404,7 @@ func (l *Lib) Pread(th *proc.Thread, fd int, buf []byte, off int64) (n int, err 
 
 // Pwrite writes at an explicit offset without moving the FD offset.
 func (l *Lib) Pwrite(th *proc.Thread, fd int, buf []byte, off int64) (n int, err error) {
+	defer l.trace(th, telemetry.OpWrite)()
 	defer l.guard(th, &err)
 	e, err := l.getFD(fd)
 	if err != nil {
@@ -423,6 +452,7 @@ func (l *Lib) Lseek(th *proc.Thread, fd int, off int64, whence int) (int64, erro
 
 // Fsync persists an FD (synchronous µFSs make this a no-op).
 func (l *Lib) Fsync(th *proc.Thread, fd int) (err error) {
+	defer l.trace(th, telemetry.OpFsync)()
 	defer l.guard(th, &err)
 	e, err := l.getFD(fd)
 	if err != nil {
@@ -433,6 +463,7 @@ func (l *Lib) Fsync(th *proc.Thread, fd int) (err error) {
 
 // Fstat stats an open FD.
 func (l *Lib) Fstat(th *proc.Thread, fd int) (fi vfs.FileInfo, err error) {
+	defer l.trace(th, telemetry.OpStat)()
 	defer l.guard(th, &err)
 	e, err := l.getFD(fd)
 	if err != nil {
@@ -443,6 +474,7 @@ func (l *Lib) Fstat(th *proc.Thread, fd int) (fi vfs.FileInfo, err error) {
 
 // Ftruncate resizes an open FD.
 func (l *Lib) Ftruncate(th *proc.Thread, fd int, size int64) (err error) {
+	defer l.trace(th, telemetry.OpTruncate)()
 	defer l.guard(th, &err)
 	e, err := l.getFD(fd)
 	if err != nil {
@@ -457,6 +489,7 @@ func (l *Lib) Ftruncate(th *proc.Thread, fd int, size int64) (err error) {
 
 // Stat stats a path (following symlinks).
 func (l *Lib) Stat(th *proc.Thread, path string) (fi vfs.FileInfo, err error) {
+	defer l.trace(th, telemetry.OpStat)()
 	defer l.guard(th, &err)
 	err = l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		var e error
@@ -468,6 +501,7 @@ func (l *Lib) Stat(th *proc.Thread, path string) (fi vfs.FileInfo, err error) {
 
 // Mkdir creates a directory.
 func (l *Lib) Mkdir(th *proc.Thread, path string, mode coffer.Mode) (err error) {
+	defer l.trace(th, telemetry.OpMkdir)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Mkdir(th, p, mode)
@@ -476,6 +510,7 @@ func (l *Lib) Mkdir(th *proc.Thread, path string, mode coffer.Mode) (err error) 
 
 // Unlink removes a file.
 func (l *Lib) Unlink(th *proc.Thread, path string) (err error) {
+	defer l.trace(th, telemetry.OpUnlink)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Unlink(th, p)
@@ -484,6 +519,7 @@ func (l *Lib) Unlink(th *proc.Thread, path string) (err error) {
 
 // Rmdir removes an empty directory.
 func (l *Lib) Rmdir(th *proc.Thread, path string) (err error) {
+	defer l.trace(th, telemetry.OpRmdir)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Rmdir(th, p)
@@ -492,6 +528,7 @@ func (l *Lib) Rmdir(th *proc.Thread, path string) (err error) {
 
 // Rename moves a file or directory.
 func (l *Lib) Rename(th *proc.Thread, oldPath, newPath string) (err error) {
+	defer l.trace(th, telemetry.OpRename)()
 	defer l.guard(th, &err)
 	np, inMount := l.resolve(newPath)
 	if !inMount {
@@ -504,6 +541,7 @@ func (l *Lib) Rename(th *proc.Thread, oldPath, newPath string) (err error) {
 
 // Chmod changes permission bits.
 func (l *Lib) Chmod(th *proc.Thread, path string, mode coffer.Mode) (err error) {
+	defer l.trace(th, telemetry.OpChmod)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Chmod(th, p, mode)
@@ -512,6 +550,7 @@ func (l *Lib) Chmod(th *proc.Thread, path string, mode coffer.Mode) (err error) 
 
 // Chown changes ownership.
 func (l *Lib) Chown(th *proc.Thread, path string, uid, gid uint32) (err error) {
+	defer l.trace(th, telemetry.OpChown)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Chown(th, p, uid, gid)
@@ -520,6 +559,7 @@ func (l *Lib) Chown(th *proc.Thread, path string, uid, gid uint32) (err error) {
 
 // Symlink creates a symbolic link.
 func (l *Lib) Symlink(th *proc.Thread, target, link string) (err error) {
+	defer l.trace(th, telemetry.OpSymlink)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, link, func(fs vfs.FileSystem, p string) error {
 		return fs.Symlink(th, target, p)
@@ -528,6 +568,7 @@ func (l *Lib) Symlink(th *proc.Thread, target, link string) (err error) {
 
 // Readlink reads a symlink's target.
 func (l *Lib) Readlink(th *proc.Thread, path string) (target string, err error) {
+	defer l.trace(th, telemetry.OpReadlink)()
 	defer l.guard(th, &err)
 	err = l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		var e error
@@ -539,6 +580,7 @@ func (l *Lib) Readlink(th *proc.Thread, path string) (target string, err error) 
 
 // ReadDir lists a directory.
 func (l *Lib) ReadDir(th *proc.Thread, path string) (ents []vfs.DirEntry, err error) {
+	defer l.trace(th, telemetry.OpReadDir)()
 	defer l.guard(th, &err)
 	err = l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		var e error
@@ -550,6 +592,7 @@ func (l *Lib) ReadDir(th *proc.Thread, path string) (ents []vfs.DirEntry, err er
 
 // Truncate resizes a file by path.
 func (l *Lib) Truncate(th *proc.Thread, path string, size int64) (err error) {
+	defer l.trace(th, telemetry.OpTruncate)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Truncate(th, p, size)

@@ -26,6 +26,13 @@ type Options struct {
 	Threads []int
 	// TargetNS is the virtual measurement window per thread.
 	TargetNS int64
+	// Stats enables per-layer telemetry: each benchmark cell prints a
+	// counter/latency table and the experiment writes a metrics sidecar
+	// JSON into StatsDir.
+	Stats bool
+	// StatsDir receives the metrics-<experiment>.json sidecars (default
+	// "results").
+	StatsDir string
 }
 
 func (o *Options) fill() {

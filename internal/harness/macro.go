@@ -8,14 +8,19 @@ import (
 	"zofs/internal/sysfactory"
 )
 
-// runFilebenchCell builds a fresh instance and runs one personality cell.
-func runFilebenchCell(sys sysfactory.System, cfg filebench.Config, threads int, opts Options) (filebench.Result, error) {
+// runFilebenchCell builds a fresh instance and runs one personality cell,
+// recording its telemetry interval when stats are on.
+func runFilebenchCell(sys sysfactory.System, cfg filebench.Config, threads int, opts Options, st *statsRun) (filebench.Result, error) {
 	in, err := sys.New(opts.DeviceBytes)
 	if err != nil {
 		return filebench.Result{}, err
 	}
 	in.SetConcurrency(threads)
-	return filebench.Run(in.FS, in.Proc, cfg, threads, opts.TargetNS)
+	r, err := filebench.Run(st.wrap(in.FS), in.Proc, cfg, threads, opts.TargetNS)
+	if err == nil {
+		st.endCell(fmt.Sprintf("%s/%s/%d", sys.Name, cfg.Personality, threads))
+	}
+	return r, err
 }
 
 // RunFig9 sweeps the four Filebench personalities over threads for every
@@ -23,6 +28,7 @@ func runFilebenchCell(sys sysfactory.System, cfg filebench.Config, threads int, 
 // (paper Figure 9).
 func RunFig9(w io.Writer, opts Options) error {
 	opts.fill()
+	st := newStatsRun(opts, "fig9")
 	fmt.Fprintln(w, "Figure 9: Filebench throughput (kops/s)")
 	for _, p := range filebench.All {
 		fmt.Fprintf(w, "\n(%s)\n", p)
@@ -39,7 +45,7 @@ func RunFig9(w io.Writer, opts Options) error {
 		for _, th := range opts.Threads {
 			fmt.Fprintf(t, "%d", th)
 			for _, sys := range comparisonSystems() {
-				r, err := runFilebenchCell(sys, filebench.Default(p), th, opts)
+				r, err := runFilebenchCell(sys, filebench.Default(p), th, opts, st)
 				if err != nil {
 					return fmt.Errorf("fig9 %s/%s/%d: %w", sys.Name, p, th, err)
 				}
@@ -48,7 +54,7 @@ func RunFig9(w io.Writer, opts Options) error {
 			if withNarrow {
 				cfg := filebench.Default(p)
 				cfg.DirWidth = 20
-				r, err := runFilebenchCell(sysfactory.ZoFS, cfg, th, opts)
+				r, err := runFilebenchCell(sysfactory.ZoFS, cfg, th, opts, st)
 				if err != nil {
 					return err
 				}
@@ -60,18 +66,19 @@ func RunFig9(w io.Writer, opts Options) error {
 			return err
 		}
 	}
-	return nil
+	return st.finish(w)
 }
 
 // RunFig10 prints the customized configurations (paper Figure 10):
 // single-threaded fileserver and varmail with dir-width 20.
 func RunFig10(w io.Writer, opts Options) error {
 	opts.fill()
+	st := newStatsRun(opts, "fig10")
 	fmt.Fprintln(w, "Figure 10(a): Fileserver with one thread (kops/s)")
 	t := tw(w)
 	fmt.Fprintln(t, "System\tkops/s")
 	for _, sys := range comparisonSystems() {
-		r, err := runFilebenchCell(sys, filebench.Default(filebench.Fileserver), 1, opts)
+		r, err := runFilebenchCell(sys, filebench.Default(filebench.Fileserver), 1, opts, st)
 		if err != nil {
 			return err
 		}
@@ -87,15 +94,18 @@ func RunFig10(w io.Writer, opts Options) error {
 	cfg := filebench.Default(filebench.Varmail)
 	cfg.DirWidth = 20
 	for _, sys := range comparisonSystems() {
-		r1, err := runFilebenchCell(sys, cfg, 1, opts)
+		r1, err := runFilebenchCell(sys, cfg, 1, opts, st)
 		if err != nil {
 			return err
 		}
-		r4, err := runFilebenchCell(sys, cfg, 4, opts)
+		r4, err := runFilebenchCell(sys, cfg, 4, opts, st)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(t, "%s\t%.1f\t%.1f\n", sys.Name, r1.KopsPerSec, r4.KopsPerSec)
 	}
-	return t.Flush()
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	return st.finish(w)
 }

@@ -183,6 +183,7 @@ type secondMounter interface {
 // compared file system (paper Figure 7).
 func RunFig7(w io.Writer, opts Options) error {
 	opts.fill()
+	st := newStatsRun(opts, "fig7")
 	fmt.Fprintln(w, "Figure 7: FxMark throughput (Mops/s), 4KB units")
 	for _, wl := range fxmark.All {
 		fmt.Fprintf(w, "\n(%s)\n", wl)
@@ -199,11 +200,12 @@ func RunFig7(w io.Writer, opts Options) error {
 				if err != nil {
 					return err
 				}
-				env := &fxmark.Env{FS: in.FS, Proc: in.Proc, SetConcurrency: in.SetConcurrency}
+				env := &fxmark.Env{FS: st.wrap(in.FS), Proc: in.Proc, SetConcurrency: in.SetConcurrency}
 				r, err := fxmark.Run(env, wl, th, opts.TargetNS)
 				if err != nil {
 					return fmt.Errorf("fig7 %s/%s/%d: %w", sys.Name, wl, th, err)
 				}
+				st.endCell(fmt.Sprintf("%s/%s/%d", sys.Name, wl, th))
 				fmt.Fprintf(t, "\t%.3f", r.MopsPerSec)
 			}
 			fmt.Fprintln(t)
@@ -212,7 +214,7 @@ func RunFig7(w io.Writer, opts Options) error {
 			return err
 		}
 	}
-	return nil
+	return st.finish(w)
 }
 
 // RunFig8 reproduces the DWOL breakdown (paper Figure 8): ZoFS and its
@@ -224,6 +226,7 @@ func RunFig8(w io.Writer, opts Options) error {
 		sysfactory.NOVANoIndex, sysfactory.PMFSNocache, sysfactory.ZoFSKWrite, sysfactory.NOVAiNoIndex,
 		sysfactory.PMFS, sysfactory.NOVA, sysfactory.NOVAi,
 	}
+	st := newStatsRun(opts, "fig8")
 	fmt.Fprintln(w, "Figure 8: Throughput breakdown of DWOL (Mops/s, 1 thread)")
 	t := tw(w)
 	fmt.Fprintln(t, "System\tMops/s")
@@ -232,12 +235,16 @@ func RunFig8(w io.Writer, opts Options) error {
 		if err != nil {
 			return err
 		}
-		env := &fxmark.Env{FS: in.FS, Proc: in.Proc, SetConcurrency: in.SetConcurrency}
+		env := &fxmark.Env{FS: st.wrap(in.FS), Proc: in.Proc, SetConcurrency: in.SetConcurrency}
 		r, err := fxmark.Run(env, fxmark.DWOL, 1, opts.TargetNS)
 		if err != nil {
 			return fmt.Errorf("fig8 %s: %w", sys.Name, err)
 		}
+		st.endCell(fmt.Sprintf("%s/%s/1", sys.Name, fxmark.DWOL))
 		fmt.Fprintf(t, "%s\t%.3f\n", sys.Name, r.MopsPerSec)
 	}
-	return t.Flush()
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	return st.finish(w)
 }

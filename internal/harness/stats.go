@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"zofs/internal/obsfs"
+	"zofs/internal/telemetry"
+	"zofs/internal/vfs"
+)
+
+// statsCell is one benchmark cell's telemetry interval in the sidecar JSON.
+type statsCell struct {
+	Label   string             `json:"label"`
+	Metrics telemetry.Snapshot `json:"metrics"`
+}
+
+// statsRun collects per-cell telemetry for one experiment when Options.Stats
+// is set. The nil *statsRun is a valid no-op, so experiment code calls it
+// unconditionally.
+type statsRun struct {
+	name  string
+	dir   string
+	rec   *telemetry.Recorder
+	prev  telemetry.Snapshot
+	cells []statsCell
+}
+
+// newStatsRun enables process-wide telemetry for an experiment; devices
+// created afterwards attach to the returned recorder. Returns nil (no-op)
+// when stats are off.
+func newStatsRun(opts Options, name string) *statsRun {
+	if !opts.Stats {
+		return nil
+	}
+	dir := opts.StatsDir
+	if dir == "" {
+		dir = "results"
+	}
+	return &statsRun{name: name, dir: dir, rec: telemetry.Enable()}
+}
+
+// wrap instruments a file system for per-op latency observation. Benchmarks
+// drive the vfs interface directly (bypassing FSLibs), so op histograms come
+// from this wrapper. Must be applied after any concrete-type assertions on
+// the instance's FS.
+func (s *statsRun) wrap(fs vfs.FileSystem) vfs.FileSystem {
+	if s == nil {
+		return fs
+	}
+	return obsfs.Wrap(fs, s.rec)
+}
+
+// endCell closes one benchmark cell, recording the telemetry delta since the
+// previous cell under the given label (e.g. "ZoFS/DWOL/4").
+func (s *statsRun) endCell(label string) {
+	if s == nil {
+		return
+	}
+	cur := s.rec.Snapshot()
+	s.cells = append(s.cells, statsCell{Label: label, Metrics: cur.Diff(s.prev)})
+	s.prev = cur
+}
+
+// finish disables telemetry, prints each cell's tables and writes the
+// experiment's metrics sidecar (results/metrics-<name>.json).
+func (s *statsRun) finish(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	telemetry.Disable()
+	for _, c := range s.cells {
+		fmt.Fprintf(w, "\n[stats %s]\n", c.Label)
+		if err := c.Metrics.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Experiment string      `json:"experiment"`
+		Cells      []statsCell `json:"cells"`
+	}{Experiment: s.name, Cells: s.cells}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, "metrics-"+s.name+".json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nmetrics sidecar: %s\n", path)
+	return nil
+}

@@ -1,0 +1,117 @@
+package harness_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zofs/internal/harness"
+)
+
+// sidecar mirrors the metrics JSON schema written by stats runs.
+type sidecar struct {
+	Experiment string `json:"experiment"`
+	Cells      []struct {
+		Label   string `json:"label"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+			Ops      map[string]struct {
+				Count int64 `json:"count"`
+				P50NS int64 `json:"p50_ns"`
+				P99NS int64 `json:"p99_ns"`
+			} `json:"ops"`
+		} `json:"metrics"`
+	} `json:"cells"`
+}
+
+func readSidecar(t *testing.T, path string) sidecar {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("sidecar: %v", err)
+	}
+	var sc sidecar
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		t.Fatalf("sidecar JSON: %v", err)
+	}
+	return sc
+}
+
+// TestStatsFig8 runs the FxMark DWOL breakdown with telemetry and checks the
+// per-layer tables and the sidecar carry real per-layer data.
+func TestStatsFig8(t *testing.T) {
+	opts := tiny()
+	opts.Stats = true
+	opts.StatsDir = t.TempDir()
+
+	var b bytes.Buffer
+	if err := harness.RunFig8(&b, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, w := range []string{"[stats ZoFS/DWOL/1]", "bytes_written", "p99 ns", "metrics sidecar:"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("stats output missing %q:\n%s", w, out)
+		}
+	}
+	// ZoFS cells must show protection switching; kernel cells syscalls.
+	if !strings.Contains(out, "pkru_switches") {
+		t.Fatalf("stats output missing PKRU switch counts:\n%s", out)
+	}
+
+	sc := readSidecar(t, filepath.Join(opts.StatsDir, "metrics-fig8.json"))
+	if sc.Experiment != "fig8" || len(sc.Cells) == 0 {
+		t.Fatalf("sidecar = %+v", sc)
+	}
+	var zofsCell bool
+	for _, c := range sc.Cells {
+		if !strings.HasPrefix(c.Label, "ZoFS/") {
+			continue
+		}
+		zofsCell = true
+		if c.Metrics.Counters["nvm.bytes_written"] == 0 {
+			t.Errorf("%s: no NVM bytes written", c.Label)
+		}
+		if c.Metrics.Counters["mpk.pkru_switches"] == 0 {
+			t.Errorf("%s: no PKRU switches", c.Label)
+		}
+		w, ok := c.Metrics.Ops["write"]
+		if !ok || w.Count == 0 || w.P99NS == 0 || w.P50NS > w.P99NS {
+			t.Errorf("%s: bad write latency summary %+v", c.Label, w)
+		}
+	}
+	if !zofsCell {
+		t.Fatal("no ZoFS cell in sidecar")
+	}
+}
+
+// TestStatsFig10 checks the Filebench path produces the same telemetry.
+func TestStatsFig10(t *testing.T) {
+	opts := tiny()
+	opts.Stats = true
+	opts.StatsDir = t.TempDir()
+
+	var b bytes.Buffer
+	if err := harness.RunFig10(&b, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "[stats ZoFS/fileserver/1]") {
+		t.Fatalf("fig10 stats output missing fileserver cell:\n%s", b.String())
+	}
+	sc := readSidecar(t, filepath.Join(opts.StatsDir, "metrics-fig10.json"))
+	if sc.Experiment != "fig10" || len(sc.Cells) == 0 {
+		t.Fatalf("sidecar = %+v", sc)
+	}
+	for _, c := range sc.Cells {
+		if strings.HasPrefix(c.Label, "ZoFS/varmail/") {
+			if c.Metrics.Counters["kernfs.syscalls"] == 0 {
+				t.Errorf("%s: no kernfs syscalls recorded", c.Label)
+			}
+			return
+		}
+	}
+	t.Fatal("no ZoFS varmail cell in fig10 sidecar")
+}

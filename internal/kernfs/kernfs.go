@@ -24,6 +24,7 @@ import (
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
 	"zofs/internal/simclock"
+	"zofs/internal/telemetry"
 )
 
 // Exported error sentinels, the analogues of errno values.
@@ -206,6 +207,10 @@ func Mount(dev *nvm.Device) (*KernFS, error) {
 // Device returns the underlying NVM device.
 func (k *KernFS) Device() *nvm.Device { return k.dev }
 
+// rec returns the telemetry recorder attached to the device (nil when
+// telemetry is disabled; all recorder methods are nil-safe).
+func (k *KernFS) rec() *telemetry.Recorder { return k.dev.Recorder() }
+
 // RootCoffer returns the coffer holding "/".
 func (k *KernFS) RootCoffer() coffer.ID { return k.rootCoffer }
 
@@ -351,6 +356,7 @@ func (k *KernFS) ExtentsOf(id coffer.ID) []coffer.Extent {
 // inode page, custom page). Returns the new coffer's ID.
 func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ coffer.Type, mode coffer.Mode, uid, gid uint32, npages int64) (coffer.ID, error) {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernCofferNew)
 	if npages < 3 {
 		npages = 3
 	}
@@ -405,6 +411,7 @@ func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ c
 // other process may have it mapped.
 func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernCofferDelete)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	ci := k.coffers[id]
@@ -446,6 +453,8 @@ func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
 // is extremely frequent.
 func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero bool) ([]coffer.Extent, error) {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernCofferEnlarge)
+	k.rec().Add(telemetry.CtrKernEnlargePages, npages)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	ci := k.coffers[id]
@@ -483,6 +492,7 @@ func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero
 // retagged individually — as expensive per page as coffer_split (Table 9).
 func (k *KernFS) MovePages(th *proc.Thread, src, dst coffer.ID, pages []int64) error {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernMovePages)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	si, di := k.coffers[src], k.coffers[dst]
@@ -518,6 +528,7 @@ func (k *KernFS) MovePages(th *proc.Thread, src, dst coffer.ID, pages []int64) e
 // (Table 5: coffer_shrink).
 func (k *KernFS) CofferShrink(th *proc.Thread, id coffer.ID, exts []coffer.Extent) error {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernCofferShrink)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	ci := k.coffers[id]
@@ -559,6 +570,7 @@ type MapInfo struct {
 // the 15 available protection keys (§3.4.2).
 func (k *KernFS) CofferMap(th *proc.Thread, id coffer.ID, write bool) (MapInfo, error) {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernCofferMap)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	ci := k.coffers[id]
@@ -622,6 +634,7 @@ func (ps *procState) allocKey() (mpk.Key, bool) {
 // coffer_unmap), releasing its MPK region.
 func (k *KernFS) CofferUnmap(th *proc.Thread, id coffer.ID) error {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernCofferUnmap)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	ps := k.stateOf(th.Proc.PID)
@@ -793,6 +806,7 @@ func (k *KernFS) renameTreeLocked(th *proc.Thread, oldPath, newPath string, exac
 // points (chosen by the µFS from among the moved pages).
 func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mode coffer.Mode, uid, gid uint32, pages []int64, rootInode, custom int64) (coffer.ID, error) {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernCofferSplit)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	ci := k.coffers[old]
@@ -846,6 +860,7 @@ func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mod
 // one and its root page freed.
 func (k *KernFS) CofferMerge(th *proc.Thread, dst, src coffer.ID) error {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernCofferMerge)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	di, si := k.coffers[dst], k.coffers[src]
@@ -899,6 +914,7 @@ func (k *KernFS) CofferMerge(th *proc.Thread, dst, src coffer.ID) error {
 // Returns the coffer's extents for the initiator's scan.
 func (k *KernFS) BeginRecover(th *proc.Thread, id coffer.ID, leaseNS uint64) ([]coffer.Extent, error) {
 	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernRecoveries)
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
 	ci := k.coffers[id]

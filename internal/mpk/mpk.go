@@ -54,11 +54,13 @@ func (p PKRU) WithAccess(k Key, read, write bool) PKRU {
 }
 
 // Violation is the panic value raised on a protection fault. It carries
-// enough context for FSLibs to translate it into a file system error.
+// enough context for FSLibs to translate it into a file system error, plus
+// the offending thread's PKRU value for fault diagnostics.
 type Violation struct {
 	Page  int64
 	Key   Key
 	Write bool
+	PKRU  PKRU
 	Cause string
 }
 
@@ -67,7 +69,7 @@ func (v Violation) Error() string {
 	if v.Write {
 		op = "write"
 	}
-	return fmt.Sprintf("mpk violation: %s page %d key %d: %s", op, v.Page, v.Key, v.Cause)
+	return fmt.Sprintf("mpk violation: %s page %d key %d pkru=%#010x: %s", op, v.Page, v.Key, uint32(v.PKRU), v.Cause)
 }
 
 // Page-table entry bits stored per page in an AddressSpace.
@@ -119,22 +121,22 @@ func (a *AddressSpace) Check(pkru PKRU, page, count int64, write bool) {
 	defer a.mu.RUnlock()
 	for i := page; i < page+count; i++ {
 		if i < 0 || i >= int64(len(a.pages)) {
-			panic(Violation{Page: i, Write: write, Cause: "page not in address space"})
+			panic(Violation{Page: i, Write: write, PKRU: pkru, Cause: "page not in address space"})
 		}
 		e := a.pages[i]
 		if e&ptePresent == 0 {
-			panic(Violation{Page: i, Write: write, Cause: "page not mapped"})
+			panic(Violation{Page: i, Write: write, PKRU: pkru, Cause: "page not mapped"})
 		}
 		k := Key(e & pteKeyMask)
 		if write {
 			if e&pteWritable == 0 {
-				panic(Violation{Page: i, Key: k, Write: true, Cause: "page mapped read-only"})
+				panic(Violation{Page: i, Key: k, Write: true, PKRU: pkru, Cause: "page mapped read-only"})
 			}
 			if !pkru.CanWrite(k) {
-				panic(Violation{Page: i, Key: k, Write: true, Cause: "PKRU write-disable"})
+				panic(Violation{Page: i, Key: k, Write: true, PKRU: pkru, Cause: "PKRU write-disable"})
 			}
 		} else if !pkru.CanRead(k) {
-			panic(Violation{Page: i, Key: k, Cause: "PKRU access-disable"})
+			panic(Violation{Page: i, Key: k, PKRU: pkru, Cause: "PKRU access-disable"})
 		}
 	}
 }

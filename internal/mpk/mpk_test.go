@@ -1,6 +1,8 @@
 package mpk
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -101,6 +103,29 @@ func TestPKRUWriteDisable(t *testing.T) {
 	v := expectViolation(t, func() { a.Check(roPKRU, 0, 1, true) })
 	if v.Cause != "PKRU write-disable" {
 		t.Fatalf("cause = %q", v.Cause)
+	}
+}
+
+// TestViolationCarriesPKRU checks the faulting register value rides along in
+// the Violation and appears in its message, for fault diagnostics.
+func TestViolationCarriesPKRU(t *testing.T) {
+	a := NewAddressSpace(16)
+	a.Map(0, 1, 1, true)
+	roPKRU := DefaultPKRU().WithAccess(1, true, false)
+	v := expectViolation(t, func() { a.Check(roPKRU, 0, 1, true) })
+	if v.PKRU != roPKRU {
+		t.Fatalf("violation PKRU = %#x, want %#x", uint32(v.PKRU), uint32(roPKRU))
+	}
+	msg := v.Error()
+	want := fmt.Sprintf("pkru=%#010x", uint32(roPKRU))
+	if !strings.Contains(msg, want) {
+		t.Fatalf("Error() = %q, missing %q", msg, want)
+	}
+
+	// Out-of-range accesses also report the register in effect.
+	v = expectViolation(t, func() { a.Check(roPKRU, -1, 1, false) })
+	if v.PKRU != roPKRU {
+		t.Fatalf("out-of-range violation PKRU = %#x, want %#x", uint32(v.PKRU), uint32(roPKRU))
 	}
 }
 

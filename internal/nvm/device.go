@@ -24,6 +24,7 @@ import (
 
 	"zofs/internal/perfmodel"
 	"zofs/internal/simclock"
+	"zofs/internal/telemetry"
 )
 
 // PageSize is the device allocation granularity.
@@ -79,6 +80,12 @@ type Device struct {
 		mu    sync.Mutex
 		lines map[int64][]byte // line offset -> last persisted content
 	}
+	// dirtyCount approximates the number of unpersisted lines for the
+	// telemetry high-water mark without walking the stripes.
+	dirtyCount atomic.Int64
+
+	// rec is the telemetry sink; nil (the default) is a valid no-op sink.
+	rec *telemetry.Recorder
 
 	casMu [lockStripes]sync.Mutex
 
@@ -108,6 +115,7 @@ func New(cfg Config) *Device {
 		readBW:  simclock.NewBandwidth(perfmodel.NVMReadBandwidth),
 		writeBW: simclock.NewBandwidth(perfmodel.NVMWriteBandwidth),
 		track:   cfg.TrackPersistence,
+		rec:     telemetry.Active(),
 		uid:     nextDeviceUID.Add(1),
 	}
 	if d.track {
@@ -122,6 +130,15 @@ type chunk [chunkBytes]byte
 
 // Size returns the device capacity in bytes.
 func (d *Device) Size() int64 { return d.size }
+
+// Recorder returns the device's telemetry sink; nil means telemetry is off.
+// Every layer above the device (proc, kernfs, zofs, fslibs) reaches its
+// recorder through this accessor.
+func (d *Device) Recorder() *telemetry.Recorder { return d.rec }
+
+// SetRecorder attaches a telemetry sink to an existing device (tools that
+// load images attach after construction; nil detaches).
+func (d *Device) SetRecorder(r *telemetry.Recorder) { d.rec = r }
 
 // UID returns a process-unique identity for this device. Registries that
 // outlive individual devices key on the UID rather than the pointer so a
@@ -190,7 +207,12 @@ func (d *Device) copyIn(off int64, buf []byte) {
 // SetConcurrency informs the cost model of the number of threads actively
 // writing, applying the Optane write-bandwidth degradation factor.
 func (d *Device) SetConcurrency(n int) {
-	d.writeBW.SetDegradation(perfmodel.WriteBWDegradation(n))
+	f := perfmodel.WriteBWDegradation(n)
+	d.writeBW.SetDegradation(f)
+	if f < 1 {
+		d.rec.Inc(telemetry.CtrNVMDegradeEvents)
+	}
+	d.rec.Max(telemetry.GaugeWriteConcurrency, int64(n))
 }
 
 // check panics (like a machine check / SIGSEGV) on out-of-range access.
@@ -230,6 +252,8 @@ func (d *Device) Read(clk *simclock.Clock, off int64, buf []byte) {
 		clk.Advance(perfmodel.NVMReadLatency)
 		d.readBW.TransferUnqueued(clk, int(n))
 	}
+	d.rec.Inc(telemetry.CtrNVMReads)
+	d.rec.Add(telemetry.CtrNVMBytesRead, n)
 	d.copyOut(off, buf)
 }
 
@@ -251,9 +275,11 @@ func (d *Device) saveDirty(off, n int64) {
 			saved := make([]byte, LineSize)
 			d.copyOut(lo, saved)
 			s.lines[lo] = saved
+			d.dirtyCount.Add(1)
 		}
 		s.mu.Unlock()
 	}
+	d.rec.Max(telemetry.GaugeDirtyLinesHWM, d.dirtyCount.Load())
 }
 
 // clearDirty marks every line in [off,off+n) persisted.
@@ -262,7 +288,10 @@ func (d *Device) clearDirty(off, n int64) {
 	for lo := first; lo < off+n; lo += LineSize {
 		s := &d.dirty[(lo/LineSize)%lockStripes]
 		s.mu.Lock()
-		delete(s.lines, lo)
+		if _, ok := s.lines[lo]; ok {
+			delete(s.lines, lo)
+			d.dirtyCount.Add(-1)
+		}
 		s.mu.Unlock()
 	}
 }
@@ -285,6 +314,7 @@ func (d *Device) Write(clk *simclock.Clock, off int64, data []byte) {
 		clk.Advance(perfmodel.CachedWriteRFO)
 		d.readBW.TransferUnqueued(clk, int(n))
 	}
+	d.rec.Inc(telemetry.CtrNVMCachedWrites)
 	if d.track {
 		d.saveDirty(off, n)
 	}
@@ -310,6 +340,9 @@ func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
 			d.writeBW.Transfer(clk, int(n))
 		}
 	}
+	d.rec.Inc(telemetry.CtrNVMNTStores)
+	d.rec.Inc(telemetry.CtrNVMFences) // WriteNT folds the trailing fence in
+	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
 	d.copyIn(off, data)
 	if d.track {
 		d.clearDirty(off, n)
@@ -329,6 +362,10 @@ func (d *Device) Flush(clk *simclock.Clock, off, n int64) {
 			d.writeBW.Transfer(clk, int(n))
 		}
 	}
+	d.rec.Inc(telemetry.CtrNVMFlushes)
+	d.rec.Inc(telemetry.CtrNVMFences)
+	d.rec.Add(telemetry.CtrNVMCLWBLines, lines(off, n))
+	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
 	if d.track {
 		d.clearDirty(off, n)
 	}
@@ -341,6 +378,7 @@ func (d *Device) Fence(clk *simclock.Clock) {
 	if clk != nil {
 		clk.Advance(perfmodel.FenceCost)
 	}
+	d.rec.Inc(telemetry.CtrNVMFences)
 }
 
 // Zero writes zeros over the range with non-temporal stores. Scrubbing is
@@ -353,6 +391,9 @@ func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
 		clk.Advance(perfmodel.NVMWriteLatency)
 		d.writeBW.TransferUnqueued(clk, int(n))
 	}
+	d.rec.Inc(telemetry.CtrNVMNTStores)
+	d.rec.Add(telemetry.CtrNVMZeroBytes, n)
+	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
 	for rem := n; rem > 0; {
 		c := d.chunkFor(off, false)
 		co := off % chunkBytes
@@ -403,6 +444,9 @@ func (d *Device) Store64(clk *simclock.Clock, off int64, v uint64) {
 		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.FenceCost)
 		d.writeBW.TransferUnqueued(clk, 8)
 	}
+	d.rec.Inc(telemetry.CtrNVMNTStores)
+	d.rec.Inc(telemetry.CtrNVMFences)
+	d.rec.Add(telemetry.CtrNVMBytesWritten, 8)
 	c := d.chunkFor(off, true)
 	mu := &d.casMu[(off/8)%lockStripes]
 	mu.Lock()
@@ -434,6 +478,9 @@ func (d *Device) CAS64(clk *simclock.Clock, off int64, old, new uint64) bool {
 	}
 	binary.LittleEndian.PutUint64(c[off%chunkBytes:], new)
 	mu.Unlock()
+	d.rec.Inc(telemetry.CtrNVMNTStores)
+	d.rec.Inc(telemetry.CtrNVMFences)
+	d.rec.Add(telemetry.CtrNVMBytesWritten, 8)
 	if d.track {
 		d.clearDirty(off, 8)
 	}
@@ -455,6 +502,7 @@ func (d *Device) Crash() {
 		for lo, saved := range s.lines {
 			d.copyIn(lo, saved)
 			delete(s.lines, lo)
+			d.dirtyCount.Add(-1)
 		}
 		s.mu.Unlock()
 	}

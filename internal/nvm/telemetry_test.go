@@ -1,0 +1,107 @@
+package nvm
+
+import (
+	"sync"
+	"testing"
+
+	"zofs/internal/simclock"
+	"zofs/internal/telemetry"
+)
+
+// TestTelemetryCountersConcurrent drives the device from many concurrent
+// writers with degraded-bandwidth concurrency set and asserts every media
+// event was counted — the sharded counters must not lose increments under
+// the race detector.
+func TestTelemetryCountersConcurrent(t *testing.T) {
+	rec := telemetry.Enable()
+	defer telemetry.Disable()
+
+	d := New(Config{Size: 1 << 24})
+	// 16 concurrent writers: past the 8-thread knee, so the bandwidth model
+	// degrades and a degrade event must be counted.
+	const workers = 16
+	const opsPer = 500
+	d.SetConcurrency(workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clk := simclock.NewClock()
+			buf := make([]byte, 64)
+			base := int64(w) * opsPer * 128
+			for i := 0; i < opsPer; i++ {
+				off := base + int64(i)*128
+				d.WriteNT(clk, off, buf)
+				d.Read(clk, off, buf)
+				d.Write(clk, off, buf)
+				d.Flush(clk, off, 64)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := rec.Snapshot()
+	const total = workers * opsPer
+	checks := map[string]int64{
+		"nvm.nt_stores":     total,
+		"nvm.reads":         total,
+		"nvm.bytes_read":    total * 64,
+		"nvm.cached_writes": total,
+		"nvm.flushes":       total,
+		// WriteNT and Flush each count one fence.
+		"nvm.fences": 2 * total,
+		// 64B at a 128B stride stays within one cache line per flush.
+		"nvm.clwb_lines": total,
+		// WriteNT + Flush both move 64 bytes to media.
+		"nvm.bytes_written": 2 * total * 64,
+	}
+	for name, want := range checks {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if s.Gauges["nvm.write_concurrency_hwm"] != workers {
+		t.Errorf("write_concurrency_hwm = %d, want %d", s.Gauges["nvm.write_concurrency_hwm"], workers)
+	}
+	if s.Counters["nvm.degrade_events"] == 0 {
+		t.Errorf("degrade_events = 0, want >0 at concurrency %d", workers)
+	}
+}
+
+// TestTelemetryDisabledIsNil checks devices created without an active
+// recorder stay unobserved and never panic on the nil sink.
+func TestTelemetryDisabledIsNil(t *testing.T) {
+	d := New(Config{Size: 1 << 20})
+	if d.Recorder() != nil {
+		t.Fatal("device picked up a recorder with telemetry disabled")
+	}
+	clk := simclock.NewClock()
+	buf := make([]byte, 64)
+	d.WriteNT(clk, 0, buf)
+	d.Read(clk, 0, buf)
+	d.Flush(clk, 0, 64)
+	d.SetConcurrency(4)
+}
+
+// TestDirtyLineHWM checks the dirty-line high-water-mark gauge follows
+// cached writes and drains on flush.
+func TestDirtyLineHWM(t *testing.T) {
+	rec := telemetry.Enable()
+	defer telemetry.Disable()
+	d := New(Config{Size: 1 << 20, TrackPersistence: true})
+	clk := simclock.NewClock()
+	buf := make([]byte, 64)
+	for i := int64(0); i < 10; i++ {
+		d.Write(clk, i*64, buf)
+	}
+	if hwm := rec.Snapshot().Gauges["nvm.dirty_lines_hwm"]; hwm != 10 {
+		t.Errorf("dirty_lines_hwm = %d, want 10", hwm)
+	}
+	d.Flush(clk, 0, 10*64)
+	// The HWM must not shrink after the flush: it is a high-water mark.
+	if hwm := rec.Snapshot().Gauges["nvm.dirty_lines_hwm"]; hwm != 10 {
+		t.Errorf("dirty_lines_hwm after flush = %d, want 10", hwm)
+	}
+}

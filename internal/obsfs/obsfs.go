@@ -1,0 +1,190 @@
+// Package obsfs wraps a vfs.FileSystem with telemetry: every operation is
+// counted, its simulated latency histogrammed and appended to the calling
+// thread's op-trace ring. The benchmark harness uses it to observe workloads
+// that drive a file system directly through the vfs interface (FxMark,
+// Filebench), bypassing the FSLibs dispatcher and its instrumentation.
+//
+// The wrapper is transparent for correctness but not for type identity:
+// harness code that type-asserts on the concrete file system must wrap only
+// after such assertions (see harness.statsRun).
+package obsfs
+
+import (
+	"zofs/internal/coffer"
+	"zofs/internal/proc"
+	"zofs/internal/telemetry"
+	"zofs/internal/vfs"
+)
+
+// FS observes a wrapped file system.
+type FS struct {
+	inner vfs.FileSystem
+	rec   *telemetry.Recorder
+}
+
+// Wrap returns fs instrumented against rec. A nil recorder returns fs
+// unchanged — no wrapping cost when telemetry is off.
+func Wrap(fs vfs.FileSystem, rec *telemetry.Recorder) vfs.FileSystem {
+	if rec == nil {
+		return fs
+	}
+	return &FS{inner: fs, rec: rec}
+}
+
+// Unwrap returns the wrapped file system (tooling, type assertions).
+func (f *FS) Unwrap() vfs.FileSystem { return f.inner }
+
+// observe records one completed operation against the thread's virtual clock.
+func (f *FS) observe(th *proc.Thread, op telemetry.Op, start int64) {
+	d := th.Clk.Now() - start
+	f.rec.Inc(telemetry.CtrDispatchOps)
+	f.rec.Observe(op, d)
+	f.rec.TraceOp(th.TID, op, start, d)
+}
+
+func (f *FS) Name() string { return f.inner.Name() }
+
+func (f *FS) Create(th *proc.Thread, path string, mode coffer.Mode) (vfs.Handle, error) {
+	start := th.Clk.Now()
+	h, err := f.inner.Create(th, path, mode)
+	f.observe(th, telemetry.OpCreate, start)
+	if err != nil {
+		return h, err
+	}
+	return &handle{inner: h, fs: f}, nil
+}
+
+func (f *FS) Open(th *proc.Thread, path string, flags int) (vfs.Handle, error) {
+	start := th.Clk.Now()
+	h, err := f.inner.Open(th, path, flags)
+	f.observe(th, telemetry.OpOpen, start)
+	if err != nil {
+		return h, err
+	}
+	return &handle{inner: h, fs: f}, nil
+}
+
+func (f *FS) Mkdir(th *proc.Thread, path string, mode coffer.Mode) error {
+	start := th.Clk.Now()
+	err := f.inner.Mkdir(th, path, mode)
+	f.observe(th, telemetry.OpMkdir, start)
+	return err
+}
+
+func (f *FS) Unlink(th *proc.Thread, path string) error {
+	start := th.Clk.Now()
+	err := f.inner.Unlink(th, path)
+	f.observe(th, telemetry.OpUnlink, start)
+	return err
+}
+
+func (f *FS) Rmdir(th *proc.Thread, path string) error {
+	start := th.Clk.Now()
+	err := f.inner.Rmdir(th, path)
+	f.observe(th, telemetry.OpRmdir, start)
+	return err
+}
+
+func (f *FS) Rename(th *proc.Thread, oldPath, newPath string) error {
+	start := th.Clk.Now()
+	err := f.inner.Rename(th, oldPath, newPath)
+	f.observe(th, telemetry.OpRename, start)
+	return err
+}
+
+func (f *FS) Stat(th *proc.Thread, path string) (vfs.FileInfo, error) {
+	start := th.Clk.Now()
+	fi, err := f.inner.Stat(th, path)
+	f.observe(th, telemetry.OpStat, start)
+	return fi, err
+}
+
+func (f *FS) Chmod(th *proc.Thread, path string, mode coffer.Mode) error {
+	start := th.Clk.Now()
+	err := f.inner.Chmod(th, path, mode)
+	f.observe(th, telemetry.OpChmod, start)
+	return err
+}
+
+func (f *FS) Chown(th *proc.Thread, path string, uid, gid uint32) error {
+	start := th.Clk.Now()
+	err := f.inner.Chown(th, path, uid, gid)
+	f.observe(th, telemetry.OpChown, start)
+	return err
+}
+
+func (f *FS) Symlink(th *proc.Thread, target, link string) error {
+	start := th.Clk.Now()
+	err := f.inner.Symlink(th, target, link)
+	f.observe(th, telemetry.OpSymlink, start)
+	return err
+}
+
+func (f *FS) Readlink(th *proc.Thread, path string) (string, error) {
+	start := th.Clk.Now()
+	t, err := f.inner.Readlink(th, path)
+	f.observe(th, telemetry.OpReadlink, start)
+	return t, err
+}
+
+func (f *FS) ReadDir(th *proc.Thread, path string) ([]vfs.DirEntry, error) {
+	start := th.Clk.Now()
+	ents, err := f.inner.ReadDir(th, path)
+	f.observe(th, telemetry.OpReadDir, start)
+	return ents, err
+}
+
+func (f *FS) Truncate(th *proc.Thread, path string, size int64) error {
+	start := th.Clk.Now()
+	err := f.inner.Truncate(th, path, size)
+	f.observe(th, telemetry.OpTruncate, start)
+	return err
+}
+
+// handle observes an open file's operations.
+type handle struct {
+	inner vfs.Handle
+	fs    *FS
+}
+
+func (h *handle) ReadAt(th *proc.Thread, p []byte, off int64) (int, error) {
+	start := th.Clk.Now()
+	n, err := h.inner.ReadAt(th, p, off)
+	h.fs.observe(th, telemetry.OpRead, start)
+	return n, err
+}
+
+func (h *handle) WriteAt(th *proc.Thread, p []byte, off int64) (int, error) {
+	start := th.Clk.Now()
+	n, err := h.inner.WriteAt(th, p, off)
+	h.fs.observe(th, telemetry.OpWrite, start)
+	return n, err
+}
+
+func (h *handle) Append(th *proc.Thread, p []byte) (int64, error) {
+	start := th.Clk.Now()
+	off, err := h.inner.Append(th, p)
+	h.fs.observe(th, telemetry.OpAppend, start)
+	return off, err
+}
+
+func (h *handle) Stat(th *proc.Thread) (vfs.FileInfo, error) {
+	start := th.Clk.Now()
+	fi, err := h.inner.Stat(th)
+	h.fs.observe(th, telemetry.OpStat, start)
+	return fi, err
+}
+
+func (h *handle) Sync(th *proc.Thread) error {
+	start := th.Clk.Now()
+	err := h.inner.Sync(th)
+	h.fs.observe(th, telemetry.OpFsync, start)
+	return err
+}
+
+func (h *handle) Close(th *proc.Thread) error {
+	start := th.Clk.Now()
+	err := h.inner.Close(th)
+	h.fs.observe(th, telemetry.OpClose, start)
+	return err
+}

@@ -16,6 +16,7 @@ import (
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
 	"zofs/internal/simclock"
+	"zofs/internal/telemetry"
 )
 
 // Process is a simulated OS process.
@@ -94,6 +95,9 @@ func (t *Thread) PKRU() mpk.PKRU { return t.pkru }
 // (~16 cycles, §3.4.1).
 func (t *Thread) WrPKRU(v mpk.PKRU) {
 	t.Clk.Advance(perfmodel.WRPKRUCost())
+	rec := t.Proc.dev.Recorder()
+	rec.Inc(telemetry.CtrMPKSwitches)
+	rec.Inc(telemetry.CtrMPKWRPKRUCharged)
 	t.pkru = v
 }
 
@@ -113,7 +117,10 @@ func (t *Thread) CloseWindow() { t.WrPKRU(mpk.DefaultPKRU()) }
 // by kernel-side FS variants whose accesses are not MPK-mediated at all:
 // the simulation still tracks the register for memory-safety checks, but no
 // protection-switch cost exists on the modeled hardware path.
-func (t *Thread) SetPKRUFree(v mpk.PKRU) { t.pkru = v }
+func (t *Thread) SetPKRUFree(v mpk.PKRU) {
+	t.Proc.dev.Recorder().Inc(telemetry.CtrMPKSwitches)
+	t.pkru = v
+}
 
 func pageSpan(off, n int64) (page, count int64) {
 	if n <= 0 {
@@ -214,4 +221,7 @@ func (t *Thread) CPU(ns int64) { t.Clk.Advance(ns) }
 
 // Syscall charges one kernel entry/exit (used by KernFS and the kernel-side
 // baseline file systems on every operation).
-func (t *Thread) Syscall() { t.Clk.Advance(perfmodel.Syscall) }
+func (t *Thread) Syscall() {
+	t.Clk.Advance(perfmodel.Syscall)
+	t.Proc.dev.Recorder().Inc(telemetry.CtrKernSyscalls)
+}

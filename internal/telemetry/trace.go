@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// TraceEvent is one completed operation in a thread's trace ring.
+type TraceEvent struct {
+	TID   int    `json:"tid"`
+	Op    string `json:"op"`
+	Start int64  `json:"start_ns"`
+	Dur   int64  `json:"dur_ns"`
+}
+
+const (
+	// ringCap bounds each thread's trace to its most recent operations.
+	ringCap = 256
+	// maxTracedThreads bounds the number of distinct rings so a thread-churn
+	// workload cannot grow the table without bound.
+	maxTracedThreads = 128
+)
+
+// opRing is a single thread's bounded trace. Only that thread writes it, but
+// snapshots race with the writer, so a per-ring mutex keeps events coherent.
+type opRing struct {
+	mu  sync.Mutex
+	buf [ringCap]TraceEvent
+	n   int64 // total events ever recorded; buf[(n-1)%ringCap] is newest
+}
+
+func (r *opRing) record(ev TraceEvent) {
+	r.mu.Lock()
+	r.buf[r.n%ringCap] = ev
+	r.n++
+	r.mu.Unlock()
+}
+
+// events returns the ring's contents, oldest first.
+func (r *opRing) events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if n > ringCap {
+		out := make([]TraceEvent, ringCap)
+		for i := int64(0); i < ringCap; i++ {
+			out[i] = r.buf[(n+i)%ringCap]
+		}
+		return out
+	}
+	out := make([]TraceEvent, n)
+	copy(out, r.buf[:n])
+	return out
+}
+
+// traceTable holds one ring per simulated thread.
+type traceTable struct {
+	mu    sync.Mutex
+	rings map[int]*opRing
+}
+
+func (t *traceTable) ringFor(tid int) *opRing {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rings == nil {
+		t.rings = make(map[int]*opRing)
+	}
+	r := t.rings[tid]
+	if r == nil {
+		if len(t.rings) >= maxTracedThreads {
+			return nil
+		}
+		r = &opRing{}
+		t.rings[tid] = r
+	}
+	return r
+}
+
+func (t *traceTable) record(tid int, op Op, startNS, durNS int64) {
+	if r := t.ringFor(tid); r != nil {
+		r.record(TraceEvent{TID: tid, Op: op.Name(), Start: startNS, Dur: durNS})
+	}
+}
+
+// all returns every ring's events merged and ordered by start time.
+func (t *traceTable) all() []TraceEvent {
+	t.mu.Lock()
+	rings := make([]*opRing, 0, len(t.rings))
+	for _, r := range t.rings {
+		rings = append(rings, r)
+	}
+	t.mu.Unlock()
+	var out []TraceEvent
+	for _, r := range rings {
+		out = append(out, r.events()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+func (t *traceTable) reset() {
+	t.mu.Lock()
+	t.rings = nil
+	t.mu.Unlock()
+}

@@ -7,8 +7,12 @@ import (
 	"zofs/internal/coffer"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
+	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
+
+// rec returns the device's telemetry recorder (nil-safe when disabled).
+func (f *FS) rec() *telemetry.Recorder { return f.kern.Device().Recorder() }
 
 // Leased per-thread allocator (paper §5.2, Figure 6).
 //
@@ -157,6 +161,7 @@ func (f *FS) allocPage(th *proc.Thread, m *mount, class int) (int64, error) {
 		f.pushExtents(th, ts, slotOff, class, exts)
 	}
 	page := ts.head[class]
+	f.rec().Inc(telemetry.CtrZoFSPagesAlloc)
 	if debugPool {
 		debugFree.Store(page, 2)
 	}
@@ -215,6 +220,7 @@ func (f *FS) freePage(th *proc.Thread, m *mount, class int, page int64) {
 		// Pool exhausted: leak the page; recovery reclaims it (§5.3).
 		return
 	}
+	f.rec().Inc(telemetry.CtrZoFSPagesFreed)
 	if debugPool {
 		if st, _ := debugFree.Load(page); st == 1 {
 			panic(fmt.Sprintf("zofs: double free of page %d (class %d)", page, class))

@@ -79,7 +79,11 @@ func TestBlockSlotProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := hv.(*file)
-	cl := f.window(th, h.m, true)
+	m, err := h.remap(th, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := f.window(th, m, true)
 	defer cl()
 
 	seen := make(map[int64]int64)
@@ -89,7 +93,7 @@ func TestBlockSlotProperties(t *testing.T) {
 		if idx < 0 {
 			idx = -idx % maxBlocks
 		}
-		slot, err := f.blockSlot(th, h.m, h.ino, idx, true)
+		slot, err := f.blockSlot(th, m, h.ino, idx, true)
 		if err != nil || slot == 0 {
 			t.Logf("blockSlot(%d): slot=%d err=%v", idx, slot, err)
 			return false
@@ -116,10 +120,10 @@ func TestBlockSlotProperties(t *testing.T) {
 		}
 	}
 	// Out of range is an error, not a wild slot.
-	if _, err := f.blockSlot(th, h.m, h.ino, maxBlocks, false); err == nil {
+	if _, err := f.blockSlot(th, m, h.ino, maxBlocks, false); err == nil {
 		t.Fatal("index past maxBlocks accepted")
 	}
-	if _, err := f.blockSlot(th, h.m, h.ino, -1, false); err == nil {
+	if _, err := f.blockSlot(th, m, h.ino, -1, false); err == nil {
 		t.Fatal("negative index accepted")
 	}
 }

@@ -2,6 +2,7 @@ package zofs
 
 import (
 	"zofs/internal/proc"
+	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
 
@@ -196,6 +197,7 @@ func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) 
 		if (inline || size == 0) && off+int64(len(p)) <= inlineCap {
 			// The whole write fits in the inode page: one store, no
 			// allocation, no block pointer.
+			f.rec().Inc(telemetry.CtrZoFSInlineWrites)
 			th.WriteNT(ino*pageSize+inoInlineOff+off, p)
 			if !inline {
 				th.Store64(ino*pageSize+inoInlineFlag, 1)
@@ -213,6 +215,7 @@ func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) 
 			}
 		}
 	}
+	f.rec().Inc(telemetry.CtrZoFSExtentWrites)
 	n := 0
 	for n < len(p) {
 		idx := (off + int64(n)) / pageSize
@@ -253,6 +256,7 @@ func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) 
 // deInline migrates inline content to a real data page (the file outgrew
 // the inode's tail).
 func (f *FS) deInline(th *proc.Thread, m *mount, ino, size int64) error {
+	f.rec().Inc(telemetry.CtrZoFSDeInline)
 	buf := make([]byte, size)
 	th.Read(ino*pageSize+inoInlineOff, buf)
 	pg, err := f.blockPtr(th, m, ino, 0, true)

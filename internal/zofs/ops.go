@@ -436,10 +436,12 @@ func (f *FS) Truncate(th *proc.Thread, path string, size int64) error {
 // ---- file handle -------------------------------------------------------------
 
 // file is ZoFS's vfs.Handle: an (instance, coffer, inode) triple. Offsets
-// are managed by the FD layer above.
+// are managed by the FD layer above. A handle may be shared by concurrent
+// threads (e.g. FxMark DWOM), so it holds only immutable identity; the
+// mapping is re-resolved per operation via remap.
 type file struct {
 	fs     *FS
-	m      *mount
+	cid    coffer.ID
 	ino    int64
 	path   string
 	flags  int
@@ -450,32 +452,30 @@ type file struct {
 // defers reclamation while handles exist).
 func (f *FS) newHandle(m *mount, ino int64, path string, flags int) *file {
 	f.sh.retain(ino)
-	return &file{fs: f, m: m, ino: ino, path: path, flags: flags}
+	return &file{fs: f, cid: m.id, ino: ino, path: path, flags: flags}
 }
 
 func (h *file) writable() bool { return h.flags&vfs.O_ACCESS != vfs.O_RDONLY }
 
-// remap refreshes the mapping if it was evicted under MPK pressure.
-func (h *file) remap(th *proc.Thread, write bool) error {
-	m, err := h.fs.ensureMapped(th, h.m.id, write)
-	if err != nil {
-		return err
-	}
-	h.m = m
-	return nil
+// remap resolves the current mapping, refreshing it if it was evicted
+// under MPK pressure. Callers use the returned mount for the whole
+// operation rather than caching it on the (possibly shared) handle.
+func (h *file) remap(th *proc.Thread, write bool) (*mount, error) {
+	return h.fs.ensureMapped(th, h.cid, write)
 }
 
 // ReadAt implements the data-read path: readers-writer lock read side, so
 // concurrent reads overlap (Fig. 7a–c).
 func (h *file) ReadAt(th *proc.Thread, p []byte, off int64) (int, error) {
-	if err := h.remap(th, false); err != nil {
+	m, err := h.remap(th, false)
+	if err != nil {
 		return 0, err
 	}
-	cl := h.fs.window(th, h.m, false)
+	cl := h.fs.window(th, m, false)
 	defer cl()
 	h.fs.rlockInode(th, h.ino)
 	defer h.fs.runlockInode(th, h.ino)
-	return h.fs.readAt(th, h.m, h.ino, p, off)
+	return h.fs.readAt(th, m, h.ino, p, off)
 }
 
 // WriteAt implements the data-write path under the per-file write lock
@@ -484,16 +484,17 @@ func (h *file) WriteAt(th *proc.Thread, p []byte, off int64) (int, error) {
 	if !h.writable() {
 		return 0, vfs.ErrBadFD
 	}
-	if err := h.remap(th, true); err != nil {
+	m, err := h.remap(th, true)
+	if err != nil {
 		return 0, err
 	}
 	h.fs.maybeEmptySyscall(th)
 	h.fs.maybeKernelCall(th)
-	cl := h.fs.window(th, h.m, true)
+	cl := h.fs.window(th, m, true)
 	defer cl()
-	h.fs.lockInode(th, h.m, h.ino)
-	defer h.fs.unlockInode(th, h.m, h.ino)
-	return h.fs.writeAt(th, h.m, h.ino, p, off)
+	h.fs.lockInode(th, m, h.ino)
+	defer h.fs.unlockInode(th, m, h.ino)
+	return h.fs.writeAt(th, m, h.ino, p, off)
 }
 
 // Append atomically appends at end of file (the DWAL operation).
@@ -501,32 +502,34 @@ func (h *file) Append(th *proc.Thread, p []byte) (int64, error) {
 	if !h.writable() {
 		return 0, vfs.ErrBadFD
 	}
-	if err := h.remap(th, true); err != nil {
+	m, err := h.remap(th, true)
+	if err != nil {
 		return 0, err
 	}
 	h.fs.maybeEmptySyscall(th)
 	h.fs.maybeKernelCall(th)
-	cl := h.fs.window(th, h.m, true)
+	cl := h.fs.window(th, m, true)
 	defer cl()
-	h.fs.lockInode(th, h.m, h.ino)
-	defer h.fs.unlockInode(th, h.m, h.ino)
+	h.fs.lockInode(th, m, h.ino)
+	defer h.fs.unlockInode(th, m, h.ino)
 	off := h.fs.inodeSize(th, h.ino)
-	_, err := h.fs.writeAt(th, h.m, h.ino, p, off)
+	_, err = h.fs.writeAt(th, m, h.ino, p, off)
 	return off, err
 }
 
 // Stat returns the handle's current metadata.
 func (h *file) Stat(th *proc.Thread) (vfs.FileInfo, error) {
-	if err := h.remap(th, false); err != nil {
+	m, err := h.remap(th, false)
+	if err != nil {
 		return vfs.FileInfo{}, err
 	}
-	cl := h.fs.window(th, h.m, false)
+	cl := h.fs.window(th, m, false)
 	defer cl()
 	h.fs.rlockInode(th, h.ino)
 	defer h.fs.runlockInode(th, h.ino)
-	fi := h.fs.statInode(th, h.m, h.ino)
-	if h.ino == h.m.root {
-		if rp, ok := h.fs.kern.Info(h.m.id); ok {
+	fi := h.fs.statInode(th, m, h.ino)
+	if h.ino == m.root {
+		if rp, ok := h.fs.kern.Info(m.id); ok {
 			fi.Mode, fi.UID, fi.GID = rp.Mode, rp.UID, rp.GID
 		}
 	}
@@ -547,17 +550,18 @@ func (h *file) Close(th *proc.Thread) error {
 	if !reclaim {
 		return nil
 	}
-	if err := h.remap(th, true); err != nil {
+	m, err := h.remap(th, true)
+	if err != nil {
 		return nil // mapping revoked; recovery will reclaim the orphan
 	}
-	cl := h.fs.window(th, h.m, true)
+	cl := h.fs.window(th, m, true)
 	defer cl()
-	h.fs.lockInode(th, h.m, h.ino)
-	defer h.fs.unlockInode(th, h.m, h.ino)
+	h.fs.lockInode(th, m, h.ino)
+	defer h.fs.unlockInode(th, m, h.ino)
 	if vfs.FileType(typ) == vfs.TypeRegular {
-		h.fs.freeFileContent(th, h.m, h.ino)
+		h.fs.freeFileContent(th, m, h.ino)
 	} else {
-		h.fs.freePage(th, h.m, classMeta, h.ino)
+		h.fs.freePage(th, m, classMeta, h.ino)
 	}
 	return nil
 }
