@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"zofs/internal/harness"
+	"zofs/internal/pmemtrace"
 )
 
 var experiments = []struct {
@@ -46,7 +47,8 @@ func main() {
 	threads := flag.String("threads", "", "comma-separated thread sweep (default 1,2,4,8,12,16,20)")
 	devGB := flag.Int64("device-gb", 8, "simulated device size in GiB")
 	stats := flag.Bool("stats", false, "per-layer telemetry: print counter/latency tables per cell and write metrics sidecar JSON")
-	statsDir := flag.String("statsdir", "results", "directory for metrics-<experiment>.json sidecars")
+	statsDir := flag.String("statsdir", "results", "directory for metrics-<experiment>-<config>.json sidecars")
+	traceFile := flag.String("trace", "", "record every NVM persistence event to this JSONL file (audit/export with zofs-trace; best with -quick and a single experiment)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: zofs-bench [flags] [experiment ...]\n\nexperiments:\n")
 		for _, e := range experiments {
@@ -58,6 +60,26 @@ func main() {
 	flag.Parse()
 
 	opts := harness.Options{Quick: *quick, DeviceBytes: *devGB << 30, Stats: *stats, StatsDir: *statsDir}
+
+	var tracer *pmemtrace.Recorder
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer = pmemtrace.Enable(pmemtrace.Config{RingCap: 1 << 20, Spill: f})
+		defer func() {
+			pmemtrace.Disable()
+			if err := tracer.FlushSpill(); err != nil {
+				fmt.Fprintf(os.Stderr, "zofs-bench: -trace spill: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("==== persistence audit (%d events -> %s) ====\n", tracer.Total(), *traceFile)
+			pmemtrace.Audit(tracer.Events(), nil).WriteText(os.Stdout)
+		}()
+	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

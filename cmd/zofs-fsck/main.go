@@ -4,9 +4,16 @@
 // cleared, allocator pools are reset and leaked pages are reclaimed by the
 // kernel. The repaired image is written back unless -n is given.
 //
+// With -trace, a flight-recorder log of the run that produced the image
+// (zofs-trace record, zofs-bench -trace) is replayed through the
+// crash-consistency auditor and its lost-line report is cross-checked
+// against the repairs fsck performed: any repair the recorder cannot
+// explain — or any repair at all when the recorder saw no hazard — is a
+// disagreement, and zofs-fsck exits non-zero.
+//
 // Usage:
 //
-//	zofs-fsck [-n] image.zofs
+//	zofs-fsck [-n] [-trace log.jsonl] image.zofs
 package main
 
 import (
@@ -16,12 +23,14 @@ import (
 
 	"zofs/internal/kernfs"
 	"zofs/internal/nvm"
+	"zofs/internal/pmemtrace"
 	"zofs/internal/proc"
 	"zofs/internal/zofs"
 )
 
 func main() {
 	dry := flag.Bool("n", false, "check only; do not write the repaired image back")
+	traceFile := flag.String("trace", "", "flight-recorder JSONL log to cross-check repairs against")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: zofs-fsck [-n] <image>")
@@ -66,6 +75,35 @@ func main() {
 	}
 	fmt.Printf("total: %d coffers, %d pages kept, %d reclaimed, %d repairs, %d stale leases\n",
 		len(stats), kept, reclaimed, fixed, leases)
+
+	if *traceFile != "" {
+		tf, err := os.Open(*traceFile)
+		if err != nil {
+			fatal("-trace: %v", err)
+		}
+		events, spans, err := pmemtrace.ReadJSONL(tf)
+		tf.Close()
+		if err != nil {
+			fatal("-trace: %v", err)
+		}
+		rep := pmemtrace.Audit(events, spans)
+		var repairs []pmemtrace.RepairSite
+		for _, st := range stats {
+			for _, rp := range st.Repairs {
+				repairs = append(repairs, pmemtrace.RepairSite{Off: rp.Off, Target: rp.Target, Kind: rp.Kind})
+			}
+		}
+		disagreements := pmemtrace.CrossCheck(rep, repairs)
+		fmt.Printf("trace cross-check: %d events, %d lost lines vs %d repairs\n",
+			rep.Events, len(rep.LostLines), len(repairs))
+		if len(disagreements) > 0 {
+			for _, d := range disagreements {
+				fmt.Fprintf(os.Stderr, "zofs-fsck: DISAGREEMENT: %s\n", d)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("trace cross-check: auditor and fsck agree")
+	}
 
 	if *dry {
 		return

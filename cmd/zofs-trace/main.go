@@ -1,0 +1,370 @@
+// Command zofs-trace records, audits and exports persistence event logs
+// from the simulated NVM stack (the flight recorder in internal/pmemtrace).
+//
+// Usage:
+//
+//	zofs-trace record [-workload append|create|crash] [-system <name>|all]
+//	                  [-o trace.jsonl] [-chrome out.json] [-threads N]
+//	                  [-ops N] [-size bytes] [-fsync-every K] [-device-mb N]
+//	zofs-trace audit  [-max-lost N] <trace.jsonl>
+//	zofs-trace export [-o chrome.json] <trace.jsonl>
+//
+// record drives a small fig7-style workload against one or all of the §6
+// comparison file systems with the flight recorder on, spills every device
+// event to a JSONL log (one log per system: "-o base.jsonl" becomes
+// "base-<system>.jsonl" when recording several), appends the telemetry
+// op-trace spans, and prints the crash-consistency audit per system.
+//
+// audit replays a recorded log through the auditor: lost-update lines at
+// crash points, redundant flushes/fences, epoch shape. With -max-lost it
+// exits non-zero when more lines were lost than allowed, making it usable
+// as a CI gate.
+//
+// export converts a log to Chrome trace-event JSON for chrome://tracing or
+// Perfetto: op spans as slices, device events as instants, plus a
+// dirty-line counter track.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zofs/internal/coffer"
+	"zofs/internal/kernfs"
+	"zofs/internal/nvm"
+	"zofs/internal/obsfs"
+	"zofs/internal/pmemtrace"
+	"zofs/internal/proc"
+	"zofs/internal/sysfactory"
+	"zofs/internal/telemetry"
+	"zofs/internal/vfs"
+	"zofs/internal/zofs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "audit":
+		cmdAudit(os.Args[2:])
+	case "export":
+		cmdExport(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: zofs-trace <command> [flags]
+
+commands:
+  record   run a workload with the flight recorder on and write a JSONL log
+  audit    replay a log through the crash-consistency auditor
+  export   convert a log to Chrome trace-event JSON`)
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zofs-trace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// ---- record --------------------------------------------------------------
+
+type recordOpts struct {
+	workload   string
+	threads    int
+	ops        int
+	size       int
+	fsyncEvery int
+	deviceMB   int64
+	image      string
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "append", "append | create | crash")
+	system := fs.String("system", "all", "file system to drive, or \"all\" (the fig7 comparison set)")
+	out := fs.String("o", "trace.jsonl", "output JSONL event log (suffixed per system when recording several)")
+	chrome := fs.String("chrome", "", "also export Chrome trace-event JSON to this path (same suffix rule)")
+	threads := fs.Int("threads", 2, "simulated threads")
+	ops := fs.Int("ops", 50, "operations per thread")
+	size := fs.Int("size", 4096, "append size in bytes")
+	fsyncEvery := fs.Int("fsync-every", 8, "fsync after every K appends (0 = never)")
+	deviceMB := fs.Int64("device-mb", 256, "device size in MiB")
+	image := fs.String("image", "", "crash workload only: save the post-crash device image here (feed to zofs-fsck -trace)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	opts := recordOpts{workload: *workload, threads: *threads, ops: *ops,
+		size: *size, fsyncEvery: *fsyncEvery, deviceMB: *deviceMB, image: *image}
+	if *image != "" && *workload != "crash" {
+		fatal("-image is only meaningful with -workload crash")
+	}
+
+	var systems []sysfactory.System
+	if *workload == "crash" {
+		// The crash workload needs dirty-line tracking to revert unflushed
+		// stores; it runs on a purpose-built ZoFS stack.
+		systems = []sysfactory.System{{Name: "ZoFS"}}
+	} else if *system == "all" {
+		systems = sysfactory.Comparison
+	} else {
+		for _, s := range sysfactory.Comparison {
+			if strings.EqualFold(s.Name, *system) {
+				systems = []sysfactory.System{s}
+			}
+		}
+		if len(systems) == 0 {
+			fatal("unknown system %q (want one of the fig7 set or \"all\")", *system)
+		}
+	}
+
+	for _, sys := range systems {
+		path := suffixed(*out, sys.Name, len(systems) > 1)
+		if err := recordOne(sys, opts, path); err != nil {
+			fatal("record %s: %v", sys.Name, err)
+		}
+		fmt.Printf("== %s -> %s ==\n", sys.Name, path)
+		events, spans, err := loadLog(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		pmemtrace.Audit(events, spans).WriteText(os.Stdout)
+		if *chrome != "" {
+			cpath := suffixed(*chrome, sys.Name, len(systems) > 1)
+			if err := exportChrome(cpath, events, spans); err != nil {
+				fatal("export %s: %v", cpath, err)
+			}
+			fmt.Printf("chrome trace: %s\n", cpath)
+		}
+		fmt.Println()
+	}
+}
+
+// suffixed inserts "-<system>" before the extension when multi is set.
+func suffixed(path, system string, multi bool) string {
+	if !multi {
+		return path
+	}
+	dot := strings.LastIndex(path, ".")
+	if dot <= strings.LastIndex(path, "/") {
+		return path + "-" + system
+	}
+	return path[:dot] + "-" + system + path[dot:]
+}
+
+// recordOne runs one workload against one system with a fresh recorder
+// spilling to path, then appends the telemetry op spans.
+func recordOne(sys sysfactory.System, opts recordOpts, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	rec := telemetry.Enable()
+	defer telemetry.Disable()
+	tr := pmemtrace.Enable(pmemtrace.Config{Spill: f})
+	defer pmemtrace.Disable()
+
+	if opts.workload == "crash" {
+		err = runCrashWorkload(opts)
+	} else {
+		err = runWorkload(sys, opts, rec)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tr.FlushSpill(); err != nil {
+		return err
+	}
+	return pmemtrace.WriteSpansJSONL(f, rec.TraceEvents())
+}
+
+func runWorkload(sys sysfactory.System, opts recordOpts, rec *telemetry.Recorder) error {
+	in, err := sys.New(opts.deviceMB << 20)
+	if err != nil {
+		return err
+	}
+	wfs := obsfs.Wrap(in.FS, rec)
+	buf := make([]byte, opts.size)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for t := 0; t < opts.threads; t++ {
+		th := in.Proc.NewThread()
+		switch opts.workload {
+		case "append":
+			// The fig7 DWAL pattern — private-file appends — plus periodic
+			// fsync, which is where kernel FSs pay their writeback tax.
+			h, err := wfs.Create(th, fmt.Sprintf("/app-%d", t), 0o644)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < opts.ops; i++ {
+				if _, err := h.Append(th, buf); err != nil {
+					return err
+				}
+				if opts.fsyncEvery > 0 && (i+1)%opts.fsyncEvery == 0 {
+					if err := h.Sync(th); err != nil {
+						return err
+					}
+				}
+			}
+			if err := h.Close(th); err != nil {
+				return err
+			}
+		case "create":
+			// The fig7 MWCL pattern — private-directory file creates.
+			dir := fmt.Sprintf("/dir-%d", t)
+			if err := wfs.Mkdir(th, dir, 0o755); err != nil {
+				return err
+			}
+			for i := 0; i < opts.ops; i++ {
+				h, err := wfs.Create(th, fmt.Sprintf("%s/f%d", dir, i), 0o644)
+				if err != nil {
+					return err
+				}
+				if err := h.Close(th); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("unknown workload %q", opts.workload)
+		}
+	}
+	return nil
+}
+
+// runCrashWorkload appends on a persistence-tracked ZoFS stack, injects a
+// device crash mid-stream, and records the power failure — the resulting
+// log shows every line the crash lost.
+func runCrashWorkload(opts recordOpts) error {
+	dev := nvm.NewDevice(opts.deviceMB << 20)
+	if err := kernfs.Mkfs(dev, kernfs.MkfsOptions{RootMode: 0o755}); err != nil {
+		return err
+	}
+	k, err := kernfs.Mount(dev)
+	if err != nil {
+		return err
+	}
+	p := proc.NewProcess(dev, 0, 0)
+	th := p.NewThread()
+	if err := k.FSMount(th); err != nil {
+		return err
+	}
+	f := zofs.New(k, zofs.Options{})
+	if err := f.EnsureRootDir(th); err != nil {
+		return err
+	}
+	var h vfs.Handle
+	if h, err = f.Create(th, "/crash-victim", coffer.Mode(0o644)); err != nil {
+		return err
+	}
+	buf := make([]byte, opts.size)
+	// Let half the workload land, then fail on a later persisting store.
+	for i := 0; i < opts.ops/2; i++ {
+		if _, err := h.Append(th, buf); err != nil {
+			return err
+		}
+	}
+	dev.FailAfter(int64(opts.ops)/4 + 1)
+	func() {
+		defer func() {
+			if r := recover(); r != nil && !nvm.IsInjectedCrash(r) {
+				panic(r)
+			}
+		}()
+		for i := 0; i < opts.ops; i++ {
+			if _, err := h.Append(th, buf); err != nil {
+				return
+			}
+		}
+	}()
+	dev.FailAfter(0)
+	dev.Crash()
+	if opts.image != "" {
+		out, err := os.Create(opts.image)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := dev.SaveImage(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- audit ---------------------------------------------------------------
+
+func cmdAudit(args []string) {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	maxLost := fs.Int("max-lost", -1, "exit non-zero if more than N lost lines are found (-1 = report only)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zofs-trace audit [-max-lost N] <trace.jsonl>")
+		os.Exit(2)
+	}
+	events, spans, err := loadLog(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	rep := pmemtrace.Audit(events, spans)
+	rep.WriteText(os.Stdout)
+	if *maxLost >= 0 && len(rep.LostLines) > *maxLost {
+		fmt.Fprintf(os.Stderr, "zofs-trace: %d lost lines exceed -max-lost %d\n", len(rep.LostLines), *maxLost)
+		os.Exit(1)
+	}
+}
+
+// ---- export --------------------------------------------------------------
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "chrome.json", "output Chrome trace-event JSON path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zofs-trace export [-o chrome.json] <trace.jsonl>")
+		os.Exit(2)
+	}
+	events, spans, err := loadLog(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := exportChrome(*out, events, spans); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s (%d events, %d spans)\n", *out, len(events), len(spans))
+}
+
+// ---- shared --------------------------------------------------------------
+
+func loadLog(path string) ([]pmemtrace.Event, []telemetry.TraceEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return pmemtrace.ReadJSONL(f)
+}
+
+func exportChrome(path string, events []pmemtrace.Event, spans []telemetry.TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pmemtrace.WriteChromeTrace(f, events, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

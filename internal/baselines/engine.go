@@ -56,6 +56,10 @@ type Config struct {
 	// Access intercepts every inode access for cross-process coordination
 	// (Strata's lease + digestion).
 	Access func(e *Engine, th *proc.Thread, ino *Inode, write bool)
+	// Sync implements fsync beyond the default (the kernel FSs modeled here
+	// persist synchronously on the write path, so the default is a no-op
+	// past the Access hook).
+	Sync func(e *Engine, th *proc.Thread, ino *Inode)
 }
 
 // Inode is a baseline file system inode. Data pages live on the device;
@@ -77,6 +81,9 @@ type Inode struct {
 	mtime  int64
 	blocks []int64
 	target string
+	// synced is the fsync writeback watermark: blocks below it were covered
+	// by a previous Sync, keeping fsync O(new blocks) rather than O(file).
+	synced int
 
 	children *sync.Map // name -> *Inode (directories)
 

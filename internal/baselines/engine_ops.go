@@ -505,10 +505,13 @@ func (h *bHandle) Stat(th *proc.Thread) (vfs.FileInfo, error) {
 }
 
 // Sync flushes pending state (kernel FSs here are synchronous; Strata
-// digests its log).
+// digests its log, Ext4-DAX replays its jbd2-commit + mapping writeback).
 func (h *bHandle) Sync(th *proc.Thread) error {
 	if h.e.cfg.Access != nil {
 		h.e.cfg.Access(h.e, th, h.ino, true)
+	}
+	if h.e.cfg.Sync != nil {
+		h.e.cfg.Sync(h.e, th, h.ino)
 	}
 	return nil
 }

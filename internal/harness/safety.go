@@ -10,6 +10,7 @@ import (
 	"zofs/internal/fslibs"
 	"zofs/internal/kernfs"
 	"zofs/internal/nvm"
+	"zofs/internal/pmemtrace"
 	"zofs/internal/proc"
 	"zofs/internal/vfs"
 )
@@ -27,6 +28,14 @@ import (
 // touch C2.
 func RunSafety(w io.Writer, opts Options) error {
 	opts.fill()
+	// The stray-write storm and MPK faults are exactly what the flight
+	// recorder exists to show, so record the run even when the caller did
+	// not enable tracing (the device below captures the recorder at birth).
+	tracer := pmemtrace.Active()
+	if tracer == nil {
+		tracer = pmemtrace.Enable(pmemtrace.Config{RingCap: 1 << 18})
+		defer pmemtrace.Disable()
+	}
 	dev := nvm.NewDevice(1 << 30)
 	if err := kernfs.Mkfs(dev, kernfs.MkfsOptions{RootMode: 0o777}); err != nil {
 		return err
@@ -204,6 +213,9 @@ func RunSafety(w io.Writer, opts Options) error {
 	if !detected {
 		return errors.New("safety: G3 validation failed to stop the attack")
 	}
+	rep := pmemtrace.Audit(tracer.Events(), nil)
+	fmt.Fprintf(w, "  flight recorder: %d events, %d mpk violations, %d lost lines\n",
+		rep.Events, rep.Violations, len(rep.LostLines))
 	fmt.Fprintln(w, "  PASS: all safety properties held")
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"zofs/internal/obsfs"
 	"zofs/internal/telemetry"
@@ -23,10 +25,29 @@ type statsCell struct {
 // unconditionally.
 type statsRun struct {
 	name  string
+	tag   string // run-configuration suffix keeping sweep sidecars distinct
 	dir   string
 	rec   *telemetry.Recorder
 	prev  telemetry.Snapshot
 	cells []statsCell
+}
+
+// sidecarTag derives a filename suffix from the run's configuration so
+// repeated runs of one experiment under different configs (quick vs full,
+// different thread sweeps) do not overwrite each other's sidecars.
+func sidecarTag(opts Options) string {
+	tag := "full"
+	if opts.Quick {
+		tag = "quick"
+	}
+	if len(opts.Threads) == 0 {
+		return tag
+	}
+	parts := make([]string, len(opts.Threads))
+	for i, n := range opts.Threads {
+		parts[i] = strconv.Itoa(n)
+	}
+	return tag + "-t" + strings.Join(parts, "x")
 }
 
 // newStatsRun enables process-wide telemetry for an experiment; devices
@@ -40,7 +61,7 @@ func newStatsRun(opts Options, name string) *statsRun {
 	if dir == "" {
 		dir = "results"
 	}
-	return &statsRun{name: name, dir: dir, rec: telemetry.Enable()}
+	return &statsRun{name: name, tag: sidecarTag(opts), dir: dir, rec: telemetry.Enable()}
 }
 
 // wrap instruments a file system for per-op latency observation. Benchmarks
@@ -66,7 +87,7 @@ func (s *statsRun) endCell(label string) {
 }
 
 // finish disables telemetry, prints each cell's tables and writes the
-// experiment's metrics sidecar (results/metrics-<name>.json).
+// experiment's metrics sidecar (results/metrics-<name>-<config>.json).
 func (s *statsRun) finish(w io.Writer) error {
 	if s == nil {
 		return nil
@@ -89,7 +110,7 @@ func (s *statsRun) finish(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(s.dir, "metrics-"+s.name+".json")
+	path := filepath.Join(s.dir, "metrics-"+s.name+"-"+s.tag+".json")
 	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
 		return err
 	}

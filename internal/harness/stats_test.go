@@ -62,7 +62,7 @@ func TestStatsFig8(t *testing.T) {
 		t.Fatalf("stats output missing PKRU switch counts:\n%s", out)
 	}
 
-	sc := readSidecar(t, filepath.Join(opts.StatsDir, "metrics-fig8.json"))
+	sc := readSidecar(t, filepath.Join(opts.StatsDir, "metrics-fig8-quick-t1x2.json"))
 	if sc.Experiment != "fig8" || len(sc.Cells) == 0 {
 		t.Fatalf("sidecar = %+v", sc)
 	}
@@ -101,7 +101,7 @@ func TestStatsFig10(t *testing.T) {
 	if !strings.Contains(b.String(), "[stats ZoFS/fileserver/1]") {
 		t.Fatalf("fig10 stats output missing fileserver cell:\n%s", b.String())
 	}
-	sc := readSidecar(t, filepath.Join(opts.StatsDir, "metrics-fig10.json"))
+	sc := readSidecar(t, filepath.Join(opts.StatsDir, "metrics-fig10-quick-t1x2.json"))
 	if sc.Experiment != "fig10" || len(sc.Cells) == 0 {
 		t.Fatalf("sidecar = %+v", sc)
 	}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"zofs/internal/perfmodel"
+	"zofs/internal/pmemtrace"
 	"zofs/internal/simclock"
 	"zofs/internal/telemetry"
 )
@@ -86,6 +87,9 @@ type Device struct {
 
 	// rec is the telemetry sink; nil (the default) is a valid no-op sink.
 	rec *telemetry.Recorder
+	// tr is the persistence flight recorder; nil (the default) is a valid
+	// no-op sink, keeping the untraced store path at a pointer load.
+	tr *pmemtrace.Recorder
 
 	casMu [lockStripes]sync.Mutex
 
@@ -116,6 +120,7 @@ func New(cfg Config) *Device {
 		writeBW: simclock.NewBandwidth(perfmodel.NVMWriteBandwidth),
 		track:   cfg.TrackPersistence,
 		rec:     telemetry.Active(),
+		tr:      pmemtrace.Active(),
 		uid:     nextDeviceUID.Add(1),
 	}
 	if d.track {
@@ -139,6 +144,13 @@ func (d *Device) Recorder() *telemetry.Recorder { return d.rec }
 // SetRecorder attaches a telemetry sink to an existing device (tools that
 // load images attach after construction; nil detaches).
 func (d *Device) SetRecorder(r *telemetry.Recorder) { d.rec = r }
+
+// Tracer returns the device's persistence flight recorder; nil means event
+// tracing is off.
+func (d *Device) Tracer() *pmemtrace.Recorder { return d.tr }
+
+// SetTracer attaches a flight recorder to an existing device (nil detaches).
+func (d *Device) SetTracer(t *pmemtrace.Recorder) { d.tr = t }
 
 // UID returns a process-unique identity for this device. Registries that
 // outlive individual devices key on the UID rather than the pointer so a
@@ -297,9 +309,12 @@ func (d *Device) clearDirty(off, n int64) {
 }
 
 // countWrite applies crash injection accounting for one persisting store.
-func (d *Device) countWrite() {
+// The store that trips an armed FailAfter has already emitted its own trace
+// event, so the injected-crash marker lands right after it in the stream.
+func (d *Device) countWrite(clk *simclock.Clock) {
 	n := d.writeCount.Add(1)
 	if fa := d.failAfter.Load(); fa > 0 && n >= fa {
+		d.tr.Record(d.uid, clk, pmemtrace.KindCrashInject, 0, n)
 		panic(crashSentinel{writes: n})
 	}
 }
@@ -315,6 +330,7 @@ func (d *Device) Write(clk *simclock.Clock, off int64, data []byte) {
 		d.readBW.TransferUnqueued(clk, int(n))
 	}
 	d.rec.Inc(telemetry.CtrNVMCachedWrites)
+	d.tr.Record(d.uid, clk, pmemtrace.KindStore, off, n)
 	if d.track {
 		d.saveDirty(off, n)
 	}
@@ -343,11 +359,12 @@ func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences) // WriteNT folds the trailing fence in
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
+	d.tr.Record(d.uid, clk, pmemtrace.KindNTStore, off, n)
 	d.copyIn(off, data)
 	if d.track {
 		d.clearDirty(off, n)
 	}
-	d.countWrite()
+	d.countWrite(clk)
 }
 
 // Flush issues clwb over [off, off+n) and a fence, making the range
@@ -366,10 +383,11 @@ func (d *Device) Flush(clk *simclock.Clock, off, n int64) {
 	d.rec.Inc(telemetry.CtrNVMFences)
 	d.rec.Add(telemetry.CtrNVMCLWBLines, lines(off, n))
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
+	d.tr.Record(d.uid, clk, pmemtrace.KindFlush, off, n)
 	if d.track {
 		d.clearDirty(off, n)
 	}
-	d.countWrite()
+	d.countWrite(clk)
 }
 
 // Fence charges a store fence without persisting anything further (WriteNT
@@ -379,6 +397,7 @@ func (d *Device) Fence(clk *simclock.Clock) {
 		clk.Advance(perfmodel.FenceCost)
 	}
 	d.rec.Inc(telemetry.CtrNVMFences)
+	d.tr.Record(d.uid, clk, pmemtrace.KindFence, 0, 0)
 }
 
 // Zero writes zeros over the range with non-temporal stores. Scrubbing is
@@ -394,6 +413,7 @@ func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Add(telemetry.CtrNVMZeroBytes, n)
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
+	d.tr.Record(d.uid, clk, pmemtrace.KindZero, off, n)
 	for rem := n; rem > 0; {
 		c := d.chunkFor(off, false)
 		co := off % chunkBytes
@@ -410,7 +430,7 @@ func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
 	if d.track {
 		d.clearDirty(off-n, n)
 	}
-	d.countWrite()
+	d.countWrite(clk)
 }
 
 // Load64 atomically reads an 8-byte little-endian word.
@@ -447,6 +467,7 @@ func (d *Device) Store64(clk *simclock.Clock, off int64, v uint64) {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences)
 	d.rec.Add(telemetry.CtrNVMBytesWritten, 8)
+	d.tr.Record(d.uid, clk, pmemtrace.KindStore64, off, 8)
 	c := d.chunkFor(off, true)
 	mu := &d.casMu[(off/8)%lockStripes]
 	mu.Lock()
@@ -455,7 +476,7 @@ func (d *Device) Store64(clk *simclock.Clock, off int64, v uint64) {
 	if d.track {
 		d.clearDirty(off, 8)
 	}
-	d.countWrite()
+	d.countWrite(clk)
 }
 
 // CAS64 atomically compares-and-swaps an 8-byte word, persisting on
@@ -481,10 +502,11 @@ func (d *Device) CAS64(clk *simclock.Clock, off int64, old, new uint64) bool {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences)
 	d.rec.Add(telemetry.CtrNVMBytesWritten, 8)
+	d.tr.Record(d.uid, clk, pmemtrace.KindCAS, off, 8)
 	if d.track {
 		d.clearDirty(off, 8)
 	}
-	d.countWrite()
+	d.countWrite(clk)
 	return true
 }
 
@@ -494,8 +516,10 @@ func (d *Device) CAS64(clk *simclock.Clock, off int64, old, new uint64) bool {
 // would hold after the crash.
 func (d *Device) Crash() {
 	if !d.track {
+		d.tr.Record(d.uid, nil, pmemtrace.KindCrash, 0, 0)
 		return
 	}
+	d.tr.Record(d.uid, nil, pmemtrace.KindCrash, 0, d.dirtyCount.Load())
 	for i := range d.dirty {
 		s := &d.dirty[i]
 		s.mu.Lock()

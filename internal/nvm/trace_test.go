@@ -1,0 +1,135 @@
+package nvm
+
+import (
+	"testing"
+
+	"zofs/internal/pmemtrace"
+	"zofs/internal/simclock"
+)
+
+// TestTraceEventsEmitted checks that every device persistence primitive
+// lands in the flight recorder with the right kind, range and origin tag.
+func TestTraceEventsEmitted(t *testing.T) {
+	tr := pmemtrace.Enable(pmemtrace.Config{})
+	defer pmemtrace.Disable()
+
+	d := NewDevice(1 << 20)
+	clk := simclock.NewClock()
+	clk.SetTag(pmemtrace.PackTag(5, 2))
+	buf := make([]byte, 64)
+
+	d.Write(clk, 0, buf)
+	d.Flush(clk, 0, 64)
+	d.WriteNT(clk, 128, buf)
+	d.Fence(clk)
+	d.Store64(clk, 256, 0xdead)
+	if !d.CAS64(clk, 264, 0, 1) {
+		t.Fatal("CAS failed")
+	}
+	d.Zero(clk, 4096, 4096)
+	d.Write(clk, 512, buf)
+	d.Crash()
+
+	evs := tr.Events()
+	wantKinds := []pmemtrace.Kind{
+		pmemtrace.KindStore, pmemtrace.KindFlush, pmemtrace.KindNTStore,
+		pmemtrace.KindFence, pmemtrace.KindStore64, pmemtrace.KindCAS,
+		pmemtrace.KindZero, pmemtrace.KindStore, pmemtrace.KindCrash,
+	}
+	if len(evs) != len(wantKinds) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(wantKinds), evs)
+	}
+	for i, want := range wantKinds {
+		if evs[i].Kind != want {
+			t.Errorf("event %d kind = %v, want %v", i, evs[i].Kind, want)
+		}
+	}
+	if evs[0].TID != 5 || evs[0].Key != 2 {
+		t.Errorf("origin tag not carried: tid=%d key=%d", evs[0].TID, evs[0].Key)
+	}
+	// The crash event carries the device's dirty-line count (the unflushed
+	// cached store at 512).
+	last := evs[len(evs)-1]
+	if last.Len != 1 {
+		t.Errorf("crash event dirty count = %d, want 1", last.Len)
+	}
+}
+
+// TestTraceCrashInjectMarker checks that an armed FailAfter records the
+// injected-crash marker right after the store that tripped it.
+func TestTraceCrashInjectMarker(t *testing.T) {
+	tr := pmemtrace.Enable(pmemtrace.Config{})
+	defer pmemtrace.Disable()
+
+	d := NewDevice(1 << 20)
+	clk := simclock.NewClock()
+	d.FailAfter(2)
+	func() {
+		defer func() {
+			if r := recover(); !IsInjectedCrash(r) {
+				t.Fatalf("expected injected crash, got %v", r)
+			}
+		}()
+		d.WriteNT(clk, 0, make([]byte, 64))
+		d.WriteNT(clk, 64, make([]byte, 64))
+		t.Fatal("unreachable: second store must trip the fail point")
+	}()
+	evs := tr.Events()
+	if len(evs) != 3 ||
+		evs[1].Kind != pmemtrace.KindNTStore ||
+		evs[2].Kind != pmemtrace.KindCrashInject {
+		t.Fatalf("unexpected stream: %+v", evs)
+	}
+	if evs[2].Len != 2 {
+		t.Fatalf("inject marker write count = %d, want 2", evs[2].Len)
+	}
+}
+
+// TestTraceDisabledNoAllocs guards the acceptance criterion that disabled
+// recording adds no allocations to the device store path.
+func TestTraceDisabledNoAllocs(t *testing.T) {
+	pmemtrace.Disable()
+	d := New(Config{Size: 1 << 20}) // tracking off, like benchmark devices
+	clk := simclock.NewClock()
+	buf := make([]byte, 64)
+	d.WriteNT(clk, 0, buf) // materialize the chunk outside the measurement
+
+	paths := map[string]func(){
+		"WriteNT": func() { d.WriteNT(clk, 0, buf) },
+		"Write":   func() { d.Write(clk, 64, buf) },
+		"Flush":   func() { d.Flush(clk, 64, 64) },
+		"Fence":   func() { d.Fence(clk) },
+		"Store64": func() { d.Store64(clk, 128, 7) },
+		"Zero":    func() { d.Zero(clk, 4096, 4096) },
+	}
+	for name, fn := range paths {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects/op with tracing disabled, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkWriteNT and BenchmarkWriteNTTraced are the comparison pair for
+// the store-path overhead of the flight recorder: run with -benchmem and
+// compare allocs/op (0 when disabled) and ns/op.
+func BenchmarkWriteNT(b *testing.B) {
+	pmemtrace.Disable()
+	benchWriteNT(b)
+}
+
+func BenchmarkWriteNTTraced(b *testing.B) {
+	pmemtrace.Enable(pmemtrace.Config{RingCap: 1 << 12})
+	defer pmemtrace.Disable()
+	benchWriteNT(b)
+}
+
+func benchWriteNT(b *testing.B) {
+	d := New(Config{Size: 1 << 24})
+	clk := simclock.NewClock()
+	buf := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.WriteNT(clk, int64(i%1024)*256, buf)
+	}
+}

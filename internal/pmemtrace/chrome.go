@@ -1,0 +1,161 @@
+package pmemtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"zofs/internal/telemetry"
+)
+
+// Chrome trace-event export: the output is a JSON array of trace events in
+// the format accepted by chrome://tracing and Perfetto. Telemetry op spans
+// become complete ("X") events, device events become thread-scoped instant
+// ("i") events, and a counter ("C") track replays the dirty-line count so
+// lost-update windows are visible as a non-zero sawtooth.
+//
+// All structs marshal with fixed field order so the exporter is
+// byte-deterministic for a given input (golden-file tested).
+
+type chromeArgs struct {
+	Seq   uint64 `json:"seq,omitempty"`
+	Off   *int64 `json:"off,omitempty"`
+	Len   *int64 `json:"len,omitempty"`
+	Key   *int16 `json:"key,omitempty"`
+	Cause string `json:"cause,omitempty"`
+	Dirty *int64 `json:"dirty,omitempty"`
+}
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"` // microseconds
+	Dur  *float64    `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  int32       `json:"tid"`
+	S    string      `json:"s,omitempty"` // instant-event scope
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+const chromePID = 1
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace renders device events and telemetry op spans as Chrome
+// trace-event JSON. The unknown-origin thread id is rendered as 0 (the
+// "kernel/device" track).
+func WriteChromeTrace(w io.Writer, events []Event, spans []telemetry.TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n  "
+		if first {
+			sep = "[\n  "
+			first = false
+		}
+		if _, err := bw.WriteString(sep); err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	for _, s := range spans {
+		dur := usec(s.Dur)
+		if err := emit(chromeEvent{
+			Name: s.Op, Cat: "fsop", Ph: "X",
+			TS: usec(s.Start), Dur: &dur,
+			PID: chromePID, TID: int32(s.TID),
+		}); err != nil {
+			return err
+		}
+	}
+
+	dirty := map[devLine]bool{}
+	lastDirty := int64(-1)
+	for _, ev := range events {
+		tid := ev.TID
+		if tid < 0 {
+			tid = 0
+		}
+		ce := chromeEvent{
+			Name: ev.Kind.String(), Cat: "nvm", Ph: "i",
+			TS: usec(ev.TS), PID: chromePID, TID: tid, S: "t",
+			Args: &chromeArgs{Seq: ev.Seq},
+		}
+		switch ev.Kind {
+		case KindFence, KindCrash, KindCrashInject:
+			// No meaningful range.
+		case KindViolation:
+			page := ev.Off
+			ce.Args.Off = &page
+			ce.Args.Cause = ev.Cause
+			ce.S = "g" // faults are worth seeing across all tracks
+		default:
+			off, ln := ev.Off, ev.Len
+			ce.Args.Off = &off
+			ce.Args.Len = &ln
+		}
+		if ev.Key >= 0 {
+			k := ev.Key
+			ce.Args.Key = &k
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+
+		// Replay the dirty-line count as a counter track.
+		before := int64(len(dirty))
+		applyDirty(dirty, ev)
+		after := int64(len(dirty))
+		if after != before || (ev.Kind == KindCrash && lastDirty != 0) {
+			n := after
+			if err := emit(chromeEvent{
+				Name: "dirty_lines", Cat: "nvm", Ph: "C",
+				TS: usec(ev.TS), PID: chromePID, TID: 0,
+				Args: &chromeArgs{Dirty: &n},
+			}); err != nil {
+				return err
+			}
+			lastDirty = after
+		}
+	}
+
+	if first {
+		if _, err := bw.WriteString("[]\n"); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// applyDirty mirrors the auditor's dirty-set transition for one event.
+func applyDirty(dirty map[devLine]bool, ev Event) {
+	switch ev.Kind {
+	case KindStore:
+		first := ev.Off / LineSize * LineSize
+		for lo := first; lo < ev.Off+ev.Len; lo += LineSize {
+			dirty[devLine{ev.Dev, lo}] = true
+		}
+	case KindNTStore, KindStore64, KindCAS, KindZero, KindFlush:
+		first := ev.Off / LineSize * LineSize
+		for lo := first; lo < ev.Off+ev.Len; lo += LineSize {
+			delete(dirty, devLine{ev.Dev, lo})
+		}
+	case KindCrash:
+		for k := range dirty {
+			if k.dev == ev.Dev {
+				delete(dirty, k)
+			}
+		}
+	}
+}

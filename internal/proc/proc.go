@@ -15,6 +15,7 @@ import (
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
+	"zofs/internal/pmemtrace"
 	"zofs/internal/simclock"
 	"zofs/internal/telemetry"
 )
@@ -71,12 +72,16 @@ func (p *Process) Device() *nvm.Device { return p.dev }
 // NewThread creates a thread with a fresh clock and the default PKRU
 // (all coffer regions access-disabled).
 func (p *Process) NewThread() *Thread {
-	return &Thread{
+	t := &Thread{
 		Proc: p,
 		Clk:  simclock.NewClock(),
 		TID:  int(p.nextTID.Add(1)),
 		pkru: mpk.DefaultPKRU(),
 	}
+	// Tag the clock so the flight recorder can attribute device events to
+	// this thread; the key half of the tag is refreshed per checked access.
+	t.Clk.SetTag(pmemtrace.PackTag(t.TID, -1))
+	return t
 }
 
 // Thread is a simulated thread: the unit of virtual-time accounting and of
@@ -134,6 +139,31 @@ func pageSpan(off, n int64) (page, count int64) {
 // check enforces the page table + PKRU for an access from user space.
 func (t *Thread) check(off, n int64, write bool) {
 	page, count := pageSpan(off, n)
+	if tr := pmemtrace.Active(); tr != nil {
+		t.checkTraced(tr, page, count, write)
+		return
+	}
+	t.Proc.Mem.Check(t.pkru, page, count, write)
+}
+
+// checkTraced is the flight-recorded MMU check: it refreshes the clock's
+// origin tag with the accessed page's protection key and records any
+// mpk.Violation into the event stream before re-raising it. Kept out of
+// check so the untraced path stays defer-free.
+func (t *Thread) checkTraced(tr *pmemtrace.Recorder, page, count int64, write bool) {
+	key := int16(-1)
+	if k, ok := t.Proc.Mem.KeyOf(page); ok {
+		key = int16(k)
+	}
+	t.Clk.SetTag(pmemtrace.PackTag(t.TID, key))
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(mpk.Violation); ok {
+				tr.RecordViolation(t.Clk.Now(), t.TID, v.Page, int16(v.Key), v.Cause)
+			}
+			panic(r)
+		}
+	}()
 	t.Proc.Mem.Check(t.pkru, page, count, write)
 }
 

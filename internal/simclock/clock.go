@@ -23,6 +23,7 @@ import (
 // concurrent use; each simulated thread owns exactly one Clock.
 type Clock struct {
 	now int64 // virtual nanoseconds since simulation start
+	tag uint64
 }
 
 // NewClock returns a clock starting at virtual time zero.
@@ -48,6 +49,15 @@ func (c *Clock) AdvanceTo(t int64) {
 		c.now = t
 	}
 }
+
+// SetTag attaches an opaque origin tag to the clock. Since a Clock belongs
+// to exactly one simulated thread, the tag lets observers (the persistence
+// flight recorder) attribute device events to their issuing thread without
+// simclock knowing about processes. Zero means untagged.
+func (c *Clock) SetTag(t uint64) { c.tag = t }
+
+// Tag returns the clock's origin tag (zero when untagged).
+func (c *Clock) Tag() uint64 { return c.tag }
 
 // Duration is a convenience converter from time.Duration to virtual ns.
 func Duration(d time.Duration) int64 { return int64(d) }

@@ -103,6 +103,16 @@ func (t *traceTable) all() []TraceEvent {
 	return out
 }
 
+// TraceEvents returns the recorder's op-trace spans, merged across threads
+// and ordered by start time, without building a full Snapshot. The flight
+// recorder's auditor consumes these to attribute device events to ops.
+func (r *Recorder) TraceEvents() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	return r.traces.all()
+}
+
 func (t *traceTable) reset() {
 	t.mu.Lock()
 	t.rings = nil

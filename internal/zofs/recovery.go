@@ -18,6 +18,16 @@ import (
 // reports the in-use set so KernFS reclaims everything else (EndRecover).
 // Cross-coffer references are validated after the in-coffer pass.
 
+// Repair is one corruption the traversal fixed, in device coordinates: Off
+// is the byte address of the repaired word/record, Target the page number
+// the dropped referent pointed at (0 when there was none). The fsck tool
+// cross-checks these sites against the flight recorder's lost-line report.
+type Repair struct {
+	Off    int64
+	Target int64
+	Kind   string // dangling_ptr | torn_dentry | dangling_dentry | cross_ref | root_reinit
+}
+
 // RecoverStats summarizes one coffer recovery.
 type RecoverStats struct {
 	UserNS         int64 // virtual time spent in user space (traversal)
@@ -26,6 +36,7 @@ type RecoverStats struct {
 	PagesReclaimed int64
 	DentriesFixed  int // corrupted or dangling dentries dropped
 	LeasesCleared  int
+	Repairs        []Repair
 }
 
 // recReader abstracts charged access for the traversal so the same code
@@ -71,8 +82,14 @@ type traversal struct {
 	inUse   map[int64]bool
 	cross   []crossRef
 	fixed   int
+	repairs []Repair
 	leases  int
 	maxDeep int
+}
+
+func (t *traversal) repair(off, target int64, kind string) {
+	t.fixed++
+	t.repairs = append(t.repairs, Repair{Off: off, Target: target, Kind: kind})
 }
 
 func (t *traversal) visitInode(ino int64, path string) bool {
@@ -116,7 +133,7 @@ func (t *traversal) ptrIn(page []byte, base int64, off int) int64 {
 	if !t.valid[pg] {
 		// Dangling pointer out of the coffer: clear it.
 		t.r.store64(base+int64(off), 0)
-		t.fixed++
+		t.repair(base+int64(off), pg, "dangling_ptr")
 		return 0
 	}
 	return pg
@@ -206,7 +223,7 @@ func (t *traversal) visitDentries(page int64, buf []byte, base int64, path strin
 		if d.name == "" || checkHash(nameHash(d.name)) != d.hash {
 			// Torn or corrupted dentry: drop it.
 			t.r.store64(loc.addr(), dentryCommit(deStateFree, 0, 0, 0))
-			t.fixed++
+			t.repair(loc.addr(), d.inode, "torn_dentry")
 			return true
 		}
 		child := joinPath(path, d.name)
@@ -220,7 +237,7 @@ func (t *traversal) visitDentries(page int64, buf []byte, base int64, path strin
 		if !t.visitInode(d.inode, child) && !t.inUse[d.inode] {
 			// The child inode is gone: the dentry dangles.
 			t.r.store64(loc.addr(), dentryCommit(deStateFree, 0, 0, 0))
-			t.fixed++
+			t.repair(loc.addr(), d.inode, "dangling_dentry")
 		}
 		return true
 	})
@@ -287,7 +304,7 @@ func (f *FS) RecoverCoffer(th *proc.Thread, id coffer.ID) (RecoverStats, error) 
 		// but the coffer must stay usable — re-initialize it as an empty
 		// directory with the coffer's permission.
 		f.initInode(th, m.root, vfs.TypeDir, uint32(rp.Mode), rp.UID, rp.GID)
-		t.fixed++
+		t.repair(m.root*pageSize, m.root, "root_reinit")
 	}
 
 	// Validate cross-coffer references (G3 batch pass).
@@ -295,13 +312,14 @@ func (f *FS) RecoverCoffer(th *proc.Thread, id coffer.ID) (RecoverStats, error) 
 		info, ok := f.kern.Info(cr.target)
 		if !ok || info.Path != joinPath(cr.parentPath, cr.name) || info.RootInode != cr.inode {
 			t.r.store64(cr.loc.addr(), dentryCommit(deStateFree, 0, 0, 0))
-			t.fixed++
+			t.repair(cr.loc.addr(), cr.inode, "cross_ref")
 		}
 	}
 	cl()
 	st.UserNS = th.Clk.Now() - userStart
 	st.DentriesFixed = t.fixed
 	st.LeasesCleared = t.leases
+	st.Repairs = t.repairs
 
 	inUse := make([]int64, 0, len(t.inUse))
 	for pg := range t.inUse {

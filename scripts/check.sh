@@ -22,4 +22,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== trace smoke =="
+# Record one tiny fig7 append cell with the flight recorder on, then gate on
+# the auditor: a crash-free run must have zero lost lines.
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/zofs-trace record -workload append -system Ext4-DAX \
+    -o "$tracedir/smoke.jsonl" -threads 1 -ops 8 -device-mb 64 >/dev/null
+go run ./cmd/zofs-trace audit -max-lost 0 "$tracedir/smoke.jsonl" >/dev/null
+
 echo "OK"
