@@ -6,7 +6,7 @@
 //	zofs-bench [-quick] [-stats] [-threads 1,2,4,8,12,16,20] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
-// fig11 table9 safety recovery — or "all" (the default).
+// fig11 table9 safety recovery crashmc — or "all" (the default).
 package main
 
 import (
@@ -40,6 +40,7 @@ var experiments = []struct {
 	{"table9", "worst-case chmod/rename", harness.RunTable9},
 	{"safety", "stray-write and malicious-metadata tests", harness.RunSafety},
 	{"recovery", "coffer recovery timing", harness.RunRecovery},
+	{"crashmc", "crash-state model checker and fault injection", harness.RunCrashMC},
 }
 
 func main() {

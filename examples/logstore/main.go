@@ -29,7 +29,9 @@ const (
 )
 
 func main() {
-	dev := nvm.New(nvm.Config{Size: 1 << 30})
+	// TrackPersistence must be on for the crash below to actually drop
+	// unflushed stores; the device refuses to Crash() untracked.
+	dev := nvm.New(nvm.Config{Size: 1 << 30, TrackPersistence: true})
 	must(kernfs.Mkfs(dev, kernfs.MkfsOptions{RootMode: 0o755}))
 	k, err := kernfs.Mount(dev)
 	must(err)

@@ -116,6 +116,7 @@ type Engine struct {
 	journal atomic.Int64 // rotating journal write offset
 	jStart  int64
 	jBytes  int64
+	jMu     sync.Mutex // serializes journal byte copies across ring wrap
 
 	// Strata: per-process log usage and the single kernel digestion
 	// worker (digests from different processes serialize on it).
@@ -227,7 +228,13 @@ func (e *Engine) JournalWrite(th *proc.Thread, buf []byte) int64 {
 	if off < 0 {
 		off = e.jStart
 	}
+	// The cursor claim above is atomic, but once the ring wraps two
+	// in-flight commits can alias the same slot; exclude the byte copy.
+	// Virtual time is charged per-thread inside WriteNT, so this real-time
+	// lock does not perturb simulated results.
+	e.jMu.Lock()
 	e.dev.WriteNT(th.Clk, off, buf)
+	e.jMu.Unlock()
 	return off
 }
 

@@ -1,0 +1,315 @@
+package crashmc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"zofs/internal/fslibs"
+	"zofs/internal/kernfs"
+	"zofs/internal/pmemtrace"
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+	"zofs/internal/zofs"
+)
+
+// FaultReport summarizes one injected-fault campaign. Unlike the crash
+// exploration — whose workload never misbehaves — injected faults are
+// EXPECTED to make survivors see errors; the invariants here are about
+// degradation shape: errors instead of panics, detection by recovery, and
+// a usable file system afterwards.
+type FaultReport struct {
+	Mode  string `json:"mode"` // bitflip | lease
+	Flips int    `json:"flips,omitempty"`
+
+	// Survivor behavior while the damage is live.
+	SurvivorOps    int `json:"survivor_ops"`
+	SurvivorErrors int `json:"survivor_errors"`
+	SurvivorPanics int `json:"survivor_panics"` // must stay 0
+
+	// Recovery behavior.
+	Detected      bool `json:"detected"` // fsck found and repaired the damage
+	Repairs       int  `json:"repairs"`
+	LeasesCleared int  `json:"leases_cleared"`
+
+	// Lease-campaign assertions.
+	LeaseStolen        bool `json:"lease_stolen,omitempty"`
+	LiveLeaseRespected bool `json:"live_lease_respected,omitempty"`
+}
+
+// RunFaults executes one injected-fault campaign ("bitflip" or "lease")
+// against a ZoFS personality and returns the campaign report plus any
+// violated degradation invariants.
+func RunFaults(cfg Config, mode string) (*FaultReport, []Violation, error) {
+	cfg.fill()
+	p, err := lookup(cfg.System)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !p.zofs {
+		return nil, nil, fmt.Errorf("crashmc: fault campaigns need a ZoFS personality, not %s", cfg.System)
+	}
+	switch mode {
+	case "bitflip":
+		return runBitflip(p, cfg)
+	case "lease":
+		return runLease(p, cfg)
+	}
+	return nil, nil, fmt.Errorf("crashmc: unknown fault mode %q (have bitflip, lease)", mode)
+}
+
+// runBitflip corrupts metadata bits in live inode pages, then asserts the
+// two halves of graceful degradation: survivors driving the damaged image
+// through FSLibs get errors — never panics — and offline recovery detects
+// and repairs the corruption, converging to a usable file system.
+func runBitflip(p *personality, cfg Config) (*FaultReport, []Violation, error) {
+	rep := &FaultReport{Mode: "bitflip", Flips: cfg.Flips}
+	var viols []Violation
+	fail := func(invariant, detail string) {
+		viols = append(viols, Violation{Model: "bitflip", Invariant: invariant, Detail: detail})
+	}
+
+	st, err := p.build(cfg.DeviceBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	ops := GenWorkload(cfg.Seed, cfg.Ops)
+	if res := runOps(st.fs, st.th, ops); res.err != nil || res.crashed {
+		return nil, nil, fmt.Errorf("crashmc: bitflip setup workload: err=%v crashed=%v", res.err, res.crashed)
+	}
+	o := oracleAfter(ops, len(ops))
+	paths := make([]string, 0, len(o.files))
+	for path := range o.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	// Collect the live inode pages (magic-tagged metadata) across every
+	// coffer; those are the flip targets.
+	var inodePages []int64
+	for _, id := range st.k.Coffers() {
+		for _, e := range st.k.ExtentsOf(id) {
+			for pg := e.Start; pg < e.End(); pg++ {
+				if pg != int64(id) && zofs.IsInodePage(st.dev, pg) {
+					inodePages = append(inodePages, pg)
+				}
+			}
+		}
+	}
+	if len(inodePages) == 0 {
+		return nil, nil, fmt.Errorf("crashmc: no inode pages found to corrupt")
+	}
+	sort.Slice(inodePages, func(i, j int) bool { return inodePages[i] < inodePages[j] })
+
+	// Flip bits in inode headers. The first flip lands in the magic word
+	// of a file the workload actually references, guaranteeing damage the
+	// fsck traversal must detect; the rest hit seeded header offsets.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fi, err := st.fs.Stat(st.th, paths[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	zofs.FlipBit(st.dev, fi.Inode*int64(pmemtrace.PageSize), uint(rng.Intn(8)))
+	for i := 1; i < cfg.Flips; i++ {
+		pg := inodePages[rng.Intn(len(inodePages))]
+		off := int64(rng.Intn(zofs.InodeHeaderLen))
+		zofs.FlipBit(st.dev, pg*int64(pmemtrace.PageSize)+off, uint(rng.Intn(8)))
+	}
+
+	// Survivors: a fresh process drives the damaged image through FSLibs,
+	// whose guard layer must turn MPK/media faults into errors.
+	th2 := proc.NewProcess(st.dev, 0, 0).NewThread()
+	lib, err := fslibs.Mount(st.k, th2, fslibs.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, path := range paths {
+		rep.SurvivorOps++
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					rep.SurvivorPanics++
+					fail("graceful", fmt.Sprintf("survivor panicked reading %s: %v", path, r))
+				}
+			}()
+			fd, err := lib.Open(th2, path, vfs.O_RDONLY, 0)
+			if err != nil {
+				rep.SurvivorErrors++
+				return
+			}
+			defer lib.Close(th2, fd)
+			if _, err := lib.Pread(th2, fd, make([]byte, 4096), 0); err != nil {
+				rep.SurvivorErrors++
+			}
+		}()
+	}
+
+	// Detection: offline recovery over the corrupt image must find it.
+	zofs.ResetShared(st.dev)
+	k2, err := kernfs.Mount(st.dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	th3 := proc.NewProcess(st.dev, 0, 0).NewThread()
+	if err := k2.FSMount(th3); err != nil {
+		return nil, nil, err
+	}
+	stats, err := zofs.FsckAll(k2, th3)
+	if err != nil {
+		fail("detection", fmt.Sprintf("fsck errored on the corrupt image: %v", err))
+		return rep, viols, nil
+	}
+	for _, s := range stats {
+		rep.Repairs += len(s.Repairs)
+		rep.LeasesCleared += s.LeasesCleared
+	}
+	rep.Detected = rep.Repairs > 0
+	if !rep.Detected {
+		fail("detection", fmt.Sprintf("%d injected bit flips produced zero fsck repairs", cfg.Flips))
+	}
+	stats2, err := zofs.FsckAll(k2, th3)
+	if err != nil {
+		fail("fsck_fixpoint", err.Error())
+	} else {
+		for _, s := range stats2 {
+			if len(s.Repairs) > 0 {
+				fail("fsck_fixpoint", fmt.Sprintf("second fsck pass still repaired %d sites", len(s.Repairs)))
+				break
+			}
+		}
+	}
+	// The repaired file system must accept new work.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fail("usability", fmt.Sprintf("post-repair probe panicked: %v", r))
+			}
+		}()
+		f2 := zofs.New(k2, p.opts)
+		h, err := f2.Create(th3, "/crashmc.probe", 0o600)
+		if err != nil {
+			fail("usability", fmt.Sprintf("post-repair create: %v", err))
+			return
+		}
+		if _, err := h.WriteAt(th3, opData(&Op{Len: 3000, Seed: 7}), 0); err != nil {
+			fail("usability", fmt.Sprintf("post-repair write: %v", err))
+		}
+		h.Close(th3)
+	}()
+	return rep, viols, nil
+}
+
+// runLease models dead lease holders (§5.2): a process dies holding an
+// allocator pool-slot lease and an inode lease. Survivors must steal the
+// expired slot lease via CAS and keep respecting a live foreign one, and
+// recovery must clear whatever leases remain.
+func runLease(p *personality, cfg Config) (*FaultReport, []Violation, error) {
+	rep := &FaultReport{Mode: "lease"}
+	var viols []Violation
+	fail := func(invariant, detail string) {
+		viols = append(viols, Violation{Model: "lease", Invariant: invariant, Detail: detail})
+	}
+
+	st, err := p.build(cfg.DeviceBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	ops := GenWorkload(cfg.Seed, cfg.Ops)
+	if res := runOps(st.fs, st.th, ops); res.err != nil || res.crashed {
+		return nil, nil, fmt.Errorf("crashmc: lease setup workload: err=%v crashed=%v", res.err, res.crashed)
+	}
+	o := oracleAfter(ops, len(ops))
+	var victim string
+	for path := range o.files {
+		if victim == "" || path < victim {
+			victim = path
+		}
+	}
+	rp, ok := st.k.Info(st.k.RootCoffer())
+	if !ok {
+		return nil, nil, fmt.Errorf("crashmc: root coffer has no info")
+	}
+	now := st.th.Clk.Now()
+
+	// The "dead" process: an expired lease on slot 0 (stealable), a live
+	// foreign lease on slot 1 (must be respected), and an inode lease on a
+	// workload file (recovery must clear it).
+	const deadTID = 4093
+	zofs.PlantSlotLease(st.dev, rp.Custom, 0, deadTID, 1)
+	liveExpiry := now + 1_000_000_000_000 // far beyond any survivor's clock
+	zofs.PlantSlotLease(st.dev, rp.Custom, 1, deadTID+1, liveExpiry)
+	vfi, err := st.fs.Stat(st.th, victim)
+	if err != nil {
+		return nil, nil, err
+	}
+	zofs.PlantInodeLease(st.dev, vfi.Inode, deadTID, liveExpiry)
+
+	// Survivor: a fresh process allocates; claiming walks the pool in slot
+	// order, so it must steal the expired slot 0 and skip live slot 1.
+	th2 := proc.NewProcess(st.dev, 0, 0).NewThread()
+	if err := st.k.FSMount(th2); err != nil {
+		return nil, nil, err
+	}
+	f2 := zofs.New(st.k, p.opts)
+	for i := 0; i < 4; i++ {
+		rep.SurvivorOps++
+		h, err := f2.Create(th2, fmt.Sprintf("/lease%d", i), 0o644)
+		if err != nil {
+			rep.SurvivorErrors++
+			fail("graceful", fmt.Sprintf("survivor create %d failed under dead leases: %v", i, err))
+			continue
+		}
+		if _, err := h.WriteAt(th2, opData(&Op{Len: 5000, Seed: uint32(i)}), 0); err != nil {
+			rep.SurvivorErrors++
+			fail("graceful", fmt.Sprintf("survivor write %d failed under dead leases: %v", i, err))
+		}
+		h.Close(th2)
+	}
+	if tid, _ := zofs.SlotLease(st.dev, rp.Custom, 0); tid == th2.TID&0xffff {
+		rep.LeaseStolen = true
+	} else {
+		fail("lease_steal", fmt.Sprintf("expired slot 0 lease not stolen by survivor tid %d (held by %d)",
+			th2.TID&0xffff, tid))
+	}
+	if tid, expiry := zofs.SlotLease(st.dev, rp.Custom, 1); tid == deadTID+1 && expiry == liveExpiry {
+		rep.LiveLeaseRespected = true
+	} else {
+		fail("lease_respect", fmt.Sprintf("live foreign lease on slot 1 was overwritten (tid=%d expiry=%d)",
+			tid, expiry))
+	}
+
+	// Recovery over the image clears every remaining lease, including the
+	// dead holder's inode lease.
+	zofs.ResetShared(st.dev)
+	k2, err := kernfs.Mount(st.dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	th3 := proc.NewProcess(st.dev, 0, 0).NewThread()
+	if err := k2.FSMount(th3); err != nil {
+		return nil, nil, err
+	}
+	stats, err := zofs.FsckAll(k2, th3)
+	if err != nil {
+		fail("detection", fmt.Sprintf("fsck over dead leases: %v", err))
+		return rep, viols, nil
+	}
+	for _, s := range stats {
+		rep.Repairs += len(s.Repairs)
+		rep.LeasesCleared += s.LeasesCleared
+	}
+	rep.Detected = rep.LeasesCleared > 0
+	if rep.LeasesCleared == 0 {
+		fail("lease_clear", "recovery cleared no leases despite planted dead holders")
+	}
+	if tid, expiry := zofs.InodeLease(st.dev, vfi.Inode); tid != 0 || expiry != 0 {
+		fail("lease_clear", fmt.Sprintf("dead holder's inode lease survived recovery (tid=%d expiry=%d)", tid, expiry))
+	}
+	for slot := 0; slot < zofs.PoolSlots(); slot++ {
+		if tid, expiry := zofs.SlotLease(st.dev, rp.Custom, slot); tid != 0 || expiry != 0 {
+			fail("lease_clear", fmt.Sprintf("slot %d lease survived recovery (tid=%d expiry=%d)", slot, tid, expiry))
+			break
+		}
+	}
+	return rep, viols, nil
+}

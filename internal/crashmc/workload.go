@@ -1,0 +1,260 @@
+// Package crashmc is a deterministic crash-state model checker for the
+// file systems in this repository. It runs a scripted workload on a
+// persistence-tracked device, enumerates the workload's persistence points
+// from the device's store counter, and at sampled points materializes
+// post-crash images under three media models (drop, subset, torn), then
+// remounts, recovers and checks invariants: fsynced data survives
+// verbatim, the tree stays consistent against a workload oracle, and every
+// auditor-reported lost line maps to an fsck repair site. A separate
+// fault-injection mode corrupts metadata bits and plants dead-process
+// leases, asserting graceful degradation instead of crash consistency.
+package crashmc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zofs/internal/nvm"
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+)
+
+// OpKind enumerates workload operations.
+type OpKind uint8
+
+const (
+	OpCreate OpKind = iota
+	OpMkdir
+	OpWrite
+	OpFsync
+	OpRename
+	OpUnlink
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpMkdir:
+		return "mkdir"
+	case OpWrite:
+		return "write"
+	case OpFsync:
+		return "fsync"
+	case OpRename:
+		return "rename"
+	case OpUnlink:
+		return "unlink"
+	default:
+		return "?"
+	}
+}
+
+// Op is one scripted workload operation. Write data is derived from Seed,
+// never stored, so an oracle can be recomputed for any op prefix.
+type Op struct {
+	Kind OpKind
+	Path string
+	Dst  string // rename destination
+	Off  int64  // write offset
+	Len  int    // write length
+	Seed uint32 // write content seed
+}
+
+func (op Op) String() string {
+	switch op.Kind {
+	case OpWrite:
+		return fmt.Sprintf("write %s off=%d len=%d", op.Path, op.Off, op.Len)
+	case OpRename:
+		return fmt.Sprintf("rename %s -> %s", op.Path, op.Dst)
+	default:
+		return op.Kind.String() + " " + op.Path
+	}
+}
+
+// GenWorkload builds a deterministic create/write/fsync/rename/unlink
+// script of n ops. The generator tracks the namespace it builds so every
+// op is valid when executed in order: writes target live files at offsets
+// within the current size (no holes), renames move to fresh names,
+// unlinks keep a minimum population.
+func GenWorkload(seed int64, n int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := map[string]int64{}
+	var live []string // deterministic selection order (maps iterate randomly)
+	dirs := []string{"/"}
+	next := 0
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		roll := rng.Intn(100)
+		switch {
+		case roll < 30 || len(live) == 0:
+			d := dirs[rng.Intn(len(dirs))]
+			p := vfs.Join(d, fmt.Sprintf("f%03d", next))
+			next++
+			ops = append(ops, Op{Kind: OpCreate, Path: p})
+			sizes[p] = 0
+			live = append(live, p)
+		case roll < 65:
+			p := live[rng.Intn(len(live))]
+			off := int64(0)
+			if sizes[p] > 0 {
+				off = rng.Int63n(sizes[p] + 1)
+			}
+			ln := 16 + rng.Intn(6000)
+			ops = append(ops, Op{Kind: OpWrite, Path: p, Off: off, Len: ln, Seed: rng.Uint32()})
+			if off+int64(ln) > sizes[p] {
+				sizes[p] = off + int64(ln)
+			}
+		case roll < 75:
+			ops = append(ops, Op{Kind: OpFsync, Path: live[rng.Intn(len(live))]})
+		case roll < 82 && len(dirs) < 4:
+			p := vfs.Join("/", fmt.Sprintf("d%03d", next))
+			next++
+			ops = append(ops, Op{Kind: OpMkdir, Path: p})
+			dirs = append(dirs, p)
+		case roll < 92:
+			i := rng.Intn(len(live))
+			p := live[i]
+			d := dirs[rng.Intn(len(dirs))]
+			dst := vfs.Join(d, fmt.Sprintf("r%03d", next))
+			next++
+			ops = append(ops, Op{Kind: OpRename, Path: p, Dst: dst})
+			sizes[dst] = sizes[p]
+			delete(sizes, p)
+			live[i] = dst
+		default:
+			if len(live) < 3 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			p := live[i]
+			ops = append(ops, Op{Kind: OpUnlink, Path: p})
+			delete(sizes, p)
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	return ops
+}
+
+// opData regenerates an op's write payload from its seed.
+func opData(op *Op) []byte {
+	buf := make([]byte, op.Len)
+	x := uint64(op.Seed) | 1
+	for i := range buf {
+		x = x*6364136223846793005 + 1442695040888963407
+		buf[i] = byte(x >> 33)
+	}
+	return buf
+}
+
+// oracle is the expected durable namespace and file contents after a
+// prefix of the workload.
+type oracle struct {
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+// oracleAfter replays the first n ops of the script into a fresh oracle.
+func oracleAfter(ops []Op, n int) *oracle {
+	o := &oracle{files: map[string][]byte{}, dirs: map[string]bool{"/": true}}
+	for i := 0; i < n; i++ {
+		o.apply(&ops[i])
+	}
+	return o
+}
+
+func (o *oracle) apply(op *Op) {
+	switch op.Kind {
+	case OpCreate:
+		o.files[op.Path] = []byte{}
+	case OpMkdir:
+		o.dirs[op.Path] = true
+	case OpWrite:
+		o.files[op.Path] = applyWrite(o.files[op.Path], op)
+	case OpRename:
+		o.files[op.Dst] = o.files[op.Path]
+		delete(o.files, op.Path)
+	case OpUnlink:
+		delete(o.files, op.Path)
+	}
+}
+
+// applyWrite returns the file content after op lands on cur.
+func applyWrite(cur []byte, op *Op) []byte {
+	end := op.Off + int64(op.Len)
+	out := make([]byte, max(int64(len(cur)), end))
+	copy(out, cur)
+	copy(out[op.Off:end], opData(op))
+	return out
+}
+
+// runResult reports how far a workload replay got before the injected
+// crash (if any) unwound it.
+type runResult struct {
+	completed int   // ops that fully finished
+	crashed   bool  // an injected crash fired
+	err       error // a non-crash op failure (a checker violation)
+}
+
+// runOps executes the script in order, stopping at the first error or
+// injected crash. Only nvm's injected-crash panic is absorbed; any other
+// panic propagates (it would be a bug in the system under test during
+// normal operation, not a post-crash state).
+func runOps(fs vfs.FileSystem, th *proc.Thread, ops []Op) (res runResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			if nvm.IsInjectedCrash(r) {
+				res.crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	for i := range ops {
+		if err := execOp(fs, th, &ops[i]); err != nil {
+			res.err = fmt.Errorf("op %d (%s): %w", i, ops[i].String(), err)
+			return
+		}
+		res.completed = i + 1
+	}
+	return
+}
+
+func execOp(fs vfs.FileSystem, th *proc.Thread, op *Op) error {
+	switch op.Kind {
+	case OpCreate:
+		h, err := fs.Create(th, op.Path, 0o644)
+		if err != nil {
+			return err
+		}
+		return h.Close(th)
+	case OpMkdir:
+		return fs.Mkdir(th, op.Path, 0o755)
+	case OpWrite:
+		h, err := fs.Open(th, op.Path, vfs.O_RDWR)
+		if err != nil {
+			return err
+		}
+		if _, err := h.WriteAt(th, opData(op), op.Off); err != nil {
+			h.Close(th)
+			return err
+		}
+		return h.Close(th)
+	case OpFsync:
+		h, err := fs.Open(th, op.Path, vfs.O_RDWR)
+		if err != nil {
+			return err
+		}
+		if err := h.Sync(th); err != nil {
+			h.Close(th)
+			return err
+		}
+		return h.Close(th)
+	case OpRename:
+		return fs.Rename(th, op.Path, op.Dst)
+	case OpUnlink:
+		return fs.Unlink(th, op.Path)
+	default:
+		return fmt.Errorf("crashmc: unknown op kind %d", op.Kind)
+	}
+}

@@ -36,7 +36,9 @@ func RunSafety(w io.Writer, opts Options) error {
 		tracer = pmemtrace.Enable(pmemtrace.Config{RingCap: 1 << 18})
 		defer pmemtrace.Disable()
 	}
-	dev := nvm.NewDevice(1 << 30)
+	// Track persistence explicitly: the auditor's lost-line report at the
+	// end of the run is only meaningful over a dirty-line-tracking device.
+	dev := nvm.New(nvm.Config{Size: 1 << 30, TrackPersistence: true})
 	if err := kernfs.Mkfs(dev, kernfs.MkfsOptions{RootMode: 0o777}); err != nil {
 		return err
 	}
@@ -260,6 +262,8 @@ func RunRecovery(w io.Writer, opts Options) error {
 	if opts.Quick {
 		files = 100
 	}
+	// Telemetry must be on before the device exists for it to attach.
+	stats := newStatsRun(opts, "recovery")
 	dev := nvm.New(nvm.Config{Size: int64(files)*fileBytes + (512 << 20), TrackPersistence: false})
 	if err := kernfs.Mkfs(dev, kernfs.MkfsOptions{RootMode: 0o755}); err != nil {
 		return err
@@ -303,5 +307,15 @@ func RunRecovery(w io.Writer, opts Options) error {
 	fmt.Fprintf(w, "  total %dµs = user %dµs + kernel %dµs; pages kept %d, reclaimed %d, leases cleared %d\n",
 		(st.UserNS+st.KernelNS)/1000, st.UserNS/1000, st.KernelNS/1000,
 		st.PagesKept, st.PagesReclaimed, st.LeasesCleared)
-	return nil
+	stats.endCellExtra(fmt.Sprintf("recovery/%d-files", files), map[string]int64{
+		"recover_total_ns":  st.UserNS + st.KernelNS,
+		"recover_user_ns":   st.UserNS,
+		"recover_kernel_ns": st.KernelNS,
+		"pages_kept":        st.PagesKept,
+		"pages_reclaimed":   st.PagesReclaimed,
+		"dentries_fixed":    int64(st.DentriesFixed),
+		"leases_cleared":    int64(st.LeasesCleared),
+		"repairs":           int64(len(st.Repairs)),
+	})
+	return stats.finish(w)
 }

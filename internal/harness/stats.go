@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -15,9 +16,12 @@ import (
 )
 
 // statsCell is one benchmark cell's telemetry interval in the sidecar JSON.
+// Extra carries experiment-specific scalars (e.g. recovery timing) that the
+// telemetry counters do not capture.
 type statsCell struct {
 	Label   string             `json:"label"`
 	Metrics telemetry.Snapshot `json:"metrics"`
+	Extra   map[string]int64   `json:"extra,omitempty"`
 }
 
 // statsRun collects per-cell telemetry for one experiment when Options.Stats
@@ -78,11 +82,17 @@ func (s *statsRun) wrap(fs vfs.FileSystem) vfs.FileSystem {
 // endCell closes one benchmark cell, recording the telemetry delta since the
 // previous cell under the given label (e.g. "ZoFS/DWOL/4").
 func (s *statsRun) endCell(label string) {
+	s.endCellExtra(label, nil)
+}
+
+// endCellExtra is endCell plus experiment-specific scalars attached to the
+// cell (written to the sidecar and printed alongside the telemetry tables).
+func (s *statsRun) endCellExtra(label string, extra map[string]int64) {
 	if s == nil {
 		return
 	}
 	cur := s.rec.Snapshot()
-	s.cells = append(s.cells, statsCell{Label: label, Metrics: cur.Diff(s.prev)})
+	s.cells = append(s.cells, statsCell{Label: label, Metrics: cur.Diff(s.prev), Extra: extra})
 	s.prev = cur
 }
 
@@ -97,6 +107,16 @@ func (s *statsRun) finish(w io.Writer) error {
 		fmt.Fprintf(w, "\n[stats %s]\n", c.Label)
 		if err := c.Metrics.WriteText(w); err != nil {
 			return err
+		}
+		if len(c.Extra) > 0 {
+			keys := make([]string, 0, len(c.Extra))
+			for k := range c.Extra {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "  %-24s %d\n", k, c.Extra[k])
+			}
 		}
 	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {

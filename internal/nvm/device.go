@@ -19,6 +19,7 @@ package nvm
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -95,6 +96,11 @@ type Device struct {
 
 	writeCount atomic.Int64
 	failAfter  atomic.Int64 // 0 = disabled
+	// failBefore selects the crash edge: false = the armed store completes
+	// and then the crash fires (FailAfter); true = the crash fires before
+	// the armed store takes effect (FailAtStart), leaving the epoch's cached
+	// stores dirty — the mid-epoch states a crash-state explorer samples.
+	failBefore atomic.Bool
 
 	uid uint64 // process-unique identity; see UID
 }
@@ -308,15 +314,36 @@ func (d *Device) clearDirty(off, n int64) {
 	}
 }
 
-// countWrite applies crash injection accounting for one persisting store.
-// The store that trips an armed FailAfter has already emitted its own trace
+// persistPoint numbers one persisting store and fires an armed fail-at-start
+// crash before the store has any effect (no trace event, no image change);
+// persistDone fires the classic FailAfter edge once the store has landed.
+// Splitting the edges lets a crash-state explorer sample both the pre- and
+// post-store image at every persistence point: the pre-store image is a
+// mid-epoch state in which the interrupted epoch's cached lines are still
+// dirty. The store that trips persistDone has already emitted its own trace
 // event, so the injected-crash marker lands right after it in the stream.
-func (d *Device) countWrite(clk *simclock.Clock) {
+func (d *Device) persistPoint(clk *simclock.Clock) int64 {
 	n := d.writeCount.Add(1)
-	if fa := d.failAfter.Load(); fa > 0 && n >= fa {
-		d.tr.Record(d.uid, clk, pmemtrace.KindCrashInject, 0, n)
-		panic(crashSentinel{writes: n})
+	if d.armed(n, true) {
+		d.injectCrash(clk, n)
 	}
+	return n
+}
+
+func (d *Device) persistDone(clk *simclock.Clock, n int64) {
+	if d.armed(n, false) {
+		d.injectCrash(clk, n)
+	}
+}
+
+func (d *Device) armed(n int64, before bool) bool {
+	fa := d.failAfter.Load()
+	return fa > 0 && n >= fa && d.failBefore.Load() == before
+}
+
+func (d *Device) injectCrash(clk *simclock.Clock, n int64) {
+	d.tr.Record(d.uid, clk, pmemtrace.KindCrashInject, 0, n)
+	panic(crashSentinel{writes: n})
 }
 
 // Write performs a cached (write-back) store: the new data is visible
@@ -348,6 +375,7 @@ const smallWrite = 1024
 func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
 	n := int64(len(data))
 	d.check(off, n)
+	pp := d.persistPoint(clk)
 	if clk != nil {
 		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.NTStoreExtra)
 		if n < smallWrite {
@@ -364,13 +392,14 @@ func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
 	if d.track {
 		d.clearDirty(off, n)
 	}
-	d.countWrite(clk)
+	d.persistDone(clk, pp)
 }
 
 // Flush issues clwb over [off, off+n) and a fence, making the range
 // persistent. Charges per-line clwb cost plus write bandwidth.
 func (d *Device) Flush(clk *simclock.Clock, off, n int64) {
 	d.check(off, n)
+	pp := d.persistPoint(clk)
 	if clk != nil {
 		clk.Advance(lines(off, n)*perfmodel.CLWBCost + perfmodel.FenceCost + perfmodel.NVMWriteLatency)
 		if n < smallWrite {
@@ -387,7 +416,7 @@ func (d *Device) Flush(clk *simclock.Clock, off, n int64) {
 	if d.track {
 		d.clearDirty(off, n)
 	}
-	d.countWrite(clk)
+	d.persistDone(clk, pp)
 }
 
 // Fence charges a store fence without persisting anything further (WriteNT
@@ -406,6 +435,7 @@ func (d *Device) Fence(clk *simclock.Clock) {
 // writes, so it must not head-of-line block them.
 func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
 	d.check(off, n)
+	pp := d.persistPoint(clk)
 	if clk != nil {
 		clk.Advance(perfmodel.NVMWriteLatency)
 		d.writeBW.TransferUnqueued(clk, int(n))
@@ -430,7 +460,7 @@ func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
 	if d.track {
 		d.clearDirty(off-n, n)
 	}
-	d.countWrite(clk)
+	d.persistDone(clk, pp)
 }
 
 // Load64 atomically reads an 8-byte little-endian word.
@@ -460,6 +490,7 @@ func (d *Device) Store64(clk *simclock.Clock, off int64, v uint64) {
 	if off%8 != 0 {
 		panic(Fault{Off: off, Len: 8, Cause: "unaligned atomic store"})
 	}
+	pp := d.persistPoint(clk)
 	if clk != nil {
 		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.FenceCost)
 		d.writeBW.TransferUnqueued(clk, 8)
@@ -476,7 +507,7 @@ func (d *Device) Store64(clk *simclock.Clock, off int64, v uint64) {
 	if d.track {
 		d.clearDirty(off, 8)
 	}
-	d.countWrite(clk)
+	d.persistDone(clk, pp)
 }
 
 // CAS64 atomically compares-and-swaps an 8-byte word, persisting on
@@ -497,6 +528,15 @@ func (d *Device) CAS64(clk *simclock.Clock, off int64, old, new uint64) bool {
 		mu.Unlock()
 		return false
 	}
+	// Failed CASes are not persistence points, so the store is numbered
+	// only once the compare has succeeded; the stripe lock must be released
+	// before an armed fail-at-start crash unwinds, or the post-crash
+	// remount would deadlock on it.
+	pp := d.writeCount.Add(1)
+	if d.armed(pp, true) {
+		mu.Unlock()
+		d.injectCrash(clk, pp)
+	}
 	binary.LittleEndian.PutUint64(c[off%chunkBytes:], new)
 	mu.Unlock()
 	d.rec.Inc(telemetry.CtrNVMNTStores)
@@ -506,30 +546,92 @@ func (d *Device) CAS64(clk *simclock.Clock, off int64, old, new uint64) bool {
 	if d.track {
 		d.clearDirty(off, 8)
 	}
-	d.countWrite(clk)
+	d.persistDone(clk, pp)
 	return true
+}
+
+// LineFate decides what the media did to one dirty cacheline at a crash.
+// The zero value is the classic outcome: the line reverts entirely to its
+// last persisted content.
+type LineFate struct {
+	// Persist keeps the cached (unflushed) content, modeling a line the
+	// cache happened to write back before power was lost.
+	Persist bool
+	// TornMask selects which of the line's eight 8-byte words were written
+	// back (bit i = word i persisted), modeling stores torn at the media's
+	// 8-byte atomic granularity. Ignored when Persist is set; zero tears
+	// nothing and the whole line reverts.
+	TornMask uint8
+}
+
+// CrashOutcome reports what a mediated crash did to the image: the device
+// line offsets (sorted ascending) of every dirty line, split by fate.
+type CrashOutcome struct {
+	Reverted  []int64 // reverted to last-persisted content
+	Persisted []int64 // dirty content survived intact
+	Torn      []int64 // a mix of persisted and reverted 8-byte words
 }
 
 // Crash simulates a power failure: every dirty (unflushed) line reverts to
 // its last persisted content. Volatile caller state must be discarded by
 // the caller; the device image afterwards is exactly what a real NVM DIMM
-// would hold after the crash.
+// would hold after the crash. Panics on a device built with
+// TrackPersistence off — see CrashMediated.
 func (d *Device) Crash() {
+	d.CrashMediated(nil)
+}
+
+// CrashMediated simulates a power failure under a caller-chosen media
+// model: fate is consulted once per dirty line and decides whether the line
+// reverts, survives (opportunistic writeback before power was lost), or
+// tears at 8-byte granularity. A nil fate reverts every line — the
+// all-dirty-lines-dropped model of Crash. The fate function must be
+// deterministic in the line offset: stripe iteration order is not.
+//
+// Panics if the device was created with TrackPersistence off: such a device
+// cannot tell persisted from cached content, so a "crash" would silently
+// keep every unflushed store and let crash-consistency tests pass
+// vacuously. Build crash-test devices with TrackPersistence: true.
+func (d *Device) CrashMediated(fate func(line int64) LineFate) CrashOutcome {
 	if !d.track {
-		d.tr.Record(d.uid, nil, pmemtrace.KindCrash, 0, 0)
-		return
+		panic("nvm: Crash on a device with TrackPersistence off would silently keep unflushed stores; create crash-test devices with TrackPersistence: true")
 	}
 	d.tr.Record(d.uid, nil, pmemtrace.KindCrash, 0, d.dirtyCount.Load())
+	var out CrashOutcome
+	buf := make([]byte, LineSize)
 	for i := range d.dirty {
 		s := &d.dirty[i]
 		s.mu.Lock()
 		for lo, saved := range s.lines {
-			d.copyIn(lo, saved)
+			var f LineFate
+			if fate != nil {
+				f = fate(lo)
+			}
+			switch {
+			case f.Persist:
+				out.Persisted = append(out.Persisted, lo)
+			case f.TornMask != 0:
+				d.copyOut(lo, buf)
+				for w := 0; w < LineSize/8; w++ {
+					if f.TornMask&(1<<w) == 0 {
+						copy(buf[w*8:(w+1)*8], saved[w*8:(w+1)*8])
+					}
+				}
+				d.copyIn(lo, buf)
+				out.Torn = append(out.Torn, lo)
+			default:
+				d.copyIn(lo, saved)
+				out.Reverted = append(out.Reverted, lo)
+			}
 			delete(s.lines, lo)
 			d.dirtyCount.Add(-1)
 		}
 		s.mu.Unlock()
 	}
+	slices.Sort(out.Reverted)
+	slices.Sort(out.Persisted)
+	slices.Sort(out.Torn)
+	return out
 }
 
 // DirtyLines reports how many cachelines are currently unpersisted.
@@ -549,13 +651,32 @@ func (d *Device) DirtyLines() int {
 
 // FailAfter arms crash injection: the n-th persisting store from now will
 // panic with an injected-crash sentinel (recover with IsInjectedCrash, then
-// call Crash and run recovery). n <= 0 disarms.
+// call Crash and run recovery). The tripping store has landed when the
+// panic unwinds. n <= 0 disarms.
 func (d *Device) FailAfter(n int64) {
 	if n <= 0 {
 		d.failAfter.Store(0)
+		d.failBefore.Store(false)
 		return
 	}
 	d.writeCount.Store(0)
+	d.failBefore.Store(false)
+	d.failAfter.Store(n)
+}
+
+// FailAtStart arms crash injection at the opposite edge from FailAfter: the
+// n-th persisting store from now panics before it has any effect (no trace
+// event, no image change), so the post-crash image holds stores 1..n-1 plus
+// whatever cached lines the interrupted epoch left dirty — the mid-epoch
+// states a crash-state explorer samples. n <= 0 disarms.
+func (d *Device) FailAtStart(n int64) {
+	if n <= 0 {
+		d.failAfter.Store(0)
+		d.failBefore.Store(false)
+		return
+	}
+	d.writeCount.Store(0)
+	d.failBefore.Store(true)
 	d.failAfter.Store(n)
 }
 

@@ -255,6 +255,128 @@ func TestCachedWritesRevertProperty(t *testing.T) {
 	}
 }
 
+func TestCrashOnUntrackedDevicePanics(t *testing.T) {
+	d := New(Config{Size: 1 << 16, TrackPersistence: false})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Crash on an untracked device must panic, not silently keep unflushed stores")
+		}
+	}()
+	d.Crash()
+}
+
+func TestCrashMediatedFates(t *testing.T) {
+	d := NewDevice(1 << 16)
+	// Three dirty lines over persisted base content, one per fate.
+	base := bytes.Repeat([]byte{0xAA}, LineSize)
+	for _, off := range []int64{0, LineSize, 2 * LineSize} {
+		d.WriteNT(nil, off, base)
+		d.Write(nil, off, bytes.Repeat([]byte{0xBB}, LineSize))
+	}
+	out := d.CrashMediated(func(line int64) LineFate {
+		switch line {
+		case 0:
+			return LineFate{} // revert
+		case LineSize:
+			return LineFate{Persist: true}
+		default:
+			return LineFate{TornMask: 0x01} // only word 0 written back
+		}
+	})
+	if len(out.Reverted) != 1 || out.Reverted[0] != 0 {
+		t.Fatalf("Reverted = %v", out.Reverted)
+	}
+	if len(out.Persisted) != 1 || out.Persisted[0] != LineSize {
+		t.Fatalf("Persisted = %v", out.Persisted)
+	}
+	if len(out.Torn) != 1 || out.Torn[0] != 2*LineSize {
+		t.Fatalf("Torn = %v", out.Torn)
+	}
+	got := make([]byte, 3*LineSize)
+	d.ReadNoCharge(0, got)
+	want := append(append(bytes.Repeat([]byte{0xAA}, LineSize), bytes.Repeat([]byte{0xBB}, LineSize)...),
+		append(bytes.Repeat([]byte{0xBB}, 8), bytes.Repeat([]byte{0xAA}, LineSize-8)...)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("mediated image mismatch:\n got %x\nwant %x", got, want)
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines after mediated crash = %d", d.DirtyLines())
+	}
+}
+
+func TestFailAtStartLeavesStoreUnapplied(t *testing.T) {
+	d := NewDevice(1 << 16)
+	d.Store64(nil, 0, 1) // persisted baseline
+	d.FailAtStart(2)
+	func() {
+		defer func() {
+			if !IsInjectedCrash(recover()) {
+				t.Fatal("expected injected crash")
+			}
+		}()
+		d.Store64(nil, 8, 2) // store 1: lands
+		d.Store64(nil, 0, 9) // store 2: must NOT land
+	}()
+	d.FailAtStart(0)
+	d.Crash()
+	if got := d.Load64(nil, 0); got != 1 {
+		t.Fatalf("fail-at-start store leaked into the image: word = %d, want 1", got)
+	}
+	if got := d.Load64(nil, 8); got != 2 {
+		t.Fatalf("store before the armed point must persist, got %d", got)
+	}
+}
+
+func TestFailAtStartKeepsEpochDirty(t *testing.T) {
+	d := NewDevice(1 << 16)
+	d.WriteNT(nil, 0, bytes.Repeat([]byte{0xAA}, LineSize))
+	d.FailAtStart(1)
+	func() {
+		defer func() {
+			if !IsInjectedCrash(recover()) {
+				t.Fatal("expected injected crash")
+			}
+		}()
+		d.Write(nil, 0, []byte("CACHED")) // dirties the line
+		d.Flush(nil, 0, 8)                // armed point: fires before clearDirty
+	}()
+	d.FailAtStart(0)
+	if d.DirtyLines() != 1 {
+		t.Fatalf("DirtyLines at mid-epoch crash = %d, want 1", d.DirtyLines())
+	}
+	out := d.CrashMediated(func(int64) LineFate { return LineFate{Persist: true} })
+	if len(out.Persisted) != 1 {
+		t.Fatalf("Persisted = %v", out.Persisted)
+	}
+	got := make([]byte, 6)
+	d.ReadNoCharge(0, got)
+	if string(got) != "CACHED" {
+		t.Fatalf("opportunistic writeback model must keep cached content, got %q", got)
+	}
+}
+
+func TestFailAtStartCASLeavesWordUntouched(t *testing.T) {
+	d := NewDevice(1 << 16)
+	d.Store64(nil, 0, 5)
+	d.FailAtStart(1)
+	func() {
+		defer func() {
+			if !IsInjectedCrash(recover()) {
+				t.Fatal("expected injected crash")
+			}
+		}()
+		d.CAS64(nil, 0, 5, 6)
+	}()
+	d.FailAtStart(0)
+	if got := d.Load64(nil, 0); got != 5 {
+		t.Fatalf("CAS interrupted before effect must leave word, got %d", got)
+	}
+	// The stripe lock must not be left held by the unwound CAS.
+	if !d.CAS64(nil, 0, 5, 7) {
+		t.Fatal("post-crash CAS should succeed")
+	}
+}
+
 // TestDeviceUIDsUnique: registries key volatile per-device state on the
 // UID; a collision would silently share lock tables between file systems.
 func TestDeviceUIDsUnique(t *testing.T) {

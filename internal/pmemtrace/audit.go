@@ -292,11 +292,25 @@ type RepairSite struct {
 // The converse (lost lines with no repair) is NOT a disagreement: a lone
 // unflushed line reverts to its last persisted — self-consistent — content,
 // which is a lost update, not structural damage.
+//
+// "stale_ptr" repairs undo block pointers a crash interrupted between
+// publish and size commit — sequence damage the stream explains by the
+// crash event itself, not by lost lines — so they are exempt whenever the
+// stream actually recorded a crash.
 func CrossCheck(rep *Report, repairs []RepairSite) []string {
 	var disagreements []string
-	if len(rep.LostLines) == 0 && len(repairs) > 0 {
+	seqExplained := func(rp RepairSite) bool {
+		return rp.Kind == "stale_ptr" && (rep.Crashes > 0 || rep.Injected > 0)
+	}
+	structural := 0
+	for _, rp := range repairs {
+		if !seqExplained(rp) {
+			structural++
+		}
+	}
+	if len(rep.LostLines) == 0 && structural > 0 {
 		disagreements = append(disagreements,
-			fmt.Sprintf("auditor reported 0 lost lines but fsck performed %d repair(s)", len(repairs)))
+			fmt.Sprintf("auditor reported 0 lost lines but fsck performed %d repair(s)", structural))
 	}
 	lostLines := map[int64]bool{}
 	lostPages := map[int64]bool{}
@@ -305,6 +319,9 @@ func CrossCheck(rep *Report, repairs []RepairSite) []string {
 		lostPages[l.Line/PageSize] = true
 	}
 	for _, rp := range repairs {
+		if seqExplained(rp) {
+			continue
+		}
 		if lostLines[rp.Off/LineSize*LineSize] || lostPages[rp.Off/PageSize] {
 			continue // repair sits on lost state
 		}

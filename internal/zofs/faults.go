@@ -1,0 +1,68 @@
+package zofs
+
+import (
+	"zofs/internal/nvm"
+)
+
+// Fault-injection hooks for crash/fault campaigns (internal/crashmc and
+// tests). They bypass thread accounting and MPK windows on purpose: the
+// injected state models damage left behind by a process that died, not an
+// access performed by a live one.
+
+// PlantInodeLease writes an inode's persistent lease word directly,
+// simulating a holder thread that died while holding the inode lock.
+// Recovery must clear it; survivors must not hang on it.
+func PlantInodeLease(dev *nvm.Device, ino int64, tid int, expiry int64) {
+	dev.Store64(nil, ino*pageSize+inoLeaseOff, leaseWord(tid, expiry))
+}
+
+// InodeLease reads an inode's persistent lease word (0,0 = unlocked).
+func InodeLease(dev *nvm.Device, ino int64) (tid int, expiry int64) {
+	w := dev.Load64(nil, ino*pageSize+inoLeaseOff)
+	if w == 0 {
+		return 0, 0
+	}
+	return unpackLease(w)
+}
+
+// PlantSlotLease writes an allocator pool slot's lease word on a coffer's
+// custom page, simulating a holder that died mid-allocation (§5.2): the
+// slot stays claimed until the lease expires, then a survivor steals it
+// via CAS64.
+func PlantSlotLease(dev *nvm.Device, custom int64, slot int, tid int, expiry int64) {
+	dev.Store64(nil, slotOffset(custom, int32(slot))+slotLeaseOff, leaseWord(tid, expiry))
+}
+
+// SlotLease reads a pool slot's lease word (0,0 = free).
+func SlotLease(dev *nvm.Device, custom int64, slot int) (tid int, expiry int64) {
+	w := dev.Load64(nil, slotOffset(custom, int32(slot))+slotLeaseOff)
+	if w == 0 {
+		return 0, 0
+	}
+	return unpackLease(w)
+}
+
+// PoolSlots returns the number of allocator pool slots per coffer, for
+// fault campaigns that sweep them.
+func PoolSlots() int { return poolSlots }
+
+// IsInodePage reports whether a device page starts with the ZoFS inode
+// magic — the metadata pages a bit-flip campaign targets.
+func IsInodePage(dev *nvm.Device, page int64) bool {
+	buf := make([]byte, 4)
+	dev.ReadNoCharge(page*pageSize, buf)
+	return u32at(buf, 0) == inoMagic
+}
+
+// InodeHeaderLen is the byte span of an inode page's fixed header, the
+// region bit-flip campaigns corrupt to provoke detectable damage.
+const InodeHeaderLen = inoHeaderLen
+
+// FlipBit flips one bit of the device image in place, as persisted state
+// (media corruption, not a cached store).
+func FlipBit(dev *nvm.Device, off int64, bit uint) {
+	buf := make([]byte, 1)
+	dev.ReadNoCharge(off, buf)
+	buf[0] ^= 1 << (bit % 8)
+	dev.WriteNT(nil, off, buf)
+}

@@ -25,7 +25,7 @@ import (
 type Repair struct {
 	Off    int64
 	Target int64
-	Kind   string // dangling_ptr | torn_dentry | dangling_dentry | cross_ref | root_reinit
+	Kind   string // dangling_ptr | stale_ptr | torn_dentry | dangling_dentry | cross_ref | root_reinit
 }
 
 // RecoverStats summarizes one coffer recovery.
@@ -139,46 +139,67 @@ func (t *traversal) ptrIn(page []byte, base int64, off int) int64 {
 	return pg
 }
 
+// stalePtr clears a block pointer published past the crash-time file size:
+// the write that allocated it was interrupted before its size commit, so
+// the block is invisible and its page is about to be reclaimed. Left in
+// place, a future in-place write through the pointer would alias whatever
+// the kernel re-grants the page as.
+func (t *traversal) stalePtr(page []byte, base int64, off int) {
+	pg := int64(u64at(page, off))
+	if pg == 0 {
+		return
+	}
+	t.r.store64(base+int64(off), 0)
+	t.repair(base+int64(off), pg, "stale_ptr")
+}
+
 func (t *traversal) visitFile(ino int64, page []byte, size int64) {
 	blocks := (size + pageSize - 1) / pageSize
-	for idx := int64(0); idx < blocks && idx < inoDirectCnt; idx++ {
-		if pg := t.ptrIn(page, ino*pageSize, int(inoDirectOff+8*idx)); pg != 0 {
+	for idx := int64(0); idx < inoDirectCnt; idx++ {
+		if idx >= blocks {
+			t.stalePtr(page, ino*pageSize, int(inoDirectOff+8*idx))
+		} else if pg := t.ptrIn(page, ino*pageSize, int(inoDirectOff+8*idx)); pg != 0 {
 			t.inUse[pg] = true
 		}
 	}
-	if blocks > inoDirectCnt {
-		if ind := t.ptrIn(page, ino*pageSize, inoIndirectOff); ind != 0 {
-			t.inUse[ind] = true
-			ibuf := make([]byte, pageSize)
-			t.r.read(ind*pageSize, ibuf)
-			for i := int64(0); i < ptrsPerPage && inoDirectCnt+i < blocks; i++ {
-				if pg := t.ptrIn(ibuf, ind*pageSize, int(8*i)); pg != 0 {
-					t.inUse[pg] = true
-				}
+	if blocks <= inoDirectCnt {
+		t.stalePtr(page, ino*pageSize, inoIndirectOff)
+	} else if ind := t.ptrIn(page, ino*pageSize, inoIndirectOff); ind != 0 {
+		t.inUse[ind] = true
+		ibuf := make([]byte, pageSize)
+		t.r.read(ind*pageSize, ibuf)
+		for i := int64(0); i < ptrsPerPage; i++ {
+			if inoDirectCnt+i >= blocks {
+				t.stalePtr(ibuf, ind*pageSize, int(8*i))
+			} else if pg := t.ptrIn(ibuf, ind*pageSize, int(8*i)); pg != 0 {
+				t.inUse[pg] = true
 			}
 		}
 	}
-	if blocks > inoDirectCnt+ptrsPerPage {
-		if d1 := t.ptrIn(page, ino*pageSize, inoDIndirOff); d1 != 0 {
-			t.inUse[d1] = true
-			d1buf := make([]byte, pageSize)
-			t.r.read(d1*pageSize, d1buf)
-			d2buf := make([]byte, pageSize)
-			for i := int64(0); i < ptrsPerPage; i++ {
-				base := inoDirectCnt + ptrsPerPage + i*ptrsPerPage
-				if base >= blocks {
-					break
-				}
-				d2 := t.ptrIn(d1buf, d1*pageSize, int(8*i))
-				if d2 == 0 {
-					continue
-				}
-				t.inUse[d2] = true
-				t.r.read(d2*pageSize, d2buf)
-				for j := int64(0); j < ptrsPerPage && base+j < blocks; j++ {
-					if pg := t.ptrIn(d2buf, d2*pageSize, int(8*j)); pg != 0 {
-						t.inUse[pg] = true
-					}
+	if blocks <= inoDirectCnt+ptrsPerPage {
+		t.stalePtr(page, ino*pageSize, inoDIndirOff)
+	} else if d1 := t.ptrIn(page, ino*pageSize, inoDIndirOff); d1 != 0 {
+		t.inUse[d1] = true
+		d1buf := make([]byte, pageSize)
+		t.r.read(d1*pageSize, d1buf)
+		d2buf := make([]byte, pageSize)
+		for i := int64(0); i < ptrsPerPage; i++ {
+			base := inoDirectCnt + ptrsPerPage + i*ptrsPerPage
+			if base >= blocks {
+				t.stalePtr(d1buf, d1*pageSize, int(8*i))
+				continue
+			}
+			d2 := t.ptrIn(d1buf, d1*pageSize, int(8*i))
+			if d2 == 0 {
+				continue
+			}
+			t.inUse[d2] = true
+			t.r.read(d2*pageSize, d2buf)
+			for j := int64(0); j < ptrsPerPage; j++ {
+				if base+j >= blocks {
+					t.stalePtr(d2buf, d2*pageSize, int(8*j))
+				} else if pg := t.ptrIn(d2buf, d2*pageSize, int(8*j)); pg != 0 {
+					t.inUse[pg] = true
 				}
 			}
 		}

@@ -31,4 +31,24 @@ go run ./cmd/zofs-trace record -workload append -system Ext4-DAX \
     -o "$tracedir/smoke.jsonl" -threads 1 -ops 8 -device-mb 64 >/dev/null
 go run ./cmd/zofs-trace audit -max-lost 0 "$tracedir/smoke.jsonl" >/dev/null
 
+echo "== crashmc smoke =="
+# Crash-state model checker gates: a dense ZoFS sweep (>=200 states under
+# all media models on both crash edges) and one baseline must hold every
+# invariant, and an injected-corruption run must be detected (exit 3).
+go build -o "$tracedir/zofs-crashmc" ./cmd/zofs-crashmc
+"$tracedir/zofs-crashmc" -system ZoFS -points 35 -ops 24 -device-mb 64 \
+    -min-states 200 >/dev/null
+"$tracedir/zofs-crashmc" -system Ext4-DAX -points 8 -ops 16 -device-mb 64 >/dev/null
+if "$tracedir/zofs-crashmc" -system ZoFS -inject bitflip -ops 16 \
+    -device-mb 64 >/dev/null; then
+    echo "crashmc: injected corruption was not detected" >&2
+    exit 1
+else
+    status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "crashmc: expected detection exit 3, got $status" >&2
+        exit 1
+    fi
+fi
+
 echo "OK"
