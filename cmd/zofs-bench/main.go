@@ -6,7 +6,7 @@
 //	zofs-bench [-quick] [-stats] [-threads 1,2,4,8,12,16,20] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
-// fig11 table9 safety recovery crashmc — or "all" (the default).
+// fig11 table9 safety recovery crashmc hotpath — or "all" (the default).
 package main
 
 import (
@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +43,7 @@ var experiments = []struct {
 	{"safety", "stray-write and malicious-metadata tests", harness.RunSafety},
 	{"recovery", "coffer recovery timing", harness.RunRecovery},
 	{"crashmc", "crash-state model checker and fault injection", harness.RunCrashMC},
+	{"hotpath", "zero-copy hot path vs copy-path baseline", harness.RunHotpath},
 }
 
 func main() {
@@ -50,6 +53,8 @@ func main() {
 	stats := flag.Bool("stats", false, "per-layer telemetry: print counter/latency tables per cell and write metrics sidecar JSON")
 	statsDir := flag.String("statsdir", "results", "directory for metrics-<experiment>-<config>.json sidecars")
 	traceFile := flag.String("trace", "", "record every NVM persistence event to this JSONL file (audit/export with zofs-trace; best with -quick and a single experiment)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: zofs-bench [flags] [experiment ...]\n\nexperiments:\n")
 		for _, e := range experiments {
@@ -61,6 +66,34 @@ func main() {
 	flag.Parse()
 
 	opts := harness.Options{Quick: *quick, DeviceBytes: *devGB << 30, Stats: *stats, StatsDir: *statsDir}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "zofs-bench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var tracer *pmemtrace.Recorder
 	if *traceFile != "" {

@@ -31,6 +31,15 @@ func checkZoFS(p *personality, dev *nvm.Device, ops []Op, res runResult,
 	}
 
 	zofs.ResetShared(dev)
+	// The directory lookup cache must come up cold: a remount that carried
+	// a pre-crash index over could serve dentries the crash never
+	// persisted. Every post-crash lookup below therefore (re)builds its
+	// index from the on-NVM truth.
+	step("dcache_cold", func() {
+		if n := zofs.DirCacheDirs(dev); n != 0 {
+			panic(fmt.Sprintf("directory cache still holds %d indexes at remount", n))
+		}
+	})
 	var k2 *kernfs.KernFS
 	var th2 *proc.Thread
 	if !step("remount", func() {

@@ -42,6 +42,8 @@ func lookup(name string) (*personality, error) {
 		return zofsPersonality(name, zofs.Options{}), nil
 	case "ZoFS-inline":
 		return zofsPersonality(name, zofs.Options{InlineData: true}), nil
+	case "ZoFS-copypath":
+		return zofsPersonality(name, zofs.Options{NoZeroCopy: true, NoDirCache: true, NoAllocBatch: true}), nil
 	case "Ext4-DAX":
 		return baselinePersonality(name, func(d *nvm.Device) vfs.FileSystem {
 			return baselines.NewExt4DAX(d)
@@ -51,7 +53,7 @@ func lookup(name string) (*personality, error) {
 			return baselines.NewPMFS(d, baselines.PMFSOptions{})
 		}), nil
 	}
-	return nil, fmt.Errorf("crashmc: unknown system %q (have ZoFS, ZoFS-inline, Ext4-DAX, PMFS)", name)
+	return nil, fmt.Errorf("crashmc: unknown system %q (have ZoFS, ZoFS-inline, ZoFS-copypath, Ext4-DAX, PMFS)", name)
 }
 
 func zofsPersonality(name string, opts zofs.Options) *personality {

@@ -92,6 +92,35 @@ func (s *extentSet) TakeFirst(want int64) []coffer.Extent {
 	return out
 }
 
+// TakeRun removes and returns want pages as a single contiguous run, or
+// ok=false (set untouched) when no extent is large enough. Best-fit: the
+// smallest sufficient extent is split, keeping large runs intact for later
+// batch grants.
+func (s *extentSet) TakeRun(want int64) (coffer.Extent, bool) {
+	if want <= 0 {
+		return coffer.Extent{}, false
+	}
+	bestK, bestV := int64(-1), int64(0)
+	s.t.Ascend(func(k, v int64) bool {
+		if v >= want && (bestK < 0 || v < bestV) {
+			bestK, bestV = k, v
+			if v == want {
+				return false
+			}
+		}
+		return true
+	})
+	if bestK < 0 {
+		return coffer.Extent{}, false
+	}
+	s.t.Delete(bestK)
+	if bestV > want {
+		s.t.Insert(bestK+want, bestV-want)
+	}
+	s.pages -= want
+	return coffer.Extent{Start: bestK, Count: want}, true
+}
+
 // All returns every extent in address order.
 func (s *extentSet) All() []coffer.Extent {
 	var out []coffer.Extent

@@ -125,7 +125,16 @@ func (sm *spaceManager) allocate(clk *simclock.Clock, id coffer.ID, want int64) 
 	if sm.free.Pages() < want {
 		return nil, ErrNoSpace
 	}
-	exts := sm.free.TakeFirst(want)
+	// Prefer one contiguous run: batch grants feed the µFS's per-thread
+	// page caches, where a single extent keeps the table update one
+	// streaming write and the free-run bookkeeping compact. Fragmented
+	// first-fit is the fallback when free space has no run of this size.
+	var exts []coffer.Extent
+	if run, ok := sm.free.TakeRun(want); ok {
+		exts = []coffer.Extent{run}
+	} else {
+		exts = sm.free.TakeFirst(want)
+	}
 	own := sm.ownerSet(id)
 	for _, e := range exts {
 		sm.writeRun(clk, e.Start, e.Count, id)

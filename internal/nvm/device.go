@@ -196,9 +196,7 @@ func (d *Device) copyOut(off int64, buf []byte) {
 			n = int64(len(buf))
 		}
 		if c == nil {
-			for i := int64(0); i < n; i++ {
-				buf[i] = 0
-			}
+			clear(buf[:n])
 		} else {
 			copy(buf[:n], c[co:co+n])
 		}
@@ -280,6 +278,96 @@ func (d *Device) Read(clk *simclock.Clock, off int64, buf []byte) {
 func (d *Device) ReadNoCharge(off int64, buf []byte) {
 	d.check(off, int64(len(buf)))
 	d.copyOut(off, buf)
+}
+
+// zeroChunk backs read views over untouched (never-written) chunks, so a
+// view over a hole costs no allocation. Writing through a zeroChunk view is
+// the view-borrowing contract violation; WriteView never hands it out.
+var zeroChunk = new(chunk)
+
+// viewSpan reports whether [off, off+n) is view-eligible: a positive-length
+// range inside a single chunk. PageSize divides chunkBytes, so any access
+// that stays within one device page always qualifies; cross-chunk ranges
+// fall back to the copy API.
+func viewSpan(off, n int64) bool {
+	return n > 0 && off/chunkBytes == (off+n-1)/chunkBytes
+}
+
+// ReadView returns a borrowed slice aliasing the device image over
+// [off, off+n), charged exactly like Read (read latency + bandwidth). The
+// second result is false when the range crosses a chunk boundary — callers
+// fall back to Read. The slice is a window into live media: it stays
+// coherent with later writes and must not be written through or retained
+// across an operation boundary.
+func (d *Device) ReadView(clk *simclock.Clock, off, n int64) ([]byte, bool) {
+	d.check(off, n)
+	if !viewSpan(off, n) {
+		return nil, false
+	}
+	if clk != nil {
+		clk.Advance(perfmodel.NVMReadLatency)
+		d.readBW.TransferUnqueued(clk, int(n))
+	}
+	d.rec.Inc(telemetry.CtrNVMReads)
+	d.rec.Add(telemetry.CtrNVMBytesRead, n)
+	c := d.chunkFor(off, false)
+	if c == nil {
+		c = zeroChunk
+	}
+	co := off % chunkBytes
+	return c[co : co+n : co+n], true
+}
+
+// ReadViewNoCharge is ReadView without any clock charge (cache-hit reads;
+// the caller charges CPU time itself).
+func (d *Device) ReadViewNoCharge(off, n int64) ([]byte, bool) {
+	d.check(off, n)
+	if !viewSpan(off, n) {
+		return nil, false
+	}
+	c := d.chunkFor(off, false)
+	if c == nil {
+		c = zeroChunk
+	}
+	co := off % chunkBytes
+	return c[co : co+n : co+n], true
+}
+
+// WriteView hands out a borrowed slice the caller fills in place, with the
+// cost model and persistence semantics of WriteNT: the write is charged,
+// numbered as one persisting store, and traced at handout; commit marks the
+// range persisted (clears dirty-line state) and fires the post-store crash
+// edge. A crash between handout and commit leaves whatever the caller had
+// already filled — legal non-temporal semantics, since NT stores may drain
+// to media before the trailing fence. Returns ok=false for cross-chunk
+// ranges; callers fall back to WriteNT.
+func (d *Device) WriteView(clk *simclock.Clock, off, n int64) (buf []byte, commit func(), ok bool) {
+	d.check(off, n)
+	if !viewSpan(off, n) {
+		return nil, nil, false
+	}
+	pp := d.persistPoint(clk)
+	if clk != nil {
+		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.NTStoreExtra)
+		if n < smallWrite {
+			d.writeBW.TransferUnqueued(clk, int(n))
+		} else {
+			d.writeBW.Transfer(clk, int(n))
+		}
+	}
+	d.rec.Inc(telemetry.CtrNVMNTStores)
+	d.rec.Inc(telemetry.CtrNVMFences)
+	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
+	d.tr.Record(d.uid, clk, pmemtrace.KindNTStore, off, n)
+	c := d.chunkFor(off, true)
+	co := off % chunkBytes
+	commit = func() {
+		if d.track {
+			d.clearDirty(off, n)
+		}
+		d.persistDone(clk, pp)
+	}
+	return c[co : co+n : co+n], commit, true
 }
 
 // saveDirty records the persisted content of every line in [off,off+n)

@@ -101,6 +101,11 @@ const (
 	CPUPathComponent = 25
 	// CPUSmallOp is a generic small bookkeeping step (ns).
 	CPUSmallOp = 15
+	// CPUDentryScan is the per-slot cost of examining one 128-byte dentry
+	// during a linear directory scan (decode the commit word, compare the
+	// check hash, occasionally memcmp the name). Charged by the scan-based
+	// lookup/insert paths on top of the media reads they perform.
+	CPUDentryScan = 4
 	// CPULockAcquire is the cost of an uncontended lock/lease acquisition
 	// including its timestamp read (vDSO clock_gettime) (ns).
 	CPULockAcquire = 30
@@ -134,6 +139,23 @@ const (
 	// processes sharing a file in Strata.
 	LeaseHandoff = 2000
 )
+
+// MemcpyCost is the virtual-ns cost of staging n bytes through a DRAM
+// bounce buffer: one read stream plus one write stream. The copy-path
+// ZoFS variant pays this on top of the media access for every ReadAt and
+// WriteAt; the zero-copy access windows skip the staging copy entirely.
+func MemcpyCost(n int) int64 {
+	return DRAMReadLatency + DRAMWriteLatency +
+		int64(float64(n)*1e9/DRAMReadBandwidth) + int64(float64(n)*1e9/DRAMWriteBand)
+}
+
+// StageCost is the cost of materializing n streamed bytes in a DRAM
+// staging buffer (allocation plus the DRAM write stream) — the work a
+// borrowed device view avoids. Charged by copy-path fallbacks on top of
+// the media access itself.
+func StageCost(n int) int64 {
+	return DRAMWriteLatency + int64(float64(n)*1e9/DRAMWriteBand)
+}
 
 // WriteBWDegradation returns the effective write-bandwidth multiplier for n
 // concurrently writing threads. Optane write bandwidth peaks at a small

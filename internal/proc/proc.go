@@ -185,6 +185,33 @@ func (t *Thread) ReadCached(off int64, buf []byte) {
 	t.Proc.dev.ReadNoCharge(off, buf)
 }
 
+// ReadView returns a borrowed slice over device bytes, MPK-checked at
+// handout and charged like Read. The view aliases live media: it is valid
+// only while the coffer window that authorized it stays open, must not be
+// written through, and must not be retained across an operation boundary.
+// ok=false means the range crosses a chunk boundary — fall back to Read.
+func (t *Thread) ReadView(off, n int64) ([]byte, bool) {
+	t.check(off, n, false)
+	return t.Proc.dev.ReadView(t.Clk, off, n)
+}
+
+// ReadViewCached is ReadView charged as a CPU-cache hit (hot metadata the
+// library touched recently), with the same borrowing rules.
+func (t *Thread) ReadViewCached(off, n int64) ([]byte, bool) {
+	t.check(off, n, false)
+	t.Clk.Advance(perfmodel.CPUSmallOp)
+	return t.Proc.dev.ReadViewNoCharge(off, n)
+}
+
+// WriteView hands out a borrowed slice the caller fills in place with
+// WriteNT's cost and persistence semantics; commit must be called once the
+// fill is complete, before the coffer window closes. ok=false means the
+// range crosses a chunk boundary — fall back to WriteNT.
+func (t *Thread) WriteView(off, n int64) (buf []byte, commit func(), ok bool) {
+	t.check(off, n, true)
+	return t.Proc.dev.WriteView(t.Clk, off, n)
+}
+
 // Write performs a checked cached store (dirty until flushed).
 func (t *Thread) Write(off int64, data []byte) {
 	t.check(off, int64(len(data)), true)

@@ -33,16 +33,14 @@ func slotOffset(custom int64, idx int32) int64 {
 }
 
 // threadSlotsFor returns (creating if needed) the calling thread's slot
-// cache for a mount.
+// cache for a mount. The map is lock-free on the hot path; each entry is
+// only ever used by its own thread.
 func (m *mount) threadSlotsFor(tid int) *threadSlots {
-	m.slotMu.Lock()
-	defer m.slotMu.Unlock()
-	ts := m.slots[tid]
-	if ts == nil {
-		ts = &threadSlots{slot: [2]int32{-1, -1}}
-		m.slots[tid] = ts
+	if v, ok := m.slots.Load(tid); ok {
+		return v.(*threadSlots)
 	}
-	return ts
+	v, _ := m.slots.LoadOrStore(tid, &threadSlots{slot: [2]int32{-1, -1}})
+	return v.(*threadSlots)
 }
 
 // initPoolIfNeeded lazily formats the custom page's pool (idempotent; the
@@ -141,22 +139,50 @@ func (f *FS) slotFor(th *proc.Thread, m *mount, class int) (*threadSlots, int64,
 	return ts, off, nil
 }
 
-// allocPage takes one page from the thread's free list, enlarging the
-// coffer when the list is dry. Metadata pages come back zeroed.
+// allocPage takes one page for the thread: by default off its volatile
+// batch cache (no NVM traffic at all), falling back to the persistent
+// free list and finally a kernel grant. Metadata pages come back zeroed.
+//
+// The lease machinery still runs on every allocation (slotFor), so crashed
+// holders remain observable; only the page list itself moved to DRAM. A
+// crash drops cached pages on the floor — they stay tagged to the coffer in
+// the allocation table but are referenced by nothing, so recovery's in-use
+// traversal reclaims them (§5.3).
 func (f *FS) allocPage(th *proc.Thread, m *mount, class int) (int64, error) {
 	ts, slotOff, err := f.slotFor(th, m, class)
 	if err != nil {
 		return 0, err
 	}
-	if ts.head[class] == 0 {
-		batch := f.opts.MetaEnlargeBatch
-		zero := true
-		if class == classData {
-			batch, zero = f.opts.DataEnlargeBatch, false
+	if !f.opts.NoAllocBatch {
+		if page, ok := f.popCached(th, ts, class); ok {
+			return page, nil
 		}
-		exts, err := f.kern.CofferEnlarge(th, m.id, batch, zero)
+		if ts.head[class] == 0 {
+			// Both lists dry: one kernel grant refills the volatile cache.
+			// Unlike pushExtents, no per-page chain stores and no persistent
+			// head update — the whole batch costs one syscall.
+			exts, err := f.enlarge(th, m, class)
+			if err != nil {
+				return 0, err
+			}
+			for _, e := range exts {
+				for pg := e.Start; pg < e.End(); pg++ {
+					if debugPool {
+						debugFree.Store(pg, 1)
+					}
+					ts.cache[class] = append(ts.cache[class], pg)
+				}
+			}
+			page, _ := f.popCached(th, ts, class)
+			return page, nil
+		}
+		// Cache dry but the persistent list holds pages (stranded by a
+		// NoAllocBatch mount or a re-claimed slot): drain it below.
+	}
+	if ts.head[class] == 0 {
+		exts, err := f.enlarge(th, m, class)
 		if err != nil {
-			return 0, errno(err)
+			return 0, err
 		}
 		f.pushExtents(th, ts, slotOff, class, exts)
 	}
@@ -177,6 +203,38 @@ func (f *FS) allocPage(th *proc.Thread, m *mount, class int) (int64, error) {
 		th.Store64(page*pageSize, 0)
 	}
 	return page, nil
+}
+
+// enlarge requests one batch of the class's configured size from KernFS.
+func (f *FS) enlarge(th *proc.Thread, m *mount, class int) ([]coffer.Extent, error) {
+	batch := f.opts.MetaEnlargeBatch
+	zero := true
+	if class == classData {
+		batch, zero = f.opts.DataEnlargeBatch, false
+	}
+	exts, err := f.kern.CofferEnlarge(th, m.id, batch, zero)
+	if err != nil {
+		return nil, errno(err)
+	}
+	return exts, nil
+}
+
+// popCached takes the tail of the thread's volatile batch cache. Cached
+// pages are never chained through NVM, so a metadata page stays fully
+// zeroed from grant (or scrub-on-free) to use.
+func (f *FS) popCached(th *proc.Thread, ts *threadSlots, class int) (int64, bool) {
+	n := len(ts.cache[class])
+	if n == 0 {
+		return 0, false
+	}
+	page := ts.cache[class][n-1]
+	ts.cache[class] = ts.cache[class][:n-1]
+	th.CPU(perfmodel.CPUSmallOp)
+	f.rec().Inc(telemetry.CtrZoFSPagesAlloc)
+	if debugPool {
+		debugFree.Store(page, 2)
+	}
+	return page, true
 }
 
 // pushExtents chains freshly granted extents onto the thread's free list.
@@ -211,22 +269,36 @@ func (f *FS) chainStore(th *proc.Thread, off int64, v uint64) {
 	f.kern.Device().Store64(nil, off, v)
 }
 
-// freePage returns a page to the thread's free list. Metadata pages are
-// scrubbed on free so the metadata list invariant — pages arrive zeroed —
-// holds for recycled pages exactly as for fresh kernel grants.
+// freePage returns a page to the thread's free list — by default the
+// volatile batch cache (one append, no NVM chain stores). Metadata pages
+// are scrubbed on free so the metadata list invariant — pages arrive
+// zeroed — holds for recycled pages exactly as for fresh kernel grants.
 func (f *FS) freePage(th *proc.Thread, m *mount, class int, page int64) {
-	ts, slotOff, err := f.slotFor(th, m, class)
-	if err != nil {
-		// Pool exhausted: leak the page; recovery reclaims it (§5.3).
-		return
-	}
-	f.rec().Inc(telemetry.CtrZoFSPagesFreed)
 	if debugPool {
 		if st, _ := debugFree.Load(page); st == 1 {
 			panic(fmt.Sprintf("zofs: double free of page %d (class %d)", page, class))
 		}
 		debugFree.Store(page, 1)
 	}
+	if !f.opts.NoAllocBatch {
+		ts := m.threadSlotsFor(th.TID)
+		f.rec().Inc(telemetry.CtrZoFSPagesFreed)
+		if class == classMeta {
+			th.Zero(page*pageSize, pageSize)
+		}
+		th.CPU(perfmodel.CPUSmallOp)
+		ts.cache[class] = append(ts.cache[class], page)
+		return
+	}
+	ts, slotOff, err := f.slotFor(th, m, class)
+	if err != nil {
+		// Pool exhausted: leak the page; recovery reclaims it (§5.3).
+		if debugPool {
+			debugFree.Delete(page)
+		}
+		return
+	}
+	f.rec().Inc(telemetry.CtrZoFSPagesFreed)
 	if class == classMeta {
 		th.Zero(page*pageSize, pageSize)
 	}
@@ -236,8 +308,10 @@ func (f *FS) freePage(th *proc.Thread, m *mount, class int, page int64) {
 }
 
 // freeListPages walks every pool slot's chain and reports the pages held in
-// free lists (used by recovery to keep them out of the kernel reclaim, or
-// to drop them deliberately).
+// persistent free lists (used by recovery to keep them out of the kernel
+// reclaim, or to drop them deliberately). Volatile batch caches are
+// intentionally invisible here: their pages are unreferenced by design and
+// recovery reclaims them.
 func (f *FS) freeListPages(th *proc.Thread, m *mount) []int64 {
 	var out []int64
 	if th.Load64(m.custom*pageSize+customMagicOff) != customMagic {

@@ -103,7 +103,7 @@ func (f *FS) setPerm(th *proc.Thread, path string, mode coffer.Mode, uid, gid ui
 			if _, err := f.ensureMapped(th, target, true); err == nil {
 				if f.kern.CofferMerge(th, pos.m.id, target) == nil {
 					f.window(th, pos.m, true)
-					f.dirUpdateCoffer(th, loc, 0, de.inode)
+					f.dirUpdateCoffer(th, pos.ino, base, loc, 0, de.inode)
 					f.forgetMount(target)
 				}
 			}
@@ -153,7 +153,7 @@ func (f *FS) setPerm(th *proc.Thread, path string, mode coffer.Mode, uid, gid ui
 	if err != nil {
 		return errno(err)
 	}
-	f.dirUpdateCoffer(th, loc, uint32(newID), de.inode)
+	f.dirUpdateCoffer(th, pos.ino, base, loc, uint32(newID), de.inode)
 	return nil
 }
 
@@ -224,7 +224,7 @@ func (f *FS) maybeMergeBack(th *proc.Thread, dir, base string, target coffer.ID)
 		return
 	}
 	f.window(th, pos.m, true)
-	f.dirUpdateCoffer(th, loc, 0, de.inode)
+	f.dirUpdateCoffer(th, pos.ino, base, loc, 0, de.inode)
 	// Back in-coffer, stat reads the inode's own permission words (the
 	// root page is gone) — sync them with what the root page said.
 	b := make([]byte, 12)

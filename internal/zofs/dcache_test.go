@@ -1,0 +1,303 @@
+package zofs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"zofs/internal/kernfs"
+	"zofs/internal/nvm"
+	"zofs/internal/proc"
+	"zofs/internal/vfs"
+)
+
+// TestDcacheBasicCoherence drives every dentry mutation through the public
+// operations and checks the cached lookups stay exact: insert, unlink,
+// rename within a directory, rename across directories.
+func TestDcacheBasicCoherence(t *testing.T) {
+	_, _, f, th := newTestFS(t, Options{})
+	for _, d := range []string{"/a", "/b"} {
+		if err := f.Mkdir(th, d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Create(th, "/a/one", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(th, "/a/one"); err != nil {
+		t.Fatalf("cached lookup after create: %v", err)
+	}
+	if err := f.Rename(th, "/a/one", "/a/two"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(th, "/a/one"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("old name survived rename: %v", err)
+	}
+	if _, err := f.Stat(th, "/a/two"); err != nil {
+		t.Fatalf("new name after rename: %v", err)
+	}
+	if err := f.Rename(th, "/a/two", "/b/three"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(th, "/a/two"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("source dir still lists moved file: %v", err)
+	}
+	if _, err := f.Stat(th, "/b/three"); err != nil {
+		t.Fatalf("cross-dir rename target: %v", err)
+	}
+	if err := f.Unlink(th, "/b/three"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(th, "/b/three"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("unlinked name still resolves: %v", err)
+	}
+}
+
+// TestDcacheNegativeEntries: a miss is answered from index completeness, and
+// a subsequent insert of that very name must invalidate the negative answer
+// immediately.
+func TestDcacheNegativeEntries(t *testing.T) {
+	_, _, f, th := newTestFS(t, Options{})
+	if err := f.Mkdir(th, "/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the index with some content, then miss.
+	for i := 0; i < 40; i++ {
+		if _, err := f.Create(th, fmt.Sprintf("/d/f%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Stat(th, "/d/ghost"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("expected miss, got %v", err)
+	}
+	if _, err := f.Create(th, "/d/ghost", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(th, "/d/ghost"); err != nil {
+		t.Fatalf("negative entry masked a fresh create: %v", err)
+	}
+	// And the reverse: a positive answer must die with the dentry.
+	if err := f.Unlink(th, "/d/ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(th, "/d/ghost"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("stale positive after unlink: %v", err)
+	}
+}
+
+// TestDcacheLookupMatchesScan cross-checks the cached lookup against the
+// scan path over a directory large enough to spill into bucket chains.
+func TestDcacheLookupMatchesScan(t *testing.T) {
+	_, _, f, th := newTestFS(t, Options{})
+	if err := f.Mkdir(th, "/big", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const n = 600
+	for i := 0; i < n; i++ {
+		if _, err := f.Create(th, fmt.Sprintf("/big/file-%04d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove a third to exercise free-list reuse, then re-create half of
+	// those under the same names.
+	for i := 0; i < n; i += 3 {
+		if err := f.Unlink(th, fmt.Sprintf("/big/file-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 6 {
+		if _, err := f.Create(th, fmt.Sprintf("/big/file-%04d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos, err := f.walk(th, "/big", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pos.close()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("file-%04d", i)
+		cd, cloc, cerr := f.dirLookup(th, pos.ino, name)
+		sd, sloc, serr := f.dirLookupScan(th, pos.ino, name)
+		if (cerr == nil) != (serr == nil) {
+			t.Fatalf("%s: cached err=%v scan err=%v", name, cerr, serr)
+		}
+		if cerr == nil && (cd != sd || cloc != sloc) {
+			t.Fatalf("%s: cached (%+v,%+v) != scan (%+v,%+v)", name, cd, cloc, sd, sloc)
+		}
+	}
+}
+
+// TestDcacheConcurrency races cached lookups against creates, unlinks and
+// renames from several threads (run under -race by scripts/check.sh). The
+// stable set must always resolve; churn names may come and go but must
+// never return a wrong answer shape (panic, corruption error).
+func TestDcacheConcurrency(t *testing.T) {
+	_, _, f, th := newTestFS(t, Options{})
+	if err := f.Mkdir(th, "/c", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const stable = 50
+	for i := 0; i < stable; i++ {
+		if _, err := f.Create(th, fmt.Sprintf("/c/stable-%02d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	// Threads of the FS's own process share its coffer mappings.
+	newThread := func() *proc.Thread { return th.Proc.NewThread() }
+	// Mutators: create/unlink/rename private name ranges.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tth := newThread()
+			for i := 0; i < 120; i++ {
+				name := fmt.Sprintf("/c/churn-%d-%02d", w, i%10)
+				if _, err := f.Create(tth, name, 0o644); err != nil {
+					errc <- fmt.Errorf("create %s: %w", name, err)
+					return
+				}
+				if i%3 == 0 {
+					moved := fmt.Sprintf("/c/moved-%d-%02d", w, i%10)
+					if err := f.Rename(tth, name, moved); err != nil {
+						errc <- fmt.Errorf("rename %s: %w", name, err)
+						return
+					}
+					name = moved
+				}
+				if err := f.Unlink(tth, name); err != nil {
+					errc <- fmt.Errorf("unlink %s: %w", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: the stable set must always be there; churn names must
+	// either resolve or miss cleanly.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tth := newThread()
+			for i := 0; i < 300; i++ {
+				if _, err := f.Stat(tth, fmt.Sprintf("/c/stable-%02d", i%stable)); err != nil {
+					errc <- fmt.Errorf("stable lookup: %w", err)
+					return
+				}
+				churn := fmt.Sprintf("/c/churn-%d-%02d", i%2, i%10)
+				if _, err := f.Stat(tth, churn); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+					errc <- fmt.Errorf("churn lookup %s: %w", churn, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestDcacheColdAfterCrash: a post-crash remount must never serve a
+// pre-crash cached dentry — ResetShared (the crash analogue) drops the
+// whole cache, and recovery bumps the epoch for survivors.
+func TestDcacheColdAfterCrash(t *testing.T) {
+	dev, _, f, th := newTestFS(t, Options{})
+	if err := f.Mkdir(th, "/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := f.Create(th, fmt.Sprintf("/d/f%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Stat(th, "/d/f0"); err != nil { // warm the index
+		t.Fatal(err)
+	}
+	if got := DirCacheDirs(dev); got == 0 {
+		t.Fatal("cache should be warm before the crash")
+	}
+	dev.Crash()
+	ResetShared(dev)
+	if got := DirCacheDirs(dev); got != 0 {
+		t.Fatalf("cache holds %d directory indexes after crash+reset", got)
+	}
+	k2, err := kernfs.Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := proc.NewProcess(dev, 0, 0).NewThread()
+	if err := k2.FSMount(th2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FsckAll(k2, th2); err != nil {
+		t.Fatal(err)
+	}
+	f2 := New(k2, Options{})
+	// First post-crash lookups rebuild from NVM truth.
+	for i := 0; i < 20; i++ {
+		if _, err := f2.Stat(th2, fmt.Sprintf("/d/f%d", i)); err != nil {
+			t.Fatalf("post-crash lookup f%d: %v", i, err)
+		}
+	}
+	if _, err := f2.Stat(th2, "/d/never"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("phantom dentry after crash: %v", err)
+	}
+}
+
+// TestBatchedGrantsReclaimedByRecovery: pages granted into a thread's
+// volatile allocation cache but never used are unreferenced on NVM, so a
+// crash leaks them — until recovery's in-use traversal returns them to the
+// kernel. Repeated crash/recover cycles on a small device must therefore
+// never run out of space, and each recovery must actually reclaim the
+// stranded batch.
+func TestBatchedGrantsReclaimedByRecovery(t *testing.T) {
+	dev := nvm.NewDevice(64 << 20)
+	if err := kernfs.Mkfs(dev, kernfs.MkfsOptions{RootMode: 0o755}); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 12; cycle++ {
+		k, err := kernfs.Mount(dev)
+		if err != nil {
+			t.Fatalf("cycle %d: mount: %v", cycle, err)
+		}
+		th := proc.NewProcess(dev, 0, 0).NewThread()
+		if err := k.FSMount(th); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := FsckAll(k, th)
+		if err != nil {
+			t.Fatalf("cycle %d: fsck: %v", cycle, err)
+		}
+		if cycle > 0 {
+			var reclaimed int64
+			for _, st := range stats {
+				reclaimed += st.PagesReclaimed
+			}
+			if reclaimed == 0 {
+				t.Fatalf("cycle %d: recovery reclaimed nothing despite stranded batches", cycle)
+			}
+		}
+		f := New(k, Options{})
+		if err := f.EnsureRootDir(th); err != nil {
+			t.Fatal(err)
+		}
+		// One create pulls a full metadata batch (and the write a data
+		// batch) into the volatile caches; the rest of both batches is
+		// stranded by the "crash" below.
+		h, err := f.Create(th, fmt.Sprintf("/file-%d", cycle), 0o644)
+		if err != nil {
+			t.Fatalf("cycle %d: create: %v", cycle, err)
+		}
+		if _, err := h.WriteAt(th, make([]byte, 2*pageSize), 0); err != nil {
+			t.Fatalf("cycle %d: write: %v", cycle, err)
+		}
+		h.Close(th)
+		dev.Crash()
+		ResetShared(dev)
+	}
+}

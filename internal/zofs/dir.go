@@ -63,7 +63,54 @@ func (f *FS) dirL1Of(th *proc.Thread, dirIno int64) int64 {
 }
 
 // dirLookup finds a name in a directory. Caller holds at least a read lock.
+// With the directory cache enabled (the default) a hit costs one hash probe
+// plus a cache-charged verification load of the commit word; the on-NVM
+// walk runs only to (re)build the index.
 func (f *FS) dirLookup(th *proc.Thread, dirIno int64, name string) (dentry, deLoc, error) {
+	if f.opts.NoDirCache {
+		return f.dirLookupScan(th, dirIno, name)
+	}
+	th.CPU(perfmodel.CPUHashLookup)
+	idx := f.sh.dc.dir(dirIno)
+	idx.mu.Lock()
+	cur := f.sh.dc.epoch.Load()
+	if !idx.authoritative(cur) {
+		idx.reset()
+		f.dcacheBuild(th, idx, dirIno, cur)
+	}
+	c, ok := idx.names[name]
+	idx.mu.Unlock()
+	if !ok {
+		// Negative answer from completeness: the index holds every live
+		// dentry, so absence is authoritative.
+		return dentry{}, deLoc{}, vfs.ErrNotExist
+	}
+	// Verify the hit against the NVM dentry before trusting it: the commit
+	// word plus the routing fields (coffer, inode), which share one cache
+	// line. A mismatch means some writer bypassed the coherence hooks —
+	// possibly a malicious process rewriting dentries in a shared coffer —
+	// so fall back to the on-NVM truth (rebuild), which the walk then
+	// validates as usual (G3).
+	hdr := f.readViewCached(th, c.loc.addr(), deNameOff)
+	state, nameLen, typ, hash := unpackCommit(u64at(hdr, deCommitOff))
+	if state == deStateLive && nameLen == len(name) && typ == c.de.typ && hash == c.de.hash &&
+		u32at(hdr, deCofferOff) == c.de.cofferID &&
+		u64at(hdr, deInodeOff) == uint64(c.de.inode) {
+		return c.de, c.loc, nil
+	}
+	idx.mu.Lock()
+	idx.reset()
+	f.dcacheBuild(th, idx, dirIno, cur)
+	c, ok = idx.names[name]
+	idx.mu.Unlock()
+	if !ok {
+		return dentry{}, deLoc{}, vfs.ErrNotExist
+	}
+	return c.de, c.loc, nil
+}
+
+// dirLookupScan is the cache-free lookup: the on-NVM two-level hash walk.
+func (f *FS) dirLookupScan(th *proc.Thread, dirIno int64, name string) (dentry, deLoc, error) {
 	h := nameHash(name)
 	th.CPU(perfmodel.CPUHashLookup)
 	l1 := f.dirL1Of(th, dirIno)
@@ -75,9 +122,10 @@ func (f *FS) dirLookup(th *proc.Thread, dirIno int64, name string) (dentry, deLo
 		return dentry{}, deLoc{}, vfs.ErrNotExist
 	}
 	// Inline area: hot directories keep their second-level pages in the
-	// CPU cache, like a kernel dcache keeps dentries in DRAM.
-	inline := make([]byte, l2BucketOff)
-	th.ReadCached(l2*pageSize, inline)
+	// CPU cache, like a kernel dcache keeps dentries in DRAM, but every
+	// slot still costs decode-and-compare CPU work.
+	inline := f.readViewCached(th, l2*pageSize, l2BucketOff)
+	th.CPU(perfmodel.CPUDentryScan * (l2BucketOff / dentrySize))
 	want := checkHash(h)
 	var found dentry
 	var loc deLoc
@@ -94,9 +142,9 @@ func (f *FS) dirLookup(th *proc.Thread, dirIno int64, name string) (dentry, deLo
 	}
 	// Bucket chain.
 	pg := int64(th.Load64(l2*pageSize + l2BucketOff + 8*l2Bucket(h)))
-	page := make([]byte, pageSize)
 	for pg != 0 {
-		th.Read(pg*pageSize, page)
+		page := f.readView(th, pg*pageSize, pageSize)
+		th.CPU(perfmodel.CPUDentryScan * ((pageSize - chainFirstDe) / dentrySize))
 		next := int64(u64at(page, chainNextOff))
 		scanDentries(page[chainFirstDe:], chainFirstDe, func(d dentry, off int64) bool {
 			if d.hash == want && d.name == name {
@@ -114,23 +162,144 @@ func (f *FS) dirLookup(th *proc.Thread, dirIno int64, name string) (dentry, deLo
 }
 
 // writeDentry writes a dentry body then atomically publishes its commit
-// word (§5.3's ordered update).
+// word (§5.3's ordered update). The body write composes directly in the
+// device image through a write view when available; the copy path remains
+// for the NoZeroCopy baseline.
 func (f *FS) writeDentry(th *proc.Thread, loc deLoc, name string, typ uint8, cofferID uint32, inode int64) {
-	body := make([]byte, dentrySize-8)
-	putU32(body, deCofferOff-8, cofferID)
-	putU64(body, deInodeOff-8, uint64(inode))
-	copy(body[deNameOff-8:], name)
-	th.WriteNT(loc.addr()+8, body)
+	wrote := false
+	if !f.opts.NoZeroCopy {
+		if buf, commit, ok := th.WriteView(loc.addr()+8, dentrySize-8); ok {
+			clear(buf)
+			putU32(buf, deCofferOff-8, cofferID)
+			putU64(buf, deInodeOff-8, uint64(inode))
+			copy(buf[deNameOff-8:], name)
+			commit()
+			wrote = true
+		}
+	}
+	if !wrote {
+		// The body is composed in a DRAM staging buffer and then copied to
+		// the device — the round trip the write view avoids.
+		th.CPU(perfmodel.StageCost(dentrySize - 8))
+		body := make([]byte, dentrySize-8)
+		putU32(body, deCofferOff-8, cofferID)
+		putU64(body, deInodeOff-8, uint64(inode))
+		copy(body[deNameOff-8:], name)
+		th.WriteNT(loc.addr()+8, body)
+	}
 	th.Fence()
 	th.Store64(loc.addr(), dentryCommit(deStateLive, len(name), typ, checkHash(nameHash(name))))
 }
 
-// dirInsert adds a dentry. Caller holds the directory write lock and has
-// verified the name does not exist. Allocates L1/L2/chain pages on demand.
+// dirInsert adds a dentry. Caller holds the bucket write lock and has
+// verified the name does not exist. With the directory cache enabled the
+// insert runs under the index mutex and applies its delta, keeping the
+// index exact; free dentry slots come off the cached free lists instead of
+// rescanning pages.
 func (f *FS) dirInsert(th *proc.Thread, m *mount, dirIno int64, name string, typ uint8, cofferID uint32, inode int64) error {
 	if len(name) > MaxNameLen {
 		return vfs.ErrNameTooLong
 	}
+	if f.opts.NoDirCache {
+		return f.dirInsertScan(th, m, dirIno, name, typ, cofferID, inode)
+	}
+	idx := f.sh.dc.dir(dirIno)
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if idx.authoritative(f.sh.dc.epoch.Load()) {
+		return f.dirInsertCached(th, m, idx, dirIno, name, typ, cofferID, inode)
+	}
+	// Non-authoritative index: mutate via the scan path and leave the index
+	// reset; the next lookup rebuilds it.
+	idx.reset()
+	return f.dirInsertScan(th, m, dirIno, name, typ, cofferID, inode)
+}
+
+// dirInsertCached inserts through an authoritative index. Caller holds
+// idx.mu and the bucket lock.
+func (f *FS) dirInsertCached(th *proc.Thread, m *mount, idx *dirIndex, dirIno int64, name string, typ uint8, cofferID uint32, inode int64) error {
+	h := nameHash(name)
+	th.CPU(perfmodel.CPUHashLookup)
+	commit := func(loc deLoc, bkt int64) {
+		f.writeDentry(th, loc, name, typ, cofferID, inode)
+		idx.names[name] = cachedDe{
+			de:  dentry{state: deStateLive, typ: typ, hash: checkHash(h), cofferID: cofferID, inode: inode, name: name},
+			loc: loc,
+			bkt: bkt,
+		}
+	}
+	// Inline area first (§5.1), then this bucket's chain slots — both from
+	// the cached free lists, with no on-NVM structure walk at all.
+	i := l1Index(h)
+	ik := inlineKey(i)
+	if n := len(idx.free[ik]); n > 0 {
+		loc := idx.free[ik][n-1]
+		idx.free[ik] = idx.free[ik][:n-1]
+		th.CPU(perfmodel.CPUSmallOp)
+		commit(loc, ik)
+		return nil
+	}
+	b := l2Bucket(h)
+	ck := chainKey(i, b)
+	if n := len(idx.free[ck]); n > 0 {
+		loc := idx.free[ck][n-1]
+		idx.free[ck] = idx.free[ck][:n-1]
+		th.CPU(perfmodel.CPUSmallOp)
+		commit(loc, ck)
+		return nil
+	}
+	// Both free lists dry: the structure must grow. The L1/L2 pointer
+	// lines of a cache-served directory are hot.
+	l1 := f.dirL1Of(th, dirIno)
+	if l1 == 0 {
+		pg, err := f.allocPage(th, m, classMeta)
+		if err != nil {
+			return err
+		}
+		if th.CAS64(dirIno*pageSize+inoDirL1Off, 0, uint64(pg)) {
+			l1 = pg
+		} else {
+			f.freePage(th, m, classMeta, pg)
+			l1 = f.dirL1Of(th, dirIno)
+		}
+	}
+	l1Slot := l1*pageSize + 8*i
+	l2 := int64(th.Load64Cached(l1Slot))
+	if l2 == 0 {
+		pg, err := f.allocPage(th, m, classMeta)
+		if err != nil {
+			return err
+		}
+		th.Store64(l1Slot, uint64(pg))
+		l2 = pg
+		// A fresh (zeroed) second-level page: the first inline slot takes
+		// this dentry, the rest go on the free list.
+		commit(deLoc{page: l2, off: 0}, ik)
+		for o := int64(dentrySize); o+dentrySize <= l2BucketOff; o += dentrySize {
+			idx.free[ik] = append(idx.free[ik], deLoc{page: l2, off: o})
+		}
+		return nil
+	}
+	// Inline area and this bucket's chains are full: fresh chain page at
+	// the head, remaining slots registered free.
+	bucketAddr := l2*pageSize + l2BucketOff + 8*b
+	head := int64(th.Load64(bucketAddr))
+	pg, err := f.allocPage(th, m, classMeta)
+	if err != nil {
+		return err
+	}
+	th.Store64(pg*pageSize+chainNextOff, uint64(head))
+	commit(deLoc{page: pg, off: chainFirstDe}, ck)
+	th.Store64(bucketAddr, uint64(pg))
+	for o := int64(chainFirstDe + dentrySize); o+dentrySize <= pageSize; o += dentrySize {
+		idx.free[ck] = append(idx.free[ck], deLoc{page: pg, off: o})
+	}
+	return nil
+}
+
+// dirInsertScan is the cache-free insert: linear free-slot scan of the
+// on-NVM structure. Allocates L1/L2/chain pages on demand.
+func (f *FS) dirInsertScan(th *proc.Thread, m *mount, dirIno int64, name string, typ uint8, cofferID uint32, inode int64) error {
 	h := nameHash(name)
 	th.CPU(perfmodel.CPUHashLookup)
 	l1 := f.dirL1Of(th, dirIno)
@@ -160,9 +329,9 @@ func (f *FS) dirInsert(th *proc.Thread, m *mount, dirIno int64, name string, typ
 	}
 	// Try the inline area first (§5.1: "ZoFS tries to put new dentries in
 	// the second-level page first"). Hot directories keep this page in the
-	// CPU cache, like dirLookup.
-	inline := make([]byte, l2BucketOff)
-	th.ReadCached(l2*pageSize, inline)
+	// CPU cache, like dirLookup, but the free-slot scan still burns CPU.
+	inline := f.readViewCached(th, l2*pageSize, l2BucketOff)
+	th.CPU(perfmodel.CPUDentryScan * (l2BucketOff / dentrySize))
 	for o := int64(0); o < l2BucketOff; o += dentrySize {
 		if state, _, _, _ := unpackCommit(u64at(inline, int(o))); state != deStateLive {
 			f.writeDentry(th, deLoc{page: l2, off: o}, name, typ, cofferID, inode)
@@ -172,9 +341,9 @@ func (f *FS) dirInsert(th *proc.Thread, m *mount, dirIno int64, name string, typ
 	// Walk the bucket chain for a free slot.
 	bucketAddr := l2*pageSize + l2BucketOff + 8*l2Bucket(h)
 	head := int64(th.Load64(bucketAddr))
-	page := make([]byte, pageSize)
 	for pg := head; pg != 0; {
-		th.Read(pg*pageSize, page)
+		page := f.readView(th, pg*pageSize, pageSize)
+		th.CPU(perfmodel.CPUDentryScan * ((pageSize - chainFirstDe) / dentrySize))
 		next := int64(u64at(page, chainNextOff))
 		for o := int64(chainFirstDe); o+dentrySize <= pageSize; o += dentrySize {
 			if state, _, _, _ := unpackCommit(u64at(page, int(o))); state != deStateLive {
@@ -196,20 +365,56 @@ func (f *FS) dirInsert(th *proc.Thread, m *mount, dirIno int64, name string, typ
 	return nil
 }
 
-// dirRemove kills a dentry with a single atomic commit-word store.
-func (f *FS) dirRemove(th *proc.Thread, loc deLoc) {
+// dirRemove kills a dentry with a single atomic commit-word store. With the
+// cache enabled the store runs under the index mutex and the slot returns
+// to its free list, so the index stays complete.
+func (f *FS) dirRemove(th *proc.Thread, dirIno int64, name string, loc deLoc) {
+	if f.opts.NoDirCache {
+		th.Store64(loc.addr(), dentryCommit(deStateFree, 0, 0, 0))
+		return
+	}
+	idx := f.sh.dc.dir(dirIno)
+	idx.mu.Lock()
 	th.Store64(loc.addr(), dentryCommit(deStateFree, 0, 0, 0))
+	if idx.authoritative(f.sh.dc.epoch.Load()) {
+		if c, ok := idx.names[name]; ok && c.loc == loc {
+			delete(idx.names, name)
+			idx.free[c.bkt] = append(idx.free[c.bkt], loc)
+		} else {
+			idx.reset()
+		}
+	}
+	idx.mu.Unlock()
 }
 
 // dirUpdateCoffer rewrites a dentry's cross-coffer reference in place:
-// the coffer-ID field is written, then the commit word is re-stored to
-// refresh readers (same inode/name).
-func (f *FS) dirUpdateCoffer(th *proc.Thread, loc deLoc, cofferID uint32, inode int64) {
-	var b [8]byte
-	putU32(b[:4], 0, cofferID)
-	th.WriteNT(loc.addr()+deCofferOff, b[:4])
-	th.Store64(loc.addr()+deInodeOff, uint64(inode))
-	th.Fence()
+// the coffer-ID field is written, then the inode pointer is re-stored to
+// refresh readers (same name). The cached entry absorbs the same delta.
+func (f *FS) dirUpdateCoffer(th *proc.Thread, dirIno int64, name string, loc deLoc, cofferID uint32, inode int64) {
+	write := func() {
+		var b [8]byte
+		putU32(b[:4], 0, cofferID)
+		th.WriteNT(loc.addr()+deCofferOff, b[:4])
+		th.Store64(loc.addr()+deInodeOff, uint64(inode))
+		th.Fence()
+	}
+	if f.opts.NoDirCache {
+		write()
+		return
+	}
+	idx := f.sh.dc.dir(dirIno)
+	idx.mu.Lock()
+	write()
+	if idx.authoritative(f.sh.dc.epoch.Load()) {
+		if c, ok := idx.names[name]; ok && c.loc == loc {
+			c.de.cofferID = cofferID
+			c.de.inode = inode
+			idx.names[name] = c
+		} else {
+			idx.reset()
+		}
+	}
+	idx.mu.Unlock()
 }
 
 // dirScan calls fn for every live dentry; fn returns false to stop early.
@@ -219,15 +424,13 @@ func (f *FS) dirScan(th *proc.Thread, dirIno int64, fn func(d dentry, loc deLoc)
 	if l1 == 0 {
 		return
 	}
-	l1buf := make([]byte, pageSize)
-	th.Read(l1*pageSize, l1buf)
-	page := make([]byte, pageSize)
+	l1buf := f.readView(th, l1*pageSize, pageSize)
 	for i := 0; i < dirL1Slots; i++ {
 		l2 := int64(u64at(l1buf, i*8))
 		if l2 == 0 {
 			continue
 		}
-		th.Read(l2*pageSize, page)
+		page := f.readView(th, l2*pageSize, pageSize)
 		stop := false
 		scanDentries(page[:l2BucketOff], 0, func(d dentry, off int64) bool {
 			if !fn(d, deLoc{page: l2, off: off}) {
@@ -241,9 +444,8 @@ func (f *FS) dirScan(th *proc.Thread, dirIno int64, fn func(d dentry, loc deLoc)
 		}
 		for b := 0; b < l2Buckets; b++ {
 			pg := int64(u64at(page, l2BucketOff+b*8))
-			chain := make([]byte, pageSize)
 			for pg != 0 {
-				th.Read(pg*pageSize, chain)
+				chain := f.readView(th, pg*pageSize, pageSize)
 				next := int64(u64at(chain, chainNextOff))
 				scanDentries(chain[chainFirstDe:], chainFirstDe, func(d dentry, off int64) bool {
 					if !fn(d, deLoc{page: pg, off: off}) {
@@ -279,16 +481,14 @@ func (f *FS) dirPages(th *proc.Thread, dirIno int64) []int64 {
 		return nil
 	}
 	pages := []int64{l1}
-	l1buf := make([]byte, pageSize)
-	th.Read(l1*pageSize, l1buf)
-	page := make([]byte, pageSize)
+	l1buf := f.readView(th, l1*pageSize, pageSize)
 	for i := 0; i < dirL1Slots; i++ {
 		l2 := int64(u64at(l1buf, i*8))
 		if l2 == 0 {
 			continue
 		}
 		pages = append(pages, l2)
-		th.Read(l2*pageSize, page)
+		page := f.readView(th, l2*pageSize, pageSize)
 		for b := 0; b < l2Buckets; b++ {
 			pg := int64(u64at(page, l2BucketOff+b*8))
 			var next [8]byte

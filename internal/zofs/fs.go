@@ -38,6 +38,16 @@ type Options struct {
 	// Metadata grants are kernel-zeroed; data grants are not (§5.2).
 	DataEnlargeBatch int64
 	MetaEnlargeBatch int64
+	// NoZeroCopy disables borrowed device access windows: metadata scans and
+	// dentry writes go back to the allocate-and-copy device API (hot-path
+	// ablation baseline).
+	NoZeroCopy bool
+	// NoDirCache disables the volatile directory lookup index: every lookup
+	// and insert walks the on-NVM two-level hash structure.
+	NoDirCache bool
+	// NoAllocBatch disables volatile per-thread page caching: every page
+	// allocation and free updates the persistent slot free-list chain.
+	NoAllocBatch bool
 }
 
 func (o *Options) fill() {
@@ -70,14 +80,20 @@ type mount struct {
 	root     int64 // root-file inode page
 	custom   int64 // allocator pool page
 
-	slotMu sync.Mutex
-	slots  map[int]*threadSlots // TID -> claimed allocator slots
+	slots sync.Map // TID (int) -> *threadSlots, claimed allocator slots
 }
 
-// threadSlots caches one thread's claimed allocator slot per class.
+// threadSlots caches one thread's claimed allocator slot per class. Each
+// value is touched only by its owning thread (the map is keyed by TID), so
+// the fields need no further locking.
 type threadSlots struct {
 	slot [2]int32 // pool slot index per class; -1 = none
 	head [2]int64 // volatile cache of the slot's free-list head
+	// cache holds batched page grants and recycled frees as a volatile
+	// per-thread free list (LIFO). Pages here are owned by the coffer but
+	// referenced by nothing persistent: a crash leaks them and recovery
+	// reclaims them as not-in-use (§5.3).
+	cache [2][]int64
 }
 
 // Allocation classes: metadata pages are kernel-zeroed on enlarge, data
@@ -153,7 +169,7 @@ func (f *FS) ensureMapped(th *proc.Thread, id coffer.ID, write bool) (*mount, er
 			f.mu.Lock()
 			m, ok := f.mounts[id]
 			if !ok {
-				m = &mount{id: id, slots: map[int]*threadSlots{}}
+				m = &mount{id: id}
 				f.mounts[id] = m
 			}
 			m.key, m.writable = mi.Key, mi.Writable
@@ -355,13 +371,42 @@ func cleanPath(p string) string {
 	return "/" + strings.Join(out, "/")
 }
 
+// readView returns a borrowed window over [off, off+n), charged like a
+// device read, falling back to an allocated copy when zero-copy is disabled
+// or the range crosses a chunk boundary (never for page-granular accesses).
+// The view aliases live media: read-only, valid only while the current MPK
+// window stays open.
+func (f *FS) readView(th *proc.Thread, off, n int64) []byte {
+	if !f.opts.NoZeroCopy {
+		if v, ok := th.ReadView(off, n); ok {
+			return v
+		}
+	}
+	th.CPU(perfmodel.StageCost(int(n)))
+	buf := make([]byte, n)
+	th.Read(off, buf)
+	return buf
+}
+
+// readViewCached is readView charged as a CPU-cache hit.
+func (f *FS) readViewCached(th *proc.Thread, off, n int64) []byte {
+	if !f.opts.NoZeroCopy {
+		if v, ok := th.ReadViewCached(off, n); ok {
+			return v
+		}
+	}
+	th.CPU(perfmodel.StageCost(int(n)))
+	buf := make([]byte, n)
+	th.ReadCached(off, buf)
+	return buf
+}
+
 // readInodeHeader reads the 64-byte inode header, charged as a CPU-cache
 // hit: walks repeatedly touch the same hot inode headers, exactly the lines
-// a real CPU keeps resident.
+// a real CPU keeps resident. The result borrows the device image — callers
+// only decode fields from it.
 func (f *FS) readInodeHeader(th *proc.Thread, ino int64) []byte {
-	buf := make([]byte, inoHeaderLen)
-	th.ReadCached(ino*pageSize, buf)
-	return buf
+	return f.readViewCached(th, ino*pageSize, inoHeaderLen)
 }
 
 // readSymlink reads a symlink inode's target.

@@ -1,6 +1,7 @@
 package zofs
 
 import (
+	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
@@ -143,6 +144,9 @@ func (f *FS) isInline(th *proc.Thread, ino int64) bool {
 }
 
 // readAt reads file data; the caller holds at least a read lock on ino.
+// The default configuration delivers straight from the mapped device into
+// the caller's buffer; the NoZeroCopy variant stages every transfer
+// through a DRAM bounce buffer and pays the extra memcpy.
 func (f *FS) readAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, vfs.ErrInvalid
@@ -153,6 +157,9 @@ func (f *FS) readAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (
 	}
 	if off+int64(len(p)) > size {
 		p = p[:size-off]
+	}
+	if f.opts.NoZeroCopy && len(p) > 0 {
+		th.CPU(perfmodel.MemcpyCost(len(p)))
 	}
 	if f.isInline(th, ino) {
 		th.Read(ino*pageSize+inoInlineOff+off, p)
@@ -172,9 +179,7 @@ func (f *FS) readAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (
 		}
 		if pg == 0 {
 			// Hole: reads as zeros.
-			for i := 0; i < chunk; i++ {
-				p[n+i] = 0
-			}
+			clear(p[n : n+chunk])
 		} else {
 			th.Read(pg*pageSize+pOff, p[n:n+chunk])
 		}
@@ -190,6 +195,10 @@ func (f *FS) readAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (
 func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, vfs.ErrInvalid
+	}
+	if f.opts.NoZeroCopy && len(p) > 0 {
+		// Copy-path staging of the outgoing bytes (see readAt).
+		th.CPU(perfmodel.MemcpyCost(len(p)))
 	}
 	size := f.inodeSize(th, ino)
 	if f.opts.InlineData {
@@ -348,8 +357,7 @@ func (f *FS) filePages(th *proc.Thread, ino int64) []int64 {
 	size := f.inodeSize(th, ino)
 	blocks := (size + pageSize - 1) / pageSize
 	// Direct.
-	dir := make([]byte, inoDirectCnt*8)
-	th.Read(ino*pageSize+inoDirectOff, dir)
+	dir := f.readView(th, ino*pageSize+inoDirectOff, inoDirectCnt*8)
 	for i := int64(0); i < inoDirectCnt && i < blocks; i++ {
 		if pg := int64(u64at(dir, int(i*8))); pg != 0 {
 			pages = append(pages, pg)
@@ -359,8 +367,7 @@ func (f *FS) filePages(th *proc.Thread, ino int64) []int64 {
 	ind := int64(th.Load64(ino*pageSize + inoIndirectOff))
 	if ind != 0 {
 		pages = append(pages, ind)
-		buf := make([]byte, pageSize)
-		th.Read(ind*pageSize, buf)
+		buf := f.readView(th, ind*pageSize, pageSize)
 		for i := 0; i < ptrsPerPage; i++ {
 			if pg := int64(u64at(buf, i*8)); pg != 0 {
 				pages = append(pages, pg)
@@ -371,16 +378,14 @@ func (f *FS) filePages(th *proc.Thread, ino int64) []int64 {
 	d1 := int64(th.Load64(ino*pageSize + inoDIndirOff))
 	if d1 != 0 {
 		pages = append(pages, d1)
-		l1 := make([]byte, pageSize)
-		th.Read(d1*pageSize, l1)
-		l2 := make([]byte, pageSize)
+		l1 := f.readView(th, d1*pageSize, pageSize)
 		for i := 0; i < ptrsPerPage; i++ {
 			d2 := int64(u64at(l1, i*8))
 			if d2 == 0 {
 				continue
 			}
 			pages = append(pages, d2)
-			th.Read(d2*pageSize, l2)
+			l2 := f.readView(th, d2*pageSize, pageSize)
 			for j := 0; j < ptrsPerPage; j++ {
 				if pg := int64(u64at(l2, j*8)); pg != 0 {
 					pages = append(pages, pg)
@@ -403,6 +408,9 @@ func (f *FS) freeFileContent(th *proc.Thread, m *mount, ino int64) {
 // freeDirContent releases a directory's structure pages and its inode.
 // The directory must be empty.
 func (f *FS) freeDirContent(th *proc.Thread, m *mount, ino int64) {
+	// The directory is gone and its pages may be recycled under another
+	// identity; forget its lookup index.
+	f.sh.dc.drop(ino)
 	for _, pg := range f.dirPages(th, ino) {
 		f.freePage(th, m, classMeta, pg)
 	}

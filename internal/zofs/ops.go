@@ -90,6 +90,7 @@ func (f *FS) Create(th *proc.Thread, path string, mode coffer.Mode) (vfs.Handle,
 	f.window(th, pos.m, true)
 	if err := f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeRegular), uint32(newID), nm.root); err != nil {
 		f.kern.CofferDelete(th, newID)
+		f.sh.dc.bump() // deleted coffer's pages may be re-granted
 		return nil, err
 	}
 	return f.newHandle(nm, nm.root, path, vfs.O_RDWR), nil
@@ -205,6 +206,7 @@ func (f *FS) Mkdir(th *proc.Thread, path string, mode coffer.Mode) error {
 	f.window(th, pos.m, true)
 	if err := f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeDir), uint32(newID), nm.root); err != nil {
 		f.kern.CofferDelete(th, newID)
+		f.sh.dc.bump() // deleted coffer's pages may be re-granted
 		return err
 	}
 	return nil
@@ -238,12 +240,14 @@ func (f *FS) Unlink(th *proc.Thread, path string) error {
 	}
 	if de.cofferID != 0 {
 		// The file is a coffer root: killing the coffer frees everything.
-		f.dirRemove(th, loc)
+		f.dirRemove(th, pos.ino, base, loc)
 		f.unlockDirBucket(th, bk)
 		f.forgetMount(coffer.ID(de.cofferID))
-		return errno(f.kern.CofferDelete(th, coffer.ID(de.cofferID)))
+		err := errno(f.kern.CofferDelete(th, coffer.ID(de.cofferID)))
+		f.sh.dc.bump() // deleted coffer's pages may be re-granted
+		return err
 	}
-	f.dirRemove(th, loc)
+	f.dirRemove(th, pos.ino, base, loc)
 	// The dentry kill committed; content is freed outside the bucket lock
 	// so concurrent mutations in the directory proceed. If any process
 	// still holds the file open, reclamation waits for the last close.
@@ -274,6 +278,9 @@ func (f *FS) InvalidateAll() {
 	f.mu.Lock()
 	f.mounts = map[coffer.ID]*mount{}
 	f.mu.Unlock()
+	// The kernel may have recovered (and rewritten) coffers behind our back:
+	// distrust every cached directory index.
+	f.sh.dc.bump()
 }
 
 // Rmdir removes an empty directory.
@@ -314,16 +321,19 @@ func (f *FS) Rmdir(th *proc.Thread, path string) error {
 			f.unlockDirBucket(th, bk)
 			return vfs.ErrNotEmpty
 		}
-		f.dirRemove(th, loc)
+		f.dirRemove(th, pos.ino, base, loc)
 		f.unlockDirBucket(th, bk)
 		f.forgetMount(target)
-		return errno(f.kern.CofferDelete(th, target))
+		f.sh.dc.drop(nm.root)
+		err = errno(f.kern.CofferDelete(th, target))
+		f.sh.dc.bump() // deleted coffer's pages may be re-granted
+		return err
 	}
 	if !f.dirEmpty(th, de.inode) {
 		f.unlockDirBucket(th, bk)
 		return vfs.ErrNotEmpty
 	}
-	f.dirRemove(th, loc)
+	f.dirRemove(th, pos.ino, base, loc)
 	f.unlockDirBucket(th, bk)
 	f.freeDirContent(th, pos.m, de.inode)
 	return nil

@@ -318,6 +318,9 @@ func (f *FS) RecoverCoffer(th *proc.Thread, id coffer.ID) (RecoverStats, error) 
 	t.inUse[m.custom] = true
 	resetPool(threadReader{th}, m.custom)
 	f.resetSlotCaches(m)
+	// Repair stores rewrite dentries outside the directory-cache hooks, and
+	// the reclaim may recycle directory pages: invalidate every index.
+	f.sh.dc.bump()
 	rootOK := t.visitInode(m.root, rp.Path)
 	t.inUse[m.root] = true // keep the root inode page even if unrecognizable
 	if !rootOK {
@@ -357,11 +360,13 @@ func (f *FS) RecoverCoffer(th *proc.Thread, id coffer.ID) (RecoverStats, error) 
 }
 
 // resetSlotCaches drops all volatile per-thread allocator caches for a
-// mount (their NVM slots were just cleared).
+// mount — both the slot handles (their NVM slots were just cleared) and the
+// batched page caches (their pages are being reclaimed by the kernel).
 func (f *FS) resetSlotCaches(m *mount) {
-	m.slotMu.Lock()
-	m.slots = map[int]*threadSlots{}
-	m.slotMu.Unlock()
+	m.slots.Range(func(k, _ any) bool {
+		m.slots.Delete(k)
+		return true
+	})
 }
 
 func sumExtents(exts []coffer.Extent) int64 {

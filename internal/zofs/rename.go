@@ -72,10 +72,12 @@ func (f *FS) Rename(th *proc.Thread, oldPath, newPath string) error {
 		if vfs.FileType(old.typ) == vfs.TypeDir {
 			return vfs.ErrExist
 		}
-		f.dirRemove(th, oldLoc)
+		f.dirRemove(th, dst.ino, newBase, oldLoc)
 		if old.cofferID != 0 {
 			f.forgetMount(coffer.ID(old.cofferID))
-			if err := errno(f.kern.CofferDelete(th, coffer.ID(old.cofferID))); err != nil {
+			err := errno(f.kern.CofferDelete(th, coffer.ID(old.cofferID)))
+			f.sh.dc.bump() // deleted coffer's pages may be re-granted
+			if err != nil {
 				return err
 			}
 		} else if !f.sh.orphan(old.inode, old.typ) {
@@ -95,7 +97,7 @@ func (f *FS) Rename(th *proc.Thread, oldPath, newPath string) error {
 			return err
 		}
 		f.window(th, src.m, true)
-		f.dirRemove(th, srcLoc)
+		f.dirRemove(th, src.ino, oldBase, srcLoc)
 		return errno(f.kern.RenameCoffer(th, oldPath, newPath))
 
 	case src.m.id == dst.m.id:
@@ -103,7 +105,7 @@ func (f *FS) Rename(th *proc.Thread, oldPath, newPath string) error {
 		if err := f.dirInsert(th, dst.m, dst.ino, newBase, de.typ, 0, de.inode); err != nil {
 			return err
 		}
-		f.dirRemove(th, srcLoc)
+		f.dirRemove(th, src.ino, oldBase, srcLoc)
 		if vfs.FileType(de.typ) == vfs.TypeDir {
 			// Keep descendant coffer paths consistent.
 			return errno(f.kern.RenamePrefix(th, oldPath, newPath))
@@ -132,7 +134,7 @@ func (f *FS) Rename(th *proc.Thread, oldPath, newPath string) error {
 				return err
 			}
 			f.window(th, src.m, true)
-			f.dirRemove(th, srcLoc)
+			f.dirRemove(th, src.ino, oldBase, srcLoc)
 			return nil
 		}
 		// Different permission: the file becomes its own coffer at the new
@@ -151,7 +153,7 @@ func (f *FS) Rename(th *proc.Thread, oldPath, newPath string) error {
 			return err
 		}
 		f.window(th, src.m, true)
-		f.dirRemove(th, srcLoc)
+		f.dirRemove(th, src.ino, oldBase, srcLoc)
 		return nil
 	}
 }

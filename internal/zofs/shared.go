@@ -22,6 +22,10 @@ type shared struct {
 	// (POSIX semantics). A crash drops the table; recovery reclaims the
 	// orphans' pages (§5.3).
 	open sync.Map // inode page (int64) -> *openState
+	// dc is the volatile directory lookup index (see dcache.go). Dropping
+	// the shared state on crash drops it too, so recovery can never observe
+	// pre-crash cached dentries.
+	dc dcache
 }
 
 type openState struct {

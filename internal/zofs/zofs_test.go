@@ -594,7 +594,7 @@ func TestRecoveryReclaimsLeaks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.dirRemove(th, loc)
+	f.dirRemove(th, pos.ino, "leaky", loc)
 	pos.close()
 	dev.Crash()
 	ResetShared(dev)
