@@ -6,7 +6,8 @@
 //	zofs-bench [-quick] [-stats] [-threads 1,2,4,8,12,16,20] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
-// fig11 table9 safety recovery crashmc hotpath — or "all" (the default).
+// fig11 table9 safety recovery crashmc hotpath spans — or "all" (the
+// default).
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -22,6 +24,7 @@ import (
 
 	"zofs/internal/harness"
 	"zofs/internal/pmemtrace"
+	"zofs/internal/spans"
 )
 
 var experiments = []struct {
@@ -44,6 +47,7 @@ var experiments = []struct {
 	{"recovery", "coffer recovery timing", harness.RunRecovery},
 	{"crashmc", "crash-state model checker and fault injection", harness.RunCrashMC},
 	{"hotpath", "zero-copy hot path vs copy-path baseline", harness.RunHotpath},
+	{"spans", "causal-span overhead/attribution/OpenMetrics gate", harness.RunSpans},
 }
 
 func main() {
@@ -53,6 +57,7 @@ func main() {
 	stats := flag.Bool("stats", false, "per-layer telemetry: print counter/latency tables per cell and write metrics sidecar JSON")
 	statsDir := flag.String("statsdir", "results", "directory for metrics-<experiment>-<config>.json sidecars")
 	traceFile := flag.String("trace", "", "record every NVM persistence event to this JSONL file (audit/export with zofs-trace; best with -quick and a single experiment)")
+	spansDir := flag.String("spans", "", "collect causal spans for the whole run and write spans.jsonl, spans.json and spans.prom into this directory (watch live with zofs-top)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = func() {
@@ -92,6 +97,35 @@ func main() {
 				fmt.Fprintf(os.Stderr, "zofs-bench: -memprofile: %v\n", err)
 			}
 			f.Close()
+		}()
+	}
+
+	if *spansDir != "" {
+		if err := os.MkdirAll(*spansDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: -spans: %v\n", err)
+			os.Exit(1)
+		}
+		jf, err := os.Create(filepath.Join(*spansDir, "spans.jsonl"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: -spans: %v\n", err)
+			os.Exit(1)
+		}
+		defer jf.Close()
+		col := spans.Enable(spans.Config{JSONL: jf})
+		stop := spans.PublishEvery(col, *spansDir, 500*time.Millisecond)
+		defer func() {
+			stop()
+			spans.Disable()
+			if err := col.FlushSink(); err != nil {
+				fmt.Fprintf(os.Stderr, "zofs-bench: -spans sink: %v\n", err)
+				os.Exit(1)
+			}
+			if err := spans.Publish(col, *spansDir); err != nil {
+				fmt.Fprintf(os.Stderr, "zofs-bench: -spans: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("==== span attribution (%d spans -> %s) ====\n", col.Finished(), *spansDir)
+			col.Snapshot().WriteText(os.Stdout)
 		}()
 	}
 

@@ -10,11 +10,16 @@
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
 // ln -s <target> <link>, chmod <octal> <path>, chown <uid> <gid> <path>,
 // stat <path>, cd <dir>, pwd, df, coffers, recover <path>, stats [reset],
-// sync, quit.
+// spans [reset], sync, quit.
 //
 // "stats" dumps the per-layer telemetry accumulated since the shell started
 // (or since the last "stats reset"): NVM media traffic, PKRU switches,
 // KernFS call counts, and per-operation simulated-latency quantiles.
+//
+// "spans" dumps the causal-span latency attribution for everything typed so
+// far: per-op component breakdowns (media, flush/fence, lock wait, PKRU,
+// memcpy, kernel), the critical-path summary, dcache hit rates and lock
+// contention. "spans reset" zeroes the collector.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"zofs/internal/kernfs"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
@@ -49,6 +55,9 @@ func main() {
 		fatal("load: %v", err)
 	}
 	dev.SetRecorder(telemetry.New())
+	// Span collection must be on before the shell thread is created so the
+	// thread picks up a span context; every command then gets attributed.
+	spans.Enable(spans.Config{})
 	k, err := kernfs.Mount(dev)
 	if err != nil {
 		fatal("mount: %v", err)
@@ -97,8 +106,9 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 	fail := func(err error) { fmt.Println(cmd+":", err) }
 	switch cmd {
 	case "help":
-		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df coffers recover stats sync quit")
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df coffers recover stats spans sync quit")
 		fmt.Println("stats [reset]: dump (or zero) per-layer telemetry counters and latencies")
+		fmt.Println("spans [reset]: dump (or zero) causal-span latency attribution")
 	case "quit", "exit":
 		return true
 	case "sync":
@@ -239,6 +249,24 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 			return false
 		}
 		if err := rec.Snapshot().WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+	case "spans":
+		col := spans.Active()
+		if col == nil {
+			fmt.Println("spans: collection is off")
+			return false
+		}
+		if len(args) == 2 && args[1] == "reset" {
+			col.Reset()
+			fmt.Println("spans reset")
+			return false
+		}
+		if len(args) > 1 {
+			fail(fmt.Errorf("usage: spans [reset]"))
+			return false
+		}
+		if err := col.Snapshot().WriteText(os.Stdout); err != nil {
 			fail(err)
 		}
 	case "df":

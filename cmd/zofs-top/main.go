@@ -1,0 +1,88 @@
+// Command zofs-top is a terminal monitor for the causal-span layer: it polls
+// the spans.json snapshot that a running `zofs-bench -spans <dir>` publishes
+// and redraws the latency-attribution tables in place, top(1)-style — per-op
+// component percentages, the critical-path summary and the lock-contention
+// table, live while the benchmark runs.
+//
+// Usage:
+//
+//	zofs-top [-dir results] [-interval 1s] [-once]
+//	zofs-top -validate spans.prom
+//
+// -once renders a single frame and exits (scripts, CI). -validate parses an
+// OpenMetrics export, checks that per-op component shares sum to ~100%, and
+// exits non-zero on any violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"zofs/internal/spans"
+)
+
+func main() {
+	dir := flag.String("dir", "results", "directory being published by zofs-bench -spans")
+	interval := flag.Duration("interval", time.Second, "refresh interval")
+	once := flag.Bool("once", false, "render one frame and exit")
+	validate := flag.String("validate", "", "validate an OpenMetrics spans export and exit")
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := spans.ValidateOpenMetrics(f); err != nil {
+			fatal(fmt.Errorf("%s: %v", *validate, err))
+		}
+		fmt.Printf("%s: valid OpenMetrics, component shares consistent\n", *validate)
+		return
+	}
+
+	path := filepath.Join(*dir, "spans.json")
+	if *once {
+		if err := render(path, false); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for {
+		// Clear screen + home, like top; stale-file errors just wait for the
+		// publisher to catch up.
+		if err := render(path, true); err != nil {
+			fmt.Printf("zofs-top: %v (waiting)\n", err)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func render(path string, clear bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap spans.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if clear {
+		fmt.Print("\x1b[2J\x1b[H")
+	}
+	fmt.Printf("zofs-top — %s (published %s ago)\n\n", path, time.Since(st.ModTime()).Round(100*time.Millisecond))
+	return snap.WriteText(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "zofs-top: %v\n", err)
+	os.Exit(1)
+}

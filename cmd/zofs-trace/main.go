@@ -22,7 +22,10 @@
 //
 // export converts a log to Chrome trace-event JSON for chrome://tracing or
 // Perfetto: op spans as slices, device events as instants, plus a
-// dirty-line counter track.
+// dirty-line counter track. With -spans it merges a causal-span JSONL log
+// (from zofs-bench -spans) instead: root op spans as slices with their child
+// layer spans nested inside, interleaved with the device events on the
+// shared virtual-time axis.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"zofs/internal/obsfs"
 	"zofs/internal/pmemtrace"
 	"zofs/internal/proc"
+	"zofs/internal/spans"
 	"zofs/internal/sysfactory"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
@@ -133,14 +137,14 @@ func cmdRecord(args []string) {
 			fatal("record %s: %v", sys.Name, err)
 		}
 		fmt.Printf("== %s -> %s ==\n", sys.Name, path)
-		events, spans, err := loadLog(path)
+		events, tspans, err := loadLog(path)
 		if err != nil {
 			fatal("%v", err)
 		}
-		pmemtrace.Audit(events, spans).WriteText(os.Stdout)
+		pmemtrace.Audit(events, tspans).WriteText(os.Stdout)
 		if *chrome != "" {
 			cpath := suffixed(*chrome, sys.Name, len(systems) > 1)
-			if err := exportChrome(cpath, events, spans); err != nil {
+			if err := exportChrome(cpath, events, tspans); err != nil {
 				fatal("export %s: %v", cpath, err)
 			}
 			fmt.Printf("chrome trace: %s\n", cpath)
@@ -331,19 +335,53 @@ func cmdAudit(args []string) {
 func cmdExport(args []string) {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	out := fs.String("o", "chrome.json", "output Chrome trace-event JSON path")
+	spanLog := fs.String("spans", "", "merge causal-span roots from this spans.jsonl (zofs-bench -spans) instead of telemetry op spans")
 	fs.Parse(args)
-	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: zofs-trace export [-o chrome.json] <trace.jsonl>")
+	if fs.NArg() > 1 || (fs.NArg() == 0 && *spanLog == "") {
+		fmt.Fprintln(os.Stderr, "usage: zofs-trace export [-o chrome.json] [-spans spans.jsonl] [trace.jsonl]")
 		os.Exit(2)
 	}
-	events, spans, err := loadLog(fs.Arg(0))
+	var events []pmemtrace.Event
+	var tspans []telemetry.TraceEvent
+	var err error
+	if fs.NArg() == 1 {
+		events, tspans, err = loadLog(fs.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	if *spanLog != "" {
+		roots, err := loadRoots(*spanLog)
+		if err != nil {
+			fatal("-spans: %v", err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := spans.WriteChromeTrace(f, roots, events); err != nil {
+			f.Close()
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%d events, %d causal spans)\n", *out, len(events), len(roots))
+		return
+	}
+	if err := exportChrome(*out, events, tspans); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s (%d events, %d spans)\n", *out, len(events), len(tspans))
+}
+
+func loadRoots(path string) ([]spans.Root, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		fatal("%v", err)
+		return nil, err
 	}
-	if err := exportChrome(*out, events, spans); err != nil {
-		fatal("%v", err)
-	}
-	fmt.Printf("wrote %s (%d events, %d spans)\n", *out, len(events), len(spans))
+	defer f.Close()
+	return spans.ReadRootsJSONL(f)
 }
 
 // ---- shared --------------------------------------------------------------

@@ -5,6 +5,7 @@ import (
 
 	"zofs/internal/nvm"
 	"zofs/internal/pmemtrace"
+	"zofs/internal/spans"
 )
 
 // Edge selects which side of a persistence point the crash fires on.
@@ -232,6 +233,18 @@ func exploreOne(p *personality, cfg Config, ops []Op, point int64, edge Edge, mo
 		fail("determinism", fmt.Sprintf(
 			"workload finished before point %d of %d: replay diverged from enumeration", point, rep.WorkloadPoints))
 		return
+	}
+
+	// Span hygiene: the crash unwound the interrupted op's stack, and every
+	// span must have been closed on the way up — a leaked root means a layer
+	// skipped its deferred close, a double-close means one ran twice.
+	if col := spans.Active(); col != nil {
+		if open := col.OpenRoots(); open != 0 {
+			fail("span_leak", fmt.Sprintf("%d root spans still open after crash at point %d unwound", open, point))
+		}
+		if dc := col.DoubleCloses(); dc != 0 {
+			fail("span_leak", fmt.Sprintf("%d spans closed twice after crash at point %d", dc, point))
+		}
 	}
 
 	outcome := st.dev.CrashMediated(fateFor(model, cfg.Seed, point))

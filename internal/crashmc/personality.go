@@ -6,6 +6,7 @@ import (
 	"zofs/internal/baselines"
 	"zofs/internal/kernfs"
 	"zofs/internal/nvm"
+	"zofs/internal/obsfs"
 	"zofs/internal/proc"
 	"zofs/internal/vfs"
 	"zofs/internal/zofs"
@@ -75,7 +76,10 @@ func zofsPersonality(name string, opts zofs.Options) *personality {
 			if err := f.EnsureRootDir(th); err != nil {
 				return nil, err
 			}
-			return &stack{dev: dev, k: k, fs: f, th: th}, nil
+			// With span collection active each workload op opens a root span,
+			// letting the model checker assert span hygiene (no leaks, no
+			// double-closes) across injected crashes; otherwise this is f.
+			return &stack{dev: dev, k: k, fs: obsfs.Wrap(f, nil), th: th}, nil
 		}}
 }
 

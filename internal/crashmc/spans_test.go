@@ -1,0 +1,48 @@
+package crashmc
+
+import (
+	"testing"
+
+	"zofs/internal/spans"
+)
+
+// TestSpanHygieneAcrossCrashes runs a full crash campaign with span
+// collection on. Every explored state injects a crash mid-op, unwinds the
+// workload through the span-instrumented wrapper, then remounts and fscks
+// the image on fresh threads — so this sweep is the span layer's lifecycle
+// torture test: every root span must close exactly once on unwinding, and
+// remount/recovery must not resurrect or leak any.
+func TestSpanHygieneAcrossCrashes(t *testing.T) {
+	prev := spans.Active()
+	col := spans.Enable(spans.Config{})
+	defer spans.Install(prev)
+
+	rep, err := Explore(Config{System: "ZoFS", Seed: 3, Ops: 18, Points: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The explorer's own span_leak invariant ran once per crash state; any
+	// leak or double-close shows up as a violation.
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.States < 40 {
+		t.Fatalf("explored only %d states", rep.States)
+	}
+
+	// And the campaign-wide totals agree: everything started was finished.
+	if open := col.OpenRoots(); open != 0 {
+		t.Errorf("%d root spans still open after the campaign", open)
+	}
+	if dc := col.DoubleCloses(); dc != 0 {
+		t.Errorf("%d spans double-closed during the campaign", dc)
+	}
+	if col.Finished() == 0 {
+		t.Fatal("span collection was on but no spans were recorded — the wrapper is not wired in")
+	}
+	// Interrupted ops must be visible as aborted/closed spans, not vanish.
+	snap := col.Snapshot()
+	if snap.Started != snap.Finished {
+		t.Errorf("started %d != finished %d", snap.Started, snap.Finished)
+	}
+}

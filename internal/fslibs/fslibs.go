@@ -22,6 +22,7 @@ import (
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 	"zofs/internal/zofs"
@@ -122,6 +123,9 @@ func (l *Lib) guard(th *proc.Thread, err *error) {
 		if _, isViolation := r.(mpk.Violation); isViolation {
 			rec.Inc(telemetry.CtrMPKViolations)
 		}
+		// The op survives with an error, but its span records the abort so
+		// the attribution tables can separate faulted from clean latency.
+		spans.FromClock(th.Clk).MarkAborted()
 		th.CloseWindow()
 		// The kernel may have changed our mappings behind the library's
 		// back (recovery unmaps coffers, §3.5): drop cached mappings so
@@ -137,18 +141,28 @@ func (l *Lib) guard(th *proc.Thread, err *error) {
 
 // trace starts a per-op latency measurement against the thread's virtual
 // clock, returning the closure that records it. Deferred textually before
-// guard so it observes the clock after any fault recovery has been charged.
+// guard so it observes the clock after any fault recovery has been charged —
+// and, for spans, so the root closes after guard has marked it aborted.
 func (l *Lib) trace(th *proc.Thread, op telemetry.Op) func() {
+	return l.traceAt(th, op, "")
+}
+
+// traceAt is trace for path-taking operations: the path's hash is stamped on
+// the root span so traces can be grouped by file without recording names.
+func (l *Lib) traceAt(th *proc.Thread, op telemetry.Op, path string) func() {
 	rec := l.kern.Device().Recorder()
-	if rec == nil {
+	sp := spans.FromClock(th.Clk)
+	if rec == nil && sp == nil {
 		return func() {}
 	}
 	rec.Inc(telemetry.CtrDispatchOps)
 	start := th.Clk.Now()
+	sp.Begin(op, spans.PathHash(path), start)
 	return func() {
-		d := th.Clk.Now() - start
-		rec.Observe(op, d)
-		rec.TraceOp(th.TID, op, start, d)
+		now := th.Clk.Now()
+		rec.Observe(op, now-start)
+		rec.TraceOp(th.TID, op, start, now-start)
+		sp.End(now)
 	}
 }
 
@@ -200,11 +214,13 @@ func (l *Lib) fsFor(th *proc.Thread, path string) (vfs.FileSystem, error) {
 // expansion (§4.2: "the new path will be returned to the dispatcher, which
 // will re-dispatch the file request").
 func (l *Lib) dispatch(th *proc.Thread, path string, op func(fs vfs.FileSystem, p string) error) error {
+	sp := spans.FromClock(th.Clk)
 	p, inMount := l.resolve(path)
 	for hop := 0; ; hop++ {
 		if hop > maxSymlinkHops {
 			return ErrLoop
 		}
+		t0 := th.Clk.Now()
 		var fs vfs.FileSystem
 		if inMount {
 			var err error
@@ -217,6 +233,10 @@ func (l *Lib) dispatch(th *proc.Thread, path string, op func(fs vfs.FileSystem, 
 			}
 			fs = l.opts.Fallback
 		}
+		// Coffer-type routing (resolve + ResolveLongest) is the dispatcher's
+		// own cost; record it as a child span per hop so symlink re-dispatch
+		// shows up as repeated dispatch segments on the timeline.
+		sp.Child("fslib.dispatch", t0, th.Clk.Now()-t0)
 		err := op(fs, p)
 		var se *vfs.SymlinkError
 		if errors.As(err, &se) {
@@ -251,7 +271,7 @@ func (l *Lib) getFD(fd int) (*fdEntry, error) {
 
 // Open opens path, returning the new FD.
 func (l *Lib) Open(th *proc.Thread, path string, flags int, mode coffer.Mode) (fd int, err error) {
-	defer l.trace(th, telemetry.OpOpen)()
+	defer l.traceAt(th, telemetry.OpOpen, path)()
 	defer l.guard(th, &err)
 	var h vfs.Handle
 	var finalPath string
@@ -489,7 +509,7 @@ func (l *Lib) Ftruncate(th *proc.Thread, fd int, size int64) (err error) {
 
 // Stat stats a path (following symlinks).
 func (l *Lib) Stat(th *proc.Thread, path string) (fi vfs.FileInfo, err error) {
-	defer l.trace(th, telemetry.OpStat)()
+	defer l.traceAt(th, telemetry.OpStat, path)()
 	defer l.guard(th, &err)
 	err = l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		var e error
@@ -501,7 +521,7 @@ func (l *Lib) Stat(th *proc.Thread, path string) (fi vfs.FileInfo, err error) {
 
 // Mkdir creates a directory.
 func (l *Lib) Mkdir(th *proc.Thread, path string, mode coffer.Mode) (err error) {
-	defer l.trace(th, telemetry.OpMkdir)()
+	defer l.traceAt(th, telemetry.OpMkdir, path)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Mkdir(th, p, mode)
@@ -510,7 +530,7 @@ func (l *Lib) Mkdir(th *proc.Thread, path string, mode coffer.Mode) (err error) 
 
 // Unlink removes a file.
 func (l *Lib) Unlink(th *proc.Thread, path string) (err error) {
-	defer l.trace(th, telemetry.OpUnlink)()
+	defer l.traceAt(th, telemetry.OpUnlink, path)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Unlink(th, p)
@@ -519,7 +539,7 @@ func (l *Lib) Unlink(th *proc.Thread, path string) (err error) {
 
 // Rmdir removes an empty directory.
 func (l *Lib) Rmdir(th *proc.Thread, path string) (err error) {
-	defer l.trace(th, telemetry.OpRmdir)()
+	defer l.traceAt(th, telemetry.OpRmdir, path)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Rmdir(th, p)
@@ -528,7 +548,7 @@ func (l *Lib) Rmdir(th *proc.Thread, path string) (err error) {
 
 // Rename moves a file or directory.
 func (l *Lib) Rename(th *proc.Thread, oldPath, newPath string) (err error) {
-	defer l.trace(th, telemetry.OpRename)()
+	defer l.traceAt(th, telemetry.OpRename, oldPath)()
 	defer l.guard(th, &err)
 	np, inMount := l.resolve(newPath)
 	if !inMount {
@@ -541,7 +561,7 @@ func (l *Lib) Rename(th *proc.Thread, oldPath, newPath string) (err error) {
 
 // Chmod changes permission bits.
 func (l *Lib) Chmod(th *proc.Thread, path string, mode coffer.Mode) (err error) {
-	defer l.trace(th, telemetry.OpChmod)()
+	defer l.traceAt(th, telemetry.OpChmod, path)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Chmod(th, p, mode)
@@ -550,7 +570,7 @@ func (l *Lib) Chmod(th *proc.Thread, path string, mode coffer.Mode) (err error) 
 
 // Chown changes ownership.
 func (l *Lib) Chown(th *proc.Thread, path string, uid, gid uint32) (err error) {
-	defer l.trace(th, telemetry.OpChown)()
+	defer l.traceAt(th, telemetry.OpChown, path)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Chown(th, p, uid, gid)
@@ -559,7 +579,7 @@ func (l *Lib) Chown(th *proc.Thread, path string, uid, gid uint32) (err error) {
 
 // Symlink creates a symbolic link.
 func (l *Lib) Symlink(th *proc.Thread, target, link string) (err error) {
-	defer l.trace(th, telemetry.OpSymlink)()
+	defer l.traceAt(th, telemetry.OpSymlink, link)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, link, func(fs vfs.FileSystem, p string) error {
 		return fs.Symlink(th, target, p)
@@ -568,7 +588,7 @@ func (l *Lib) Symlink(th *proc.Thread, target, link string) (err error) {
 
 // Readlink reads a symlink's target.
 func (l *Lib) Readlink(th *proc.Thread, path string) (target string, err error) {
-	defer l.trace(th, telemetry.OpReadlink)()
+	defer l.traceAt(th, telemetry.OpReadlink, path)()
 	defer l.guard(th, &err)
 	err = l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		var e error
@@ -580,7 +600,7 @@ func (l *Lib) Readlink(th *proc.Thread, path string) (target string, err error) 
 
 // ReadDir lists a directory.
 func (l *Lib) ReadDir(th *proc.Thread, path string) (ents []vfs.DirEntry, err error) {
-	defer l.trace(th, telemetry.OpReadDir)()
+	defer l.traceAt(th, telemetry.OpReadDir, path)()
 	defer l.guard(th, &err)
 	err = l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		var e error
@@ -592,7 +612,7 @@ func (l *Lib) ReadDir(th *proc.Thread, path string) (ents []vfs.DirEntry, err er
 
 // Truncate resizes a file by path.
 func (l *Lib) Truncate(th *proc.Thread, path string, size int64) (err error) {
-	defer l.trace(th, telemetry.OpTruncate)()
+	defer l.traceAt(th, telemetry.OpTruncate, path)()
 	defer l.guard(th, &err)
 	return l.dispatch(th, path, func(fs vfs.FileSystem, p string) error {
 		return fs.Truncate(th, p, size)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"zofs/internal/obsfs"
 	"zofs/internal/sysfactory"
 	"zofs/internal/vfs"
 )
@@ -95,7 +96,10 @@ func hotpathRun(sys sysfactory.System, opts Options, n int) (map[string]float64,
 		return nil, err
 	}
 	th := in.Proc.NewThread()
-	if err := in.FS.Mkdir(th, "/hot", 0o755); err != nil {
+	// With span collection active the wrapper opens a root span per op; with
+	// it off (and no telemetry recorder passed) this returns in.FS unchanged.
+	fs := obsfs.Wrap(in.FS, nil)
+	if err := fs.Mkdir(th, "/hot", 0o755); err != nil {
 		return nil, err
 	}
 	names := make([]string, n)
@@ -110,7 +114,7 @@ func hotpathRun(sys sysfactory.System, opts Options, n int) (map[string]float64,
 	// Cell 1: small-file create.
 	start := th.Clk.Now()
 	for _, nm := range names {
-		h, err := in.FS.Create(th, nm, 0o644)
+		h, err := fs.Create(th, nm, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +125,7 @@ func hotpathRun(sys sysfactory.System, opts Options, n int) (map[string]float64,
 	// Populate 4KB of content for the read cell (untimed).
 	buf := make([]byte, 4096)
 	for _, nm := range names {
-		h, err := in.FS.Open(th, nm, vfs.O_RDWR)
+		h, err := fs.Open(th, nm, vfs.O_RDWR)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +139,7 @@ func hotpathRun(sys sysfactory.System, opts Options, n int) (map[string]float64,
 	// hash buckets).
 	start = th.Clk.Now()
 	for i := 0; i < n; i++ {
-		if _, err := in.FS.Stat(th, names[i*7919%n]); err != nil {
+		if _, err := fs.Stat(th, names[i*7919%n]); err != nil {
 			return nil, err
 		}
 	}
@@ -144,7 +148,7 @@ func hotpathRun(sys sysfactory.System, opts Options, n int) (map[string]float64,
 	// Cell 3: open + 4KB read + close.
 	start = th.Clk.Now()
 	for i := 0; i < n; i++ {
-		h, err := in.FS.Open(th, names[i*104729%n], vfs.O_RDONLY)
+		h, err := fs.Open(th, names[i*104729%n], vfs.O_RDONLY)
 		if err != nil {
 			return nil, err
 		}

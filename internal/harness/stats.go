@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"zofs/internal/obsfs"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
@@ -21,6 +22,7 @@ import (
 type statsCell struct {
 	Label   string             `json:"label"`
 	Metrics telemetry.Snapshot `json:"metrics"`
+	Spans   *spans.Snapshot    `json:"spans,omitempty"`
 	Extra   map[string]int64   `json:"extra,omitempty"`
 }
 
@@ -28,12 +30,13 @@ type statsCell struct {
 // is set. The nil *statsRun is a valid no-op, so experiment code calls it
 // unconditionally.
 type statsRun struct {
-	name  string
-	tag   string // run-configuration suffix keeping sweep sidecars distinct
-	dir   string
-	rec   *telemetry.Recorder
-	prev  telemetry.Snapshot
-	cells []statsCell
+	name      string
+	tag       string // run-configuration suffix keeping sweep sidecars distinct
+	dir       string
+	rec       *telemetry.Recorder
+	prev      telemetry.Snapshot
+	spansPrev spans.Snapshot
+	cells     []statsCell
 }
 
 // sidecarTag derives a filename suffix from the run's configuration so
@@ -43,6 +46,11 @@ func sidecarTag(opts Options) string {
 	tag := "full"
 	if opts.Quick {
 		tag = "quick"
+	}
+	if spans.Active() != nil {
+		// Span collection perturbs nothing in virtual time, but the sidecar
+		// should say how its numbers were gathered.
+		tag += "-spans"
 	}
 	if len(opts.Threads) == 0 {
 		return tag
@@ -74,7 +82,9 @@ func newStatsRun(opts Options, name string) *statsRun {
 // the instance's FS.
 func (s *statsRun) wrap(fs vfs.FileSystem) vfs.FileSystem {
 	if s == nil {
-		return fs
+		// No -stats: still observe ops when span collection is active
+		// (obsfs.Wrap is the identity when both sinks are off).
+		return obsfs.Wrap(fs, nil)
 	}
 	return obsfs.Wrap(fs, s.rec)
 }
@@ -92,8 +102,15 @@ func (s *statsRun) endCellExtra(label string, extra map[string]int64) {
 		return
 	}
 	cur := s.rec.Snapshot()
-	s.cells = append(s.cells, statsCell{Label: label, Metrics: cur.Diff(s.prev), Extra: extra})
+	cell := statsCell{Label: label, Metrics: cur.Diff(s.prev), Extra: extra}
 	s.prev = cur
+	if col := spans.Active(); col != nil {
+		sc := col.Snapshot()
+		d := sc.Diff(s.spansPrev)
+		cell.Spans = &d
+		s.spansPrev = sc
+	}
+	s.cells = append(s.cells, cell)
 }
 
 // finish disables telemetry, prints each cell's tables and writes the
@@ -107,6 +124,12 @@ func (s *statsRun) finish(w io.Writer) error {
 		fmt.Fprintf(w, "\n[stats %s]\n", c.Label)
 		if err := c.Metrics.WriteText(w); err != nil {
 			return err
+		}
+		if c.Spans != nil {
+			fmt.Fprintf(w, "\n[spans %s]\n", c.Label)
+			if err := c.Spans.WriteText(w); err != nil {
+				return err
+			}
 		}
 		if len(c.Extra) > 0 {
 			keys := make([]string, 0, len(c.Extra))

@@ -24,6 +24,7 @@ import (
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
 	"zofs/internal/simclock"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 )
 
@@ -211,6 +212,22 @@ func (k *KernFS) Device() *nvm.Device { return k.dev }
 // telemetry is disabled; all recorder methods are nil-safe).
 func (k *KernFS) rec() *telemetry.Recorder { return k.dev.Recorder() }
 
+// kcallNoop is returned by kcall when spans are disabled, so the deferred
+// call costs one indirect jump instead of a fresh closure allocation.
+var kcallNoop = func() {}
+
+// kcall records this kernel entry as a child span of the caller's active
+// operation ("kernfs.<name>"), covering syscall entry through return — the
+// lens for seeing coffer_enlarge serialization inside op latency.
+func kcall(th *proc.Thread, name string) func() {
+	sp := spans.FromClock(th.Clk)
+	if sp == nil {
+		return kcallNoop
+	}
+	start := th.Clk.Now()
+	return func() { sp.Child("kernfs."+name, start, th.Clk.Now()-start) }
+}
+
 // RootCoffer returns the coffer holding "/".
 func (k *KernFS) RootCoffer() coffer.ID { return k.rootCoffer }
 
@@ -225,6 +242,7 @@ func (k *KernFS) FreePages() int64 {
 
 // FSMount registers a process's FSLibs instance (Table 5: fs_mount).
 func (k *KernFS) FSMount(th *proc.Thread) error {
+	defer kcall(th, "fs_mount")()
 	th.Syscall()
 	k.procsMu.Lock()
 	defer k.procsMu.Unlock()
@@ -242,6 +260,7 @@ func (k *KernFS) FSMount(th *proc.Thread) error {
 // FSUmount deregisters the process, unmapping every coffer (Table 5:
 // fs_umount; also invoked on process termination).
 func (k *KernFS) FSUmount(th *proc.Thread) error {
+	defer kcall(th, "fs_umount")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
@@ -267,6 +286,7 @@ func (k *KernFS) stateOf(pid int) *procState {
 // SetIdentity changes a process's uid/gid; per §3.3 all coffer mappings are
 // removed when identifiers change (setuid semantics).
 func (k *KernFS) SetIdentity(th *proc.Thread, uid, gid uint32) error {
+	defer kcall(th, "set_identity")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
@@ -355,6 +375,7 @@ func (k *KernFS) ExtentsOf(id coffer.ID) []coffer.Extent {
 // pages are allocated (minimum 3 for a ZoFS coffer: root page, root-file
 // inode page, custom page). Returns the new coffer's ID.
 func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ coffer.Type, mode coffer.Mode, uid, gid uint32, npages int64) (coffer.ID, error) {
+	defer kcall(th, "coffer_new")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferNew)
 	if npages < 3 {
@@ -410,6 +431,7 @@ func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ c
 // (Table 5: coffer_delete). Only the owner (or root) may delete, and no
 // other process may have it mapped.
 func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
+	defer kcall(th, "coffer_delete")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferDelete)
 	k.kmu.Lock(th.Clk)
@@ -452,6 +474,7 @@ func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
 // spot that flattens ZoFS scaling in Figures 7(d) and 7(g) when allocation
 // is extremely frequent.
 func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero bool) ([]coffer.Extent, error) {
+	defer kcall(th, "coffer_enlarge")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferEnlarge)
 	k.rec().Add(telemetry.CtrKernEnlargePages, npages)
@@ -491,6 +514,7 @@ func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero
 // write-mapped by the caller and carry identical permissions; each page is
 // retagged individually — as expensive per page as coffer_split (Table 9).
 func (k *KernFS) MovePages(th *proc.Thread, src, dst coffer.ID, pages []int64) error {
+	defer kcall(th, "move_pages")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernMovePages)
 	k.kmu.Lock(th.Clk)
@@ -527,6 +551,7 @@ func (k *KernFS) MovePages(th *proc.Thread, src, dst coffer.ID, pages []int64) e
 // CofferShrink returns free pages from a coffer to the global pool
 // (Table 5: coffer_shrink).
 func (k *KernFS) CofferShrink(th *proc.Thread, id coffer.ID, exts []coffer.Extent) error {
+	defer kcall(th, "coffer_shrink")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferShrink)
 	k.kmu.Lock(th.Clk)
@@ -569,6 +594,7 @@ type MapInfo struct {
 // mapped read-only. Returns ErrNoMPKRegions when the process has exhausted
 // the 15 available protection keys (§3.4.2).
 func (k *KernFS) CofferMap(th *proc.Thread, id coffer.ID, write bool) (MapInfo, error) {
+	defer kcall(th, "coffer_map")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferMap)
 	k.kmu.Lock(th.Clk)
@@ -633,6 +659,7 @@ func (ps *procState) allocKey() (mpk.Key, bool) {
 // CofferUnmap removes a coffer from the calling process (Table 5:
 // coffer_unmap), releasing its MPK region.
 func (k *KernFS) CofferUnmap(th *proc.Thread, id coffer.ID) error {
+	defer kcall(th, "coffer_unmap")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferUnmap)
 	k.kmu.Lock(th.Clk)
@@ -682,6 +709,7 @@ func (k *KernFS) MappedCoffers(pid int) []coffer.ID {
 // chmod path, used when the whole coffer changes permission). Owner or root
 // only.
 func (k *KernFS) SetCofferMeta(th *proc.Thread, id coffer.ID, mode coffer.Mode, uid, gid uint32) error {
+	defer kcall(th, "set_coffer_meta")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
@@ -701,6 +729,7 @@ func (k *KernFS) SetCofferMeta(th *proc.Thread, id coffer.ID, mode coffer.Mode, 
 // formatting tools that re-dedicate a coffer to a different µFS — the
 // interior must be re-initialized by the new µFS).
 func (k *KernFS) SetCofferType(th *proc.Thread, id coffer.ID, typ coffer.Type, mode coffer.Mode) error {
+	defer kcall(th, "set_coffer_type")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
@@ -720,6 +749,7 @@ func (k *KernFS) SetCofferType(th *proc.Thread, id coffer.ID, typ coffer.Type, m
 // UpdateRootPointers rewrites the root-file inode / custom page pointers in
 // the (user-read-only) root page on behalf of the owning µFS.
 func (k *KernFS) UpdateRootPointers(th *proc.Thread, id coffer.ID, rootInode, custom int64) error {
+	defer kcall(th, "update_root_pointers")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
@@ -740,6 +770,7 @@ func (k *KernFS) UpdateRootPointers(th *proc.Thread, id coffer.ID, rootInode, cu
 // descendant coffer — the expensive prefix rewrite behind cross-coffer
 // renames (Table 9).
 func (k *KernFS) RenameCoffer(th *proc.Thread, oldPath, newPath string) error {
+	defer kcall(th, "rename_coffer")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
@@ -751,6 +782,7 @@ func (k *KernFS) RenameCoffer(th *proc.Thread, oldPath, newPath string) error {
 // plain in-coffer directory is renamed, so that descendant coffers keep
 // consistent paths. A no-op when no coffer matches.
 func (k *KernFS) RenamePrefix(th *proc.Thread, oldPath, newPath string) error {
+	defer kcall(th, "rename_prefix")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
@@ -805,6 +837,7 @@ func (k *KernFS) renameTreeLocked(th *proc.Thread, oldPath, newPath string, exac
 // takes a long time" (Table 9). rootInode/custom are the new coffer's entry
 // points (chosen by the µFS from among the moved pages).
 func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mode coffer.Mode, uid, gid uint32, pages []int64, rootInode, custom int64) (coffer.ID, error) {
+	defer kcall(th, "coffer_split")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferSplit)
 	k.kmu.Lock(th.Clk)
@@ -859,6 +892,7 @@ func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mod
 // Both must carry identical permissions; src's pages are retagged one by
 // one and its root page freed.
 func (k *KernFS) CofferMerge(th *proc.Thread, dst, src coffer.ID) error {
+	defer kcall(th, "coffer_merge")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferMerge)
 	k.kmu.Lock(th.Clk)
@@ -913,6 +947,7 @@ func (k *KernFS) CofferMerge(th *proc.Thread, dst, src coffer.ID) error {
 // every process except the initiator (Table 5: coffer_recover; §3.5).
 // Returns the coffer's extents for the initiator's scan.
 func (k *KernFS) BeginRecover(th *proc.Thread, id coffer.ID, leaseNS uint64) ([]coffer.Extent, error) {
+	defer kcall(th, "begin_recover")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernRecoveries)
 	k.kmu.Lock(th.Clk)
@@ -940,6 +975,7 @@ func (k *KernFS) BeginRecover(th *proc.Thread, id coffer.ID, leaseNS uint64) ([]
 // addresses of in-use pages to KernFS, who will compare them to pages
 // allocated to the coffer and reclaim pages that are not used").
 func (k *KernFS) EndRecover(th *proc.Thread, id coffer.ID, inUse []int64) error {
+	defer kcall(th, "end_recover")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)
@@ -988,6 +1024,7 @@ func (k *KernFS) EndRecover(th *proc.Thread, id coffer.ID, inUse []int64) error 
 // memory (key 0), the Table 5 file_mmap operation: the µFS supplies the
 // data locations, the kernel edits the page table.
 func (k *KernFS) FileMmap(th *proc.Thread, id coffer.ID, pages []int64, writable bool) error {
+	defer kcall(th, "file_mmap")()
 	th.Syscall()
 	k.kmu.Lock(th.Clk)
 	defer k.kmu.Unlock(th.Clk)

@@ -114,31 +114,51 @@ func (a *AddressSpace) Unmap(page, count int64) {
 	}
 }
 
+// ViolationObserver sees a Violation the instant it is raised, before the
+// panic starts unwinding the faulting op's stack. The causal span layer
+// (internal/spans) implements it to mark the active span aborted with the
+// fault attached; a nil observer is simply skipped.
+type ViolationObserver interface{ ObserveViolation(Violation) }
+
 // Check validates one access spanning [page, page+count) under the given
 // register, panicking with a Violation on the first failing page.
 func (a *AddressSpace) Check(pkru PKRU, page, count int64, write bool) {
+	a.CheckObserved(pkru, page, count, write, nil)
+}
+
+// CheckObserved is Check with an optional ViolationObserver that is notified
+// synchronously before the Violation panic is thrown.
+func (a *AddressSpace) CheckObserved(pkru PKRU, page, count int64, write bool, obs ViolationObserver) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	for i := page; i < page+count; i++ {
 		if i < 0 || i >= int64(len(a.pages)) {
-			panic(Violation{Page: i, Write: write, PKRU: pkru, Cause: "page not in address space"})
+			raise(obs, Violation{Page: i, Write: write, PKRU: pkru, Cause: "page not in address space"})
 		}
 		e := a.pages[i]
 		if e&ptePresent == 0 {
-			panic(Violation{Page: i, Write: write, PKRU: pkru, Cause: "page not mapped"})
+			raise(obs, Violation{Page: i, Write: write, PKRU: pkru, Cause: "page not mapped"})
 		}
 		k := Key(e & pteKeyMask)
 		if write {
 			if e&pteWritable == 0 {
-				panic(Violation{Page: i, Key: k, Write: true, PKRU: pkru, Cause: "page mapped read-only"})
+				raise(obs, Violation{Page: i, Key: k, Write: true, PKRU: pkru, Cause: "page mapped read-only"})
 			}
 			if !pkru.CanWrite(k) {
-				panic(Violation{Page: i, Key: k, Write: true, PKRU: pkru, Cause: "PKRU write-disable"})
+				raise(obs, Violation{Page: i, Key: k, Write: true, PKRU: pkru, Cause: "PKRU write-disable"})
 			}
 		} else if !pkru.CanRead(k) {
-			panic(Violation{Page: i, Key: k, PKRU: pkru, Cause: "PKRU access-disable"})
+			raise(obs, Violation{Page: i, Key: k, PKRU: pkru, Cause: "PKRU access-disable"})
 		}
 	}
+}
+
+// raise delivers the violation to the observer (if any) and panics.
+func raise(obs ViolationObserver, v Violation) {
+	if obs != nil {
+		obs.ObserveViolation(v)
+	}
+	panic(v)
 }
 
 // Mapped reports whether a page is present.

@@ -26,6 +26,7 @@ import (
 	"zofs/internal/perfmodel"
 	"zofs/internal/pmemtrace"
 	"zofs/internal/simclock"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 )
 
@@ -265,8 +266,10 @@ func (d *Device) Read(clk *simclock.Clock, off int64, buf []byte) {
 	n := int64(len(buf))
 	d.check(off, n)
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.NVMReadLatency)
 		d.readBW.TransferUnqueued(clk, int(n))
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, n, 0, 0, 0)
 	}
 	d.rec.Inc(telemetry.CtrNVMReads)
 	d.rec.Add(telemetry.CtrNVMBytesRead, n)
@@ -305,8 +308,10 @@ func (d *Device) ReadView(clk *simclock.Clock, off, n int64) ([]byte, bool) {
 		return nil, false
 	}
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.NVMReadLatency)
 		d.readBW.TransferUnqueued(clk, int(n))
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, n, 0, 0, 0)
 	}
 	d.rec.Inc(telemetry.CtrNVMReads)
 	d.rec.Add(telemetry.CtrNVMBytesRead, n)
@@ -348,12 +353,14 @@ func (d *Device) WriteView(clk *simclock.Clock, off, n int64) (buf []byte, commi
 	}
 	pp := d.persistPoint(clk)
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.NTStoreExtra)
 		if n < smallWrite {
 			d.writeBW.TransferUnqueued(clk, int(n))
 		} else {
 			d.writeBW.Transfer(clk, int(n))
 		}
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, 0, n, 0, 1)
 	}
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences)
@@ -441,8 +448,10 @@ func (d *Device) Write(clk *simclock.Clock, off int64, data []byte) {
 	n := int64(len(data))
 	d.check(off, n)
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.CachedWriteRFO)
 		d.readBW.TransferUnqueued(clk, int(n))
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, 0, 0, 0, 0)
 	}
 	d.rec.Inc(telemetry.CtrNVMCachedWrites)
 	d.tr.Record(d.uid, clk, pmemtrace.KindStore, off, n)
@@ -465,12 +474,14 @@ func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
 	d.check(off, n)
 	pp := d.persistPoint(clk)
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.NTStoreExtra)
 		if n < smallWrite {
 			d.writeBW.TransferUnqueued(clk, int(n))
 		} else {
 			d.writeBW.Transfer(clk, int(n))
 		}
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, 0, n, 0, 1)
 	}
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences) // WriteNT folds the trailing fence in
@@ -489,12 +500,14 @@ func (d *Device) Flush(clk *simclock.Clock, off, n int64) {
 	d.check(off, n)
 	pp := d.persistPoint(clk)
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(lines(off, n)*perfmodel.CLWBCost + perfmodel.FenceCost + perfmodel.NVMWriteLatency)
 		if n < smallWrite {
 			d.writeBW.TransferUnqueued(clk, int(n))
 		} else {
 			d.writeBW.Transfer(clk, int(n))
 		}
+		spans.BillNVM(clk, spans.CompFlush, clk.Now()-t0, 0, n, 1, 1)
 	}
 	d.rec.Inc(telemetry.CtrNVMFlushes)
 	d.rec.Inc(telemetry.CtrNVMFences)
@@ -511,7 +524,9 @@ func (d *Device) Flush(clk *simclock.Clock, off, n int64) {
 // and Flush already fold persistence in).
 func (d *Device) Fence(clk *simclock.Clock) {
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.FenceCost)
+		spans.BillNVM(clk, spans.CompFlush, clk.Now()-t0, 0, 0, 0, 1)
 	}
 	d.rec.Inc(telemetry.CtrNVMFences)
 	d.tr.Record(d.uid, clk, pmemtrace.KindFence, 0, 0)
@@ -525,8 +540,10 @@ func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
 	d.check(off, n)
 	pp := d.persistPoint(clk)
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.NVMWriteLatency)
 		d.writeBW.TransferUnqueued(clk, int(n))
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, 0, n, 0, 0)
 	}
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Add(telemetry.CtrNVMZeroBytes, n)
@@ -558,7 +575,9 @@ func (d *Device) Load64(clk *simclock.Clock, off int64) uint64 {
 		panic(Fault{Off: off, Len: 8, Cause: "unaligned atomic load"})
 	}
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.NVMReadLatency)
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, 8, 0, 0, 0)
 	}
 	c := d.chunkFor(off, false)
 	if c == nil {
@@ -580,8 +599,10 @@ func (d *Device) Store64(clk *simclock.Clock, off int64, v uint64) {
 	}
 	pp := d.persistPoint(clk)
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.FenceCost)
 		d.writeBW.TransferUnqueued(clk, 8)
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, 0, 8, 0, 1)
 	}
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences)
@@ -606,7 +627,9 @@ func (d *Device) CAS64(clk *simclock.Clock, off int64, old, new uint64) bool {
 		panic(Fault{Off: off, Len: 8, Cause: "unaligned CAS"})
 	}
 	if clk != nil {
+		t0 := clk.Now()
 		clk.Advance(perfmodel.NVMWriteLatency + perfmodel.FenceCost)
+		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, 0, 8, 0, 1)
 	}
 	c := d.chunkFor(off, true)
 	mu := &d.casMu[(off/8)%lockStripes]

@@ -1,8 +1,10 @@
-// Package obsfs wraps a vfs.FileSystem with telemetry: every operation is
-// counted, its simulated latency histogrammed and appended to the calling
-// thread's op-trace ring. The benchmark harness uses it to observe workloads
-// that drive a file system directly through the vfs interface (FxMark,
-// Filebench), bypassing the FSLibs dispatcher and its instrumentation.
+// Package obsfs wraps a vfs.FileSystem with observability: every operation
+// is counted, its simulated latency histogrammed, appended to the calling
+// thread's op-trace ring, and bracketed by a causal root span so lower-layer
+// costs are attributed to it. The benchmark harness uses it to observe
+// workloads that drive a file system directly through the vfs interface
+// (FxMark, Filebench), bypassing the FSLibs dispatcher and its
+// instrumentation.
 //
 // The wrapper is transparent for correctness but not for type identity:
 // harness code that type-asserts on the concrete file system must wrap only
@@ -12,6 +14,7 @@ package obsfs
 import (
 	"zofs/internal/coffer"
 	"zofs/internal/proc"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
@@ -22,10 +25,12 @@ type FS struct {
 	rec   *telemetry.Recorder
 }
 
-// Wrap returns fs instrumented against rec. A nil recorder returns fs
-// unchanged — no wrapping cost when telemetry is off.
+// Wrap returns fs instrumented against rec (which may be nil — the nil
+// recorder is a valid no-op sink) and the process-wide span collector. With
+// neither telemetry nor spans enabled it returns fs unchanged — no wrapping
+// cost when observability is off.
 func Wrap(fs vfs.FileSystem, rec *telemetry.Recorder) vfs.FileSystem {
-	if rec == nil {
+	if rec == nil && spans.Active() == nil {
 		return fs
 	}
 	return &FS{inner: fs, rec: rec}
@@ -34,20 +39,29 @@ func Wrap(fs vfs.FileSystem, rec *telemetry.Recorder) vfs.FileSystem {
 // Unwrap returns the wrapped file system (tooling, type assertions).
 func (f *FS) Unwrap() vfs.FileSystem { return f.inner }
 
-// observe records one completed operation against the thread's virtual clock.
-func (f *FS) observe(th *proc.Thread, op telemetry.Op, start int64) {
-	d := th.Clk.Now() - start
-	f.rec.Inc(telemetry.CtrDispatchOps)
-	f.rec.Observe(op, d)
-	f.rec.TraceOp(th.TID, op, start, d)
+// begin opens the op's root span and returns the closure recording its
+// completion. The closure is meant to run deferred so the span closes (and
+// the latency is recorded) even when the inner op panics — injected crashes
+// unwind through here, which is what keeps spans leak-free across crash
+// tests.
+func (f *FS) begin(th *proc.Thread, op telemetry.Op, path string) func() {
+	start := th.Clk.Now()
+	sp := spans.FromClock(th.Clk)
+	sp.Begin(op, spans.PathHash(path), start)
+	return func() {
+		now := th.Clk.Now()
+		f.rec.Inc(telemetry.CtrDispatchOps)
+		f.rec.Observe(op, now-start)
+		f.rec.TraceOp(th.TID, op, start, now-start)
+		sp.End(now)
+	}
 }
 
 func (f *FS) Name() string { return f.inner.Name() }
 
 func (f *FS) Create(th *proc.Thread, path string, mode coffer.Mode) (vfs.Handle, error) {
-	start := th.Clk.Now()
+	defer f.begin(th, telemetry.OpCreate, path)()
 	h, err := f.inner.Create(th, path, mode)
-	f.observe(th, telemetry.OpCreate, start)
 	if err != nil {
 		return h, err
 	}
@@ -55,9 +69,8 @@ func (f *FS) Create(th *proc.Thread, path string, mode coffer.Mode) (vfs.Handle,
 }
 
 func (f *FS) Open(th *proc.Thread, path string, flags int) (vfs.Handle, error) {
-	start := th.Clk.Now()
+	defer f.begin(th, telemetry.OpOpen, path)()
 	h, err := f.inner.Open(th, path, flags)
-	f.observe(th, telemetry.OpOpen, start)
 	if err != nil {
 		return h, err
 	}
@@ -65,80 +78,58 @@ func (f *FS) Open(th *proc.Thread, path string, flags int) (vfs.Handle, error) {
 }
 
 func (f *FS) Mkdir(th *proc.Thread, path string, mode coffer.Mode) error {
-	start := th.Clk.Now()
-	err := f.inner.Mkdir(th, path, mode)
-	f.observe(th, telemetry.OpMkdir, start)
-	return err
+	defer f.begin(th, telemetry.OpMkdir, path)()
+	return f.inner.Mkdir(th, path, mode)
 }
 
 func (f *FS) Unlink(th *proc.Thread, path string) error {
-	start := th.Clk.Now()
-	err := f.inner.Unlink(th, path)
-	f.observe(th, telemetry.OpUnlink, start)
-	return err
+	defer f.begin(th, telemetry.OpUnlink, path)()
+	return f.inner.Unlink(th, path)
 }
 
 func (f *FS) Rmdir(th *proc.Thread, path string) error {
-	start := th.Clk.Now()
-	err := f.inner.Rmdir(th, path)
-	f.observe(th, telemetry.OpRmdir, start)
-	return err
+	defer f.begin(th, telemetry.OpRmdir, path)()
+	return f.inner.Rmdir(th, path)
 }
 
 func (f *FS) Rename(th *proc.Thread, oldPath, newPath string) error {
-	start := th.Clk.Now()
-	err := f.inner.Rename(th, oldPath, newPath)
-	f.observe(th, telemetry.OpRename, start)
-	return err
+	defer f.begin(th, telemetry.OpRename, oldPath)()
+	return f.inner.Rename(th, oldPath, newPath)
 }
 
 func (f *FS) Stat(th *proc.Thread, path string) (vfs.FileInfo, error) {
-	start := th.Clk.Now()
-	fi, err := f.inner.Stat(th, path)
-	f.observe(th, telemetry.OpStat, start)
-	return fi, err
+	defer f.begin(th, telemetry.OpStat, path)()
+	return f.inner.Stat(th, path)
 }
 
 func (f *FS) Chmod(th *proc.Thread, path string, mode coffer.Mode) error {
-	start := th.Clk.Now()
-	err := f.inner.Chmod(th, path, mode)
-	f.observe(th, telemetry.OpChmod, start)
-	return err
+	defer f.begin(th, telemetry.OpChmod, path)()
+	return f.inner.Chmod(th, path, mode)
 }
 
 func (f *FS) Chown(th *proc.Thread, path string, uid, gid uint32) error {
-	start := th.Clk.Now()
-	err := f.inner.Chown(th, path, uid, gid)
-	f.observe(th, telemetry.OpChown, start)
-	return err
+	defer f.begin(th, telemetry.OpChown, path)()
+	return f.inner.Chown(th, path, uid, gid)
 }
 
 func (f *FS) Symlink(th *proc.Thread, target, link string) error {
-	start := th.Clk.Now()
-	err := f.inner.Symlink(th, target, link)
-	f.observe(th, telemetry.OpSymlink, start)
-	return err
+	defer f.begin(th, telemetry.OpSymlink, link)()
+	return f.inner.Symlink(th, target, link)
 }
 
 func (f *FS) Readlink(th *proc.Thread, path string) (string, error) {
-	start := th.Clk.Now()
-	t, err := f.inner.Readlink(th, path)
-	f.observe(th, telemetry.OpReadlink, start)
-	return t, err
+	defer f.begin(th, telemetry.OpReadlink, path)()
+	return f.inner.Readlink(th, path)
 }
 
 func (f *FS) ReadDir(th *proc.Thread, path string) ([]vfs.DirEntry, error) {
-	start := th.Clk.Now()
-	ents, err := f.inner.ReadDir(th, path)
-	f.observe(th, telemetry.OpReadDir, start)
-	return ents, err
+	defer f.begin(th, telemetry.OpReadDir, path)()
+	return f.inner.ReadDir(th, path)
 }
 
 func (f *FS) Truncate(th *proc.Thread, path string, size int64) error {
-	start := th.Clk.Now()
-	err := f.inner.Truncate(th, path, size)
-	f.observe(th, telemetry.OpTruncate, start)
-	return err
+	defer f.begin(th, telemetry.OpTruncate, path)()
+	return f.inner.Truncate(th, path, size)
 }
 
 // handle observes an open file's operations.
@@ -148,43 +139,31 @@ type handle struct {
 }
 
 func (h *handle) ReadAt(th *proc.Thread, p []byte, off int64) (int, error) {
-	start := th.Clk.Now()
-	n, err := h.inner.ReadAt(th, p, off)
-	h.fs.observe(th, telemetry.OpRead, start)
-	return n, err
+	defer h.fs.begin(th, telemetry.OpRead, "")()
+	return h.inner.ReadAt(th, p, off)
 }
 
 func (h *handle) WriteAt(th *proc.Thread, p []byte, off int64) (int, error) {
-	start := th.Clk.Now()
-	n, err := h.inner.WriteAt(th, p, off)
-	h.fs.observe(th, telemetry.OpWrite, start)
-	return n, err
+	defer h.fs.begin(th, telemetry.OpWrite, "")()
+	return h.inner.WriteAt(th, p, off)
 }
 
 func (h *handle) Append(th *proc.Thread, p []byte) (int64, error) {
-	start := th.Clk.Now()
-	off, err := h.inner.Append(th, p)
-	h.fs.observe(th, telemetry.OpAppend, start)
-	return off, err
+	defer h.fs.begin(th, telemetry.OpAppend, "")()
+	return h.inner.Append(th, p)
 }
 
 func (h *handle) Stat(th *proc.Thread) (vfs.FileInfo, error) {
-	start := th.Clk.Now()
-	fi, err := h.inner.Stat(th)
-	h.fs.observe(th, telemetry.OpStat, start)
-	return fi, err
+	defer h.fs.begin(th, telemetry.OpStat, "")()
+	return h.inner.Stat(th)
 }
 
 func (h *handle) Sync(th *proc.Thread) error {
-	start := th.Clk.Now()
-	err := h.inner.Sync(th)
-	h.fs.observe(th, telemetry.OpFsync, start)
-	return err
+	defer h.fs.begin(th, telemetry.OpFsync, "")()
+	return h.inner.Sync(th)
 }
 
 func (h *handle) Close(th *proc.Thread) error {
-	start := th.Clk.Now()
-	err := h.inner.Close(th)
-	h.fs.observe(th, telemetry.OpClose, start)
-	return err
+	defer h.fs.begin(th, telemetry.OpClose, "")()
+	return h.inner.Close(th)
 }

@@ -17,6 +17,7 @@ import (
 	"zofs/internal/perfmodel"
 	"zofs/internal/pmemtrace"
 	"zofs/internal/simclock"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 )
 
@@ -81,6 +82,11 @@ func (p *Process) NewThread() *Thread {
 	// Tag the clock so the flight recorder can attribute device events to
 	// this thread; the key half of the tag is refreshed per checked access.
 	t.Clk.SetTag(pmemtrace.PackTag(t.TID, -1))
+	// Attach the causal-span context the same way: lower layers bill costs
+	// to the active span through the clock without knowing about spans.
+	if col := spans.Active(); col != nil {
+		t.Clk.SetBill(spans.NewThreadCtx(col, t.TID))
+	}
 	return t
 }
 
@@ -99,7 +105,9 @@ func (t *Thread) PKRU() mpk.PKRU { return t.pkru }
 // WrPKRU writes the register, charging the WRPKRU instruction cost
 // (~16 cycles, §3.4.1).
 func (t *Thread) WrPKRU(v mpk.PKRU) {
-	t.Clk.Advance(perfmodel.WRPKRUCost())
+	cost := perfmodel.WRPKRUCost()
+	t.Clk.Advance(cost)
+	spans.FromClock(t.Clk).Bill(spans.CompPKRU, cost)
 	rec := t.Proc.dev.Recorder()
 	rec.Inc(telemetry.CtrMPKSwitches)
 	rec.Inc(telemetry.CtrMPKWRPKRUCharged)
@@ -112,6 +120,7 @@ func (t *Thread) WrPKRU(v mpk.PKRU) {
 func (t *Thread) OpenWindow(key mpk.Key, write bool) mpk.PKRU {
 	prev := t.pkru
 	t.WrPKRU(mpk.DefaultPKRU().WithAccess(key, true, write))
+	spans.FromClock(t.Clk).SetKey(uint8(key))
 	return prev
 }
 
@@ -143,7 +152,7 @@ func (t *Thread) check(off, n int64, write bool) {
 		t.checkTraced(tr, page, count, write)
 		return
 	}
-	t.Proc.Mem.Check(t.pkru, page, count, write)
+	t.Proc.Mem.CheckObserved(t.pkru, page, count, write, spans.ObserverFor(t.Clk))
 }
 
 // checkTraced is the flight-recorded MMU check: it refreshes the clock's
@@ -164,7 +173,7 @@ func (t *Thread) checkTraced(tr *pmemtrace.Recorder, page, count int64, write bo
 			panic(r)
 		}
 	}()
-	t.Proc.Mem.Check(t.pkru, page, count, write)
+	t.Proc.Mem.CheckObserved(t.pkru, page, count, write, spans.ObserverFor(t.Clk))
 }
 
 // CheckAccess exposes the MMU check for callers that batch the cost of a
@@ -280,5 +289,6 @@ func (t *Thread) CPU(ns int64) { t.Clk.Advance(ns) }
 // baseline file systems on every operation).
 func (t *Thread) Syscall() {
 	t.Clk.Advance(perfmodel.Syscall)
+	spans.FromClock(t.Clk).Bill(spans.CompKernel, perfmodel.Syscall)
 	t.Proc.dev.Recorder().Inc(telemetry.CtrKernSyscalls)
 }

@@ -22,8 +22,9 @@ import (
 // Clock is the virtual clock of one simulated thread. It is not safe for
 // concurrent use; each simulated thread owns exactly one Clock.
 type Clock struct {
-	now int64 // virtual nanoseconds since simulation start
-	tag uint64
+	now  int64 // virtual nanoseconds since simulation start
+	tag  uint64
+	bill any
 }
 
 // NewClock returns a clock starting at virtual time zero.
@@ -58,6 +59,29 @@ func (c *Clock) SetTag(t uint64) { c.tag = t }
 
 // Tag returns the clock's origin tag (zero when untagged).
 func (c *Clock) Tag() uint64 { return c.tag }
+
+// SetBill attaches an opaque cost sink to the clock. Like the tag, it lets
+// per-thread observers (the causal span layer) ride along without simclock
+// knowing about them: layers that advance the clock can hand the elapsed
+// virtual time to the sink for attribution. Nil detaches.
+func (c *Clock) SetBill(b any) { c.bill = b }
+
+// Bill returns the clock's attached cost sink (nil when none).
+func (c *Clock) Bill() any { return c.bill }
+
+// lockWaitBiller is implemented by cost sinks that want virtual lock-wait
+// time attributed to them (see Mutex/RWMutex).
+type lockWaitBiller interface{ BillLockWait(ns int64) }
+
+// billLockWait hands ns of lock-wait time to the attached sink, if any.
+func (c *Clock) billLockWait(ns int64) {
+	if ns <= 0 || c.bill == nil {
+		return
+	}
+	if b, ok := c.bill.(lockWaitBiller); ok {
+		b.BillLockWait(ns)
+	}
+}
 
 // Duration is a convenience converter from time.Duration to virtual ns.
 func Duration(d time.Duration) int64 { return int64(d) }

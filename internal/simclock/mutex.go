@@ -19,7 +19,9 @@ type Mutex struct {
 func (m *Mutex) Lock(c *Clock) {
 	m.mu.Lock()
 	if c != nil && m.busyUntil > c.Now() {
+		wait := m.busyUntil - c.Now()
 		c.AdvanceTo(m.busyUntil)
+		c.billLockWait(wait)
 	}
 }
 
@@ -48,13 +50,16 @@ func (m *RWMutex) Lock(c *Clock) {
 	m.mu.Lock()
 	if c != nil {
 		m.vmu.Lock()
+		before := c.Now()
 		if m.writeBusy > c.Now() {
 			c.AdvanceTo(m.writeBusy)
 		}
 		if m.lastReaderEnd > c.Now() {
 			c.AdvanceTo(m.lastReaderEnd)
 		}
+		wait := c.Now() - before
 		m.vmu.Unlock()
+		c.billLockWait(wait)
 	}
 }
 
@@ -75,10 +80,13 @@ func (m *RWMutex) RLock(c *Clock) {
 	m.mu.RLock()
 	if c != nil {
 		m.vmu.Lock()
+		before := c.Now()
 		if m.writeBusy > c.Now() {
 			c.AdvanceTo(m.writeBusy)
 		}
+		wait := c.Now() - before
 		m.vmu.Unlock()
+		c.billLockWait(wait)
 	}
 }
 

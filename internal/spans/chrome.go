@@ -1,0 +1,178 @@
+package spans
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"zofs/internal/pmemtrace"
+)
+
+// Merged Chrome trace-event export: root spans render as complete ("X")
+// events carrying their component breakdown, child spans nest inside them on
+// the same thread track, and raw pmemtrace device events interleave as
+// instant ("i") events — so a flush stall on the timeline sits visually
+// inside the op that caused it. Structs marshal with fixed field order and
+// maps with sorted keys, keeping the exporter byte-deterministic for a given
+// input (golden-file tested).
+
+type chromeArgs struct {
+	Comp         map[string]int64 `json:"comp,omitempty"`
+	PathHash     string           `json:"path_hash,omitempty"`
+	PKey         *int16           `json:"pkey,omitempty"`
+	BytesRead    int64            `json:"nvm_bytes_read,omitempty"`
+	BytesWritten int64            `json:"nvm_bytes_written,omitempty"`
+	Flushes      int64            `json:"flushes,omitempty"`
+	Fences       int64            `json:"fences,omitempty"`
+	Aborted      bool             `json:"aborted,omitempty"`
+	Detail       string           `json:"detail,omitempty"`
+	Seq          uint64           `json:"seq,omitempty"`
+	Off          *int64           `json:"off,omitempty"`
+	Len          *int64           `json:"len,omitempty"`
+	Key          *int16           `json:"key,omitempty"`
+	Cause        string           `json:"cause,omitempty"`
+}
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"` // microseconds
+	Dur  *float64    `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  int32       `json:"tid"`
+	S    string      `json:"s,omitempty"` // instant-event scope
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+const chromePID = 1
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace renders root spans (with their children) and pmemtrace
+// device events on one timeline. Either input may be empty.
+func WriteChromeTrace(w io.Writer, roots []Root, events []pmemtrace.Event) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n  "
+		if first {
+			sep = "[\n  "
+			first = false
+		}
+		if _, err := bw.WriteString(sep); err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	ordered := append([]Root(nil), roots...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		return ordered[i].TID < ordered[j].TID
+	})
+	for _, r := range ordered {
+		dur := usec(r.Dur)
+		args := &chromeArgs{
+			Comp:         map[string]int64{},
+			BytesRead:    r.BytesRead,
+			BytesWritten: r.BytesWritten,
+			Flushes:      r.Flushes,
+			Fences:       r.Fences,
+			Aborted:      r.Aborted,
+		}
+		for i, v := range r.Comp {
+			if v > 0 {
+				args.Comp[Component(i).Name()] = v
+			}
+		}
+		if len(args.Comp) == 0 {
+			args.Comp = nil
+		}
+		if r.PathHash != 0 {
+			args.PathHash = fmt.Sprintf("%016x", r.PathHash)
+		}
+		if r.PKey >= 0 {
+			k := r.PKey
+			args.PKey = &k
+		}
+		if err := emit(chromeEvent{
+			Name: r.Op, Cat: "fsop", Ph: "X",
+			TS: usec(r.Start), Dur: &dur,
+			PID: chromePID, TID: int32(r.TID), Args: args,
+		}); err != nil {
+			return err
+		}
+		for _, ch := range r.Children {
+			ce := chromeEvent{
+				Name: ch.Name, Cat: "span", PID: chromePID, TID: int32(r.TID),
+			}
+			if ch.Detail != "" {
+				ce.Args = &chromeArgs{Detail: ch.Detail}
+			}
+			if ch.Start < 0 {
+				// Unplaced annotation (e.g. the violation that aborted the
+				// op): an instant at the root's end.
+				ce.Ph, ce.S, ce.TS = "i", "t", usec(r.Start+r.Dur)
+			} else {
+				d := usec(ch.Dur)
+				ce.Ph, ce.TS, ce.Dur = "X", usec(ch.Start), &d
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, ev := range events {
+		tid := ev.TID
+		if tid < 0 {
+			tid = 0
+		}
+		ce := chromeEvent{
+			Name: ev.Kind.String(), Cat: "nvm", Ph: "i",
+			TS: usec(ev.TS), PID: chromePID, TID: tid, S: "t",
+			Args: &chromeArgs{Seq: ev.Seq},
+		}
+		switch ev.Kind {
+		case pmemtrace.KindFence, pmemtrace.KindCrash, pmemtrace.KindCrashInject:
+			// No meaningful range.
+		case pmemtrace.KindViolation:
+			page := ev.Off
+			ce.Args.Off = &page
+			ce.Args.Cause = ev.Cause
+			ce.S = "g" // faults are worth seeing across all tracks
+		default:
+			off, ln := ev.Off, ev.Len
+			ce.Args.Off = &off
+			ce.Args.Len = &ln
+		}
+		if ev.Key >= 0 {
+			k := ev.Key
+			ce.Args.Key = &k
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+
+	if first {
+		if _, err := bw.WriteString("[]\n"); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

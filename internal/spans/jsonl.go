@@ -1,0 +1,33 @@
+package spans
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadRootsJSONL parses a span sink written via Config.JSONL (one Root JSON
+// object per line) back into memory, e.g. for offline Chrome-trace export.
+func ReadRootsJSONL(r io.Reader) ([]Root, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Root
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var root Root
+		if err := json.Unmarshal(text, &root); err != nil {
+			return nil, fmt.Errorf("spans jsonl line %d: %w", line, err)
+		}
+		out = append(out, root)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

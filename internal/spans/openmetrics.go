@@ -1,0 +1,203 @@
+package spans
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WriteOpenMetrics renders a snapshot in the OpenMetrics text exposition
+// format (Prometheus-compatible). Output is deterministic: ops in dispatch
+// order, components in enum order, contention rows by descending wait.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	scalar := func(name, typ, help string, v string) {
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		if help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+		}
+		suffix := ""
+		if typ == "counter" {
+			suffix = "_total"
+		}
+		fmt.Fprintf(bw, "%s%s %s\n", name, suffix, v)
+	}
+	scalar("zofs_spans_started", "counter", "root spans opened", strconv.FormatInt(s.Started, 10))
+	scalar("zofs_spans_finished", "counter", "root spans folded", strconv.FormatInt(s.Finished, 10))
+	scalar("zofs_spans_open", "gauge", "root spans currently in flight", strconv.FormatInt(s.Open, 10))
+	scalar("zofs_spans_aborted", "counter", "root spans terminated by a fault", strconv.FormatInt(s.Aborted, 10))
+	scalar("zofs_dcache_hits", "counter", "directory cache hits", strconv.FormatInt(s.DcacheHits, 10))
+	scalar("zofs_dcache_misses", "counter", "directory cache misses", strconv.FormatInt(s.DcacheMisses, 10))
+
+	ops := s.opOrder()
+
+	fmt.Fprintf(bw, "# TYPE zofs_ops counter\n")
+	for _, name := range ops {
+		fmt.Fprintf(bw, "zofs_ops_total{op=%q} %d\n", name, s.Ops[name].Count)
+	}
+
+	fmt.Fprintf(bw, "# TYPE zofs_op_latency_ns summary\n")
+	for _, name := range ops {
+		b := s.Ops[name]
+		fmt.Fprintf(bw, "zofs_op_latency_ns{op=%q,quantile=\"0.5\"} %d\n", name, b.P50NS)
+		fmt.Fprintf(bw, "zofs_op_latency_ns{op=%q,quantile=\"0.95\"} %d\n", name, b.P95NS)
+		fmt.Fprintf(bw, "zofs_op_latency_ns{op=%q,quantile=\"0.99\"} %d\n", name, b.P99NS)
+		fmt.Fprintf(bw, "zofs_op_latency_ns_sum{op=%q} %d\n", name, b.SumNS)
+		fmt.Fprintf(bw, "zofs_op_latency_ns_count{op=%q} %d\n", name, b.Count)
+	}
+
+	fmt.Fprintf(bw, "# TYPE zofs_op_component_ns counter\n")
+	for _, name := range ops {
+		b := s.Ops[name]
+		for _, c := range compOrder() {
+			fmt.Fprintf(bw, "zofs_op_component_ns_total{op=%q,component=%q} %d\n",
+				name, c.Name(), b.Comp[c.Name()].SumNS)
+		}
+	}
+
+	fmt.Fprintf(bw, "# TYPE zofs_op_component_share gauge\n")
+	fmt.Fprintf(bw, "# HELP zofs_op_component_share percent of the op kind's total latency\n")
+	for _, name := range ops {
+		b := s.Ops[name]
+		for _, c := range compOrder() {
+			fmt.Fprintf(bw, "zofs_op_component_share{op=%q,component=%q} %s\n",
+				name, c.Name(), strconv.FormatFloat(b.Comp[c.Name()].Pct, 'f', 4, 64))
+		}
+	}
+
+	fmt.Fprintf(bw, "# TYPE zofs_critical_path_share gauge\n")
+	for _, c := range compOrder() {
+		fmt.Fprintf(bw, "zofs_critical_path_share{component=%q} %s\n",
+			c.Name(), strconv.FormatFloat(s.CriticalPath[c.Name()], 'f', 4, 64))
+	}
+
+	if len(s.Contention) > 0 {
+		fmt.Fprintf(bw, "# TYPE zofs_lock_wait_ns counter\n")
+		for _, l := range s.Contention {
+			fmt.Fprintf(bw, "zofs_lock_wait_ns_total{lock=%q} %d\n", l.Lock, l.WaitNS)
+		}
+		fmt.Fprintf(bw, "# TYPE zofs_lock_waits counter\n")
+		for _, l := range s.Contention {
+			fmt.Fprintf(bw, "zofs_lock_waits_total{lock=%q} %d\n", l.Lock, l.Waits)
+		}
+	}
+
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9][0-9eE+.-]*|NaN|[+-]Inf)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// ValidateOpenMetrics checks that r is well-formed OpenMetrics text (sample
+// syntax, label syntax, parseable values, `# EOF` terminator) and enforces
+// the attribution invariant: for every op with samples, the
+// zofs_op_component_share values sum to 100% within one point.
+func ValidateOpenMetrics(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		line      int
+		sawEOF    bool
+		opCount   = map[string]int64{}
+		latSum    = map[string]float64{}
+		shareSum  = map[string]float64{}
+		shareSeen = map[string]bool{}
+	)
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if sawEOF {
+			return fmt.Errorf("line %d: content after # EOF", line)
+		}
+		if text == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if !strings.HasPrefix(text, "# TYPE ") && !strings.HasPrefix(text, "# HELP ") {
+				return fmt.Errorf("line %d: unknown comment form %q", line, text)
+			}
+			continue
+		}
+		if text == "" {
+			return fmt.Errorf("line %d: blank line", line)
+		}
+		m := sampleRe.FindStringSubmatch(text)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		name, rawLabels, rawVal := m[1], m[2], m[3]
+		labels := map[string]string{}
+		if rawLabels != "" {
+			for _, pair := range splitLabels(rawLabels[1 : len(rawLabels)-1]) {
+				if !labelRe.MatchString(pair) {
+					return fmt.Errorf("line %d: malformed label %q", line, pair)
+				}
+				eq := strings.IndexByte(pair, '=')
+				v, err := strconv.Unquote(pair[eq+1:])
+				if err != nil {
+					return fmt.Errorf("line %d: bad label value %q: %v", line, pair, err)
+				}
+				labels[pair[:eq]] = v
+			}
+		}
+		val, err := strconv.ParseFloat(rawVal, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", line, rawVal, err)
+		}
+		switch name {
+		case "zofs_ops_total":
+			opCount[labels["op"]] = int64(val)
+		case "zofs_op_latency_ns_sum":
+			latSum[labels["op"]] = val
+		case "zofs_op_component_share":
+			shareSum[labels["op"]] += val
+			shareSeen[labels["op"]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawEOF {
+		return fmt.Errorf("missing # EOF terminator")
+	}
+	for op := range shareSeen {
+		if opCount[op] <= 0 || latSum[op] <= 0 {
+			continue // no samples (or all zero-latency): shares are vacuous
+		}
+		if sum := shareSum[op]; sum < 99 || sum > 101 {
+			return fmt.Errorf("op %q: component shares sum to %.2f%%, want 100±1", op, sum)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	start, inQuote, escaped := 0, false, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case escaped:
+			escaped = false
+		case s[i] == '\\' && inQuote:
+			escaped = true
+		case s[i] == '"':
+			inQuote = !inQuote
+		case s[i] == ',' && !inQuote:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

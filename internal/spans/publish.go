@@ -1,0 +1,65 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Publishing: periodic snapshot files for live monitoring. zofs-bench -spans
+// publishes into a directory; zofs-top polls it. Files are written to a temp
+// name and renamed so a reader never observes a half-written snapshot.
+
+// Publish writes the collector's current snapshot into dir as spans.json
+// (the Snapshot document) and spans.prom (its OpenMetrics rendering).
+func Publish(c *Collector, dir string) error {
+	snap := c.Snapshot()
+	raw, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(dir, "spans.json"), append(raw, '\n')); err != nil {
+		return err
+	}
+	var om bytes.Buffer
+	if err := WriteOpenMetrics(&om, snap); err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(dir, "spans.prom"), om.Bytes())
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// PublishEvery republishes the snapshot on an interval until the returned
+// stop function is called (which also performs no final write — callers do
+// a last Publish themselves once collection has stopped). Publish errors
+// mid-run are dropped: a missed refresh must not kill the benchmark.
+func PublishEvery(c *Collector, dir string, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_ = Publish(c, dir)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -56,6 +56,10 @@ var opNames = [numOps]string{
 // Name returns the op's short name.
 func (o Op) Name() string { return opNames[o] }
 
+// NumOps is the number of Op values, exported so sibling observability
+// layers (internal/spans) can size per-op aggregate arrays.
+const NumOps = int(numOps)
+
 // The histogram buckets simulated-nanosecond latencies logarithmically with
 // four sub-buckets per octave: values 0–7 land in exact buckets, larger
 // values in bucket 8 + 4*(log2(v)-3) + next-two-bits. This bounds the
@@ -96,11 +100,16 @@ func bucketUpper(idx int) int64 {
 }
 
 func (h *histogram) observe(ns int64) {
-	h.count.Add(1)
-	if ns > 0 {
-		h.sum.Add(ns)
+	if h.count.Add(1) < 0 {
+		h.count.Store(maxInt64)
 	}
-	h.buckets[bucketOf(ns)].Add(1)
+	if ns > 0 && h.sum.Add(ns) < 0 {
+		h.sum.Store(maxInt64)
+	}
+	b := &h.buckets[bucketOf(ns)]
+	if b.Add(1) < 0 {
+		b.Store(maxInt64)
+	}
 }
 
 func (h *histogram) reset() {
@@ -118,6 +127,29 @@ func (h *histogram) snapshot() (count, sum int64, buckets []int64) {
 		buckets[i] = h.buckets[i].Load()
 	}
 	return h.count.Load(), h.sum.Load(), buckets
+}
+
+// Hist is an exported handle over the log-bucketed histogram so sibling
+// observability layers (internal/spans) can reuse the exact same bucket
+// geometry and quantile estimator instead of growing a second one.
+type Hist struct{ h histogram }
+
+// Observe records one value.
+func (h *Hist) Observe(ns int64) { h.h.observe(ns) }
+
+// Reset zeroes the histogram.
+func (h *Hist) Reset() { h.h.reset() }
+
+// Snapshot copies out the count, the (saturating) sum and the bucket vector.
+func (h *Hist) Snapshot() (count, sum int64, buckets []int64) { return h.h.snapshot() }
+
+// HistBuckets is the length of the bucket vectors returned by Hist.Snapshot.
+const HistBuckets = histBuckets
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a bucket vector produced
+// by Hist.Snapshot (or Snapshot.Ops buckets).
+func Quantile(buckets []int64, count int64, q float64) int64 {
+	return quantile(buckets, count, q)
 }
 
 // quantile estimates the q-quantile (0 < q <= 1) of a bucket vector by

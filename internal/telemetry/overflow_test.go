@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCounterSaturation drives a counter past 2^63-1 worth of deltas between
+// two snapshots and asserts the total pins at MaxInt64 instead of wrapping
+// negative (which would make snapshot diffs report garbage).
+func TestCounterSaturation(t *testing.T) {
+	r := New()
+	before := r.Snapshot()
+	// Two near-max deltas from the same goroutine land in the same shard,
+	// so the shard itself must saturate, not just the cross-shard total.
+	r.Add(CtrNVMBytesWritten, math.MaxInt64-1)
+	r.Add(CtrNVMBytesWritten, math.MaxInt64-1)
+	r.Inc(CtrNVMBytesWritten)
+	after := r.Snapshot()
+	if got := after.Counters[CtrNVMBytesWritten.Name()]; got != math.MaxInt64 {
+		t.Fatalf("saturated counter = %d, want MaxInt64", got)
+	}
+	d := after.Diff(before)
+	if got := d.Counters[CtrNVMBytesWritten.Name()]; got < 0 {
+		t.Fatalf("snapshot diff went negative after overflow: %d", got)
+	}
+}
+
+// TestCounterAddIgnoresNegative keeps counters monotonic: a negative delta
+// is a caller bug and must not decrement.
+func TestCounterAddIgnoresNegative(t *testing.T) {
+	r := New()
+	r.Add(CtrNVMReads, 5)
+	r.Add(CtrNVMReads, -3)
+	if got := r.counterTotal(CtrNVMReads); got != 5 {
+		t.Fatalf("counter after negative Add = %d, want 5", got)
+	}
+}
+
+// TestSatAdd covers the saturating sum used by counterTotal.
+func TestSatAdd(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{1, 2, 3},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64 - 1, 1, math.MaxInt64},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := satAdd(c.a, c.b); got != c.want {
+			t.Fatalf("satAdd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestHistogramSaturation overflows a histogram sum and asserts it pins.
+func TestHistogramSaturation(t *testing.T) {
+	var h Hist
+	h.Observe(math.MaxInt64 - 1)
+	h.Observe(math.MaxInt64 - 1)
+	count, sum, buckets := h.Snapshot()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if sum != math.MaxInt64 {
+		t.Fatalf("overflowed sum = %d, want MaxInt64", sum)
+	}
+	if q := Quantile(buckets, count, 0.5); q <= 0 {
+		t.Fatalf("quantile of saturated histogram = %d, want > 0", q)
+	}
+}

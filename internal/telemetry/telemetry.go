@@ -175,20 +175,40 @@ func shardIdx() int {
 	return int(uintptr(unsafe.Pointer(&probe)) >> 10 % counterShards)
 }
 
+// maxInt64 is the saturation ceiling for counters and histogram cells:
+// monotonic values pin there instead of wrapping negative, so snapshot
+// deltas stay non-negative no matter how long a run accumulates.
+const maxInt64 = int64(^uint64(0) >> 1)
+
+// satAdd returns a+b saturating at maxInt64 (both operands non-negative).
+func satAdd(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return maxInt64
+}
+
 // Inc adds 1 to a counter.
 func (r *Recorder) Inc(c Counter) {
 	if r == nil {
 		return
 	}
-	r.counters[shardIdx()].v[c].Add(1)
+	v := &r.counters[shardIdx()].v[c]
+	if v.Add(1) < 0 {
+		v.Store(maxInt64)
+	}
 }
 
-// Add adds n to a counter.
+// Add adds n to a counter. Negative n is ignored (counters are monotonic);
+// a shard that overflows pins at maxInt64 rather than wrapping.
 func (r *Recorder) Add(c Counter, n int64) {
-	if r == nil {
+	if r == nil || n <= 0 {
 		return
 	}
-	r.counters[shardIdx()].v[c].Add(n)
+	v := &r.counters[shardIdx()].v[c]
+	if v.Add(n) < 0 {
+		v.Store(maxInt64)
+	}
 }
 
 // Max raises a gauge to v if v exceeds its current value.
@@ -222,11 +242,12 @@ func (r *Recorder) TraceOp(tid int, op Op, startNS, durNS int64) {
 	r.traces.record(tid, op, startNS, durNS)
 }
 
-// counterTotal sums a counter across shards.
+// counterTotal sums a counter across shards, saturating at maxInt64 so a
+// long-lived recorder reports a pinned ceiling instead of a wrapped negative.
 func (r *Recorder) counterTotal(c Counter) int64 {
 	var t int64
 	for i := range r.counters {
-		t += r.counters[i].v[c].Load()
+		t = satAdd(t, r.counters[i].v[c].Load())
 	}
 	return t
 }

@@ -7,6 +7,7 @@ import (
 	"zofs/internal/coffer"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
@@ -112,6 +113,7 @@ var debugFree sync.Map // page -> int
 // re-validating the lease as needed, along with the cached free-list head.
 func (f *FS) slotFor(th *proc.Thread, m *mount, class int) (*threadSlots, int64, error) {
 	th.CPU(perfmodel.CPULockAcquire) // clock_gettime for the lease check
+	f.span(th).Bill(spans.CompLock, perfmodel.CPULockAcquire)
 	ts := m.threadSlotsFor(th.TID)
 	if ts.slot[class] >= 0 {
 		off := slotOffset(m.custom, ts.slot[class])

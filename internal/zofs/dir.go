@@ -3,6 +3,7 @@ package zofs
 import (
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
+	"zofs/internal/spans"
 	"zofs/internal/vfs"
 )
 
@@ -70,13 +71,19 @@ func (f *FS) dirLookup(th *proc.Thread, dirIno int64, name string) (dentry, deLo
 	if f.opts.NoDirCache {
 		return f.dirLookupScan(th, dirIno, name)
 	}
+	sp := f.span(th)
 	th.CPU(perfmodel.CPUHashLookup)
 	idx := f.sh.dc.dir(dirIno)
 	idx.mu.Lock()
 	cur := f.sh.dc.epoch.Load()
 	if !idx.authoritative(cur) {
+		sp.DCacheMiss()
 		idx.reset()
+		t0 := th.Clk.Now()
 		f.dcacheBuild(th, idx, dirIno, cur)
+		sp.Child("dcache.rebuild", t0, th.Clk.Now()-t0)
+	} else {
+		sp.DCacheHit()
 	}
 	c, ok := idx.names[name]
 	idx.mu.Unlock()
@@ -99,8 +106,11 @@ func (f *FS) dirLookup(th *proc.Thread, dirIno int64, name string) (dentry, deLo
 		return c.de, c.loc, nil
 	}
 	idx.mu.Lock()
+	sp.DCacheMiss()
 	idx.reset()
+	t0 := th.Clk.Now()
 	f.dcacheBuild(th, idx, dirIno, cur)
+	sp.Child("dcache.rebuild", t0, th.Clk.Now()-t0)
 	c, ok = idx.names[name]
 	idx.mu.Unlock()
 	if !ok {
@@ -180,7 +190,9 @@ func (f *FS) writeDentry(th *proc.Thread, loc deLoc, name string, typ uint8, cof
 	if !wrote {
 		// The body is composed in a DRAM staging buffer and then copied to
 		// the device — the round trip the write view avoids.
-		th.CPU(perfmodel.StageCost(dentrySize - 8))
+		cost := perfmodel.StageCost(dentrySize - 8)
+		th.CPU(cost)
+		f.span(th).Bill(spans.CompMemcpy, cost)
 		body := make([]byte, dentrySize-8)
 		putU32(body, deCofferOff-8, cofferID)
 		putU64(body, deInodeOff-8, uint64(inode))

@@ -10,6 +10,7 @@ import (
 	"zofs/internal/mpk"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
+	"zofs/internal/spans"
 	"zofs/internal/vfs"
 )
 
@@ -48,6 +49,10 @@ type Options struct {
 	// NoAllocBatch disables volatile per-thread page caching: every page
 	// allocation and free updates the persistent slot free-list chain.
 	NoAllocBatch bool
+	// NoSpans ablates ZoFS-layer causal-span instrumentation (lock and
+	// memcpy billing, dcache hit/miss accounting). Lower layers still bill
+	// device costs through the clock when a collector is installed.
+	NoSpans bool
 }
 
 func (o *Options) fill() {
@@ -129,6 +134,16 @@ func (f *FS) SecondMount(p *proc.Process) (vfs.FileSystem, error) {
 		return nil, err
 	}
 	return New(f.kern, f.opts), nil
+}
+
+// span returns the thread's causal-span context, or nil when ZoFS-layer
+// span instrumentation is ablated via Options.NoSpans. Every ThreadCtx
+// method is nil-safe, so call sites stay unconditional.
+func (f *FS) span(th *proc.Thread) *spans.ThreadCtx {
+	if f.opts.NoSpans {
+		return nil
+	}
+	return spans.FromClock(th.Clk)
 }
 
 // errno translates kernel errors into vfs errors.
@@ -382,7 +397,9 @@ func (f *FS) readView(th *proc.Thread, off, n int64) []byte {
 			return v
 		}
 	}
-	th.CPU(perfmodel.StageCost(int(n)))
+	cost := perfmodel.StageCost(int(n))
+	th.CPU(cost)
+	f.span(th).Bill(spans.CompMemcpy, cost)
 	buf := make([]byte, n)
 	th.Read(off, buf)
 	return buf
@@ -395,7 +412,9 @@ func (f *FS) readViewCached(th *proc.Thread, off, n int64) []byte {
 			return v
 		}
 	}
-	th.CPU(perfmodel.StageCost(int(n)))
+	cost := perfmodel.StageCost(int(n))
+	th.CPU(cost)
+	f.span(th).Bill(spans.CompMemcpy, cost)
 	buf := make([]byte, n)
 	th.ReadCached(off, buf)
 	return buf

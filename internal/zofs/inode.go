@@ -3,6 +3,7 @@ package zofs
 import (
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
+	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
@@ -159,7 +160,9 @@ func (f *FS) readAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (
 		p = p[:size-off]
 	}
 	if f.opts.NoZeroCopy && len(p) > 0 {
-		th.CPU(perfmodel.MemcpyCost(len(p)))
+		cost := perfmodel.MemcpyCost(len(p))
+		th.CPU(cost)
+		f.span(th).Bill(spans.CompMemcpy, cost)
 	}
 	if f.isInline(th, ino) {
 		th.Read(ino*pageSize+inoInlineOff+off, p)
@@ -198,7 +201,9 @@ func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) 
 	}
 	if f.opts.NoZeroCopy && len(p) > 0 {
 		// Copy-path staging of the outgoing bytes (see readAt).
-		th.CPU(perfmodel.MemcpyCost(len(p)))
+		cost := perfmodel.MemcpyCost(len(p))
+		th.CPU(cost)
+		f.span(th).Bill(spans.CompMemcpy, cost)
 	}
 	size := f.inodeSize(th, ino)
 	if f.opts.InlineData {

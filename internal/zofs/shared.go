@@ -7,6 +7,7 @@ import (
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
 	"zofs/internal/simclock"
+	"zofs/internal/spans"
 )
 
 // shared holds the cross-process coordination state for one device's ZoFS
@@ -108,8 +109,14 @@ func (s *shared) lockOf(page int64) *simclock.RWMutex {
 // holders are observable and recoverable. The write window for the owning
 // coffer is (re)opened, since the lease write needs it.
 func (f *FS) lockInode(th *proc.Thread, m *mount, ino int64) {
+	sp := f.span(th)
 	th.CPU(perfmodel.CPULockAcquire) // clock_gettime via vDSO + bookkeeping
+	sp.Bill(spans.CompLock, perfmodel.CPULockAcquire)
+	t0 := th.Clk.Now()
 	f.sh.lockOf(ino).Lock(th.Clk)
+	if w := th.Clk.Now() - t0; w > 0 {
+		sp.LockContend(ino, w)
+	}
 	f.window(th, m, true)
 	th.Store64(ino*nvm.PageSize+inoLeaseOff, leaseWord(th.TID, th.Clk.Now()+leaseDuration))
 }
@@ -135,22 +142,35 @@ func bucketKey(dirIno int64, name string) int64 {
 
 // lockDirBucket write-locks the bucket of name in directory dirIno.
 func (f *FS) lockDirBucket(th *proc.Thread, dirIno int64, name string) int64 {
+	sp := f.span(th)
 	th.CPU(2 * perfmodel.CPULockAcquire) // clock_gettime + bucket lease CAS
+	sp.Bill(spans.CompLock, 2*perfmodel.CPULockAcquire)
 	k := bucketKey(dirIno, name)
+	t0 := th.Clk.Now()
 	f.sh.lockOf(k).Lock(th.Clk)
+	if w := th.Clk.Now() - t0; w > 0 {
+		sp.LockContend(k, w)
+	}
 	return k
 }
 
 func (f *FS) unlockDirBucket(th *proc.Thread, k int64) {
 	th.CPU(perfmodel.CPULockAcquire)
+	f.span(th).Bill(spans.CompLock, perfmodel.CPULockAcquire)
 	f.sh.lockOf(k).Unlock(th.Clk)
 }
 
 // rlockInode read-locks an inode (readers overlap; no lease write — reads
 // are made safe by the atomic 8-byte update discipline of §5.3).
 func (f *FS) rlockInode(th *proc.Thread, ino int64) {
+	sp := f.span(th)
 	th.CPU(perfmodel.CPULockAcquire)
+	sp.Bill(spans.CompLock, perfmodel.CPULockAcquire)
+	t0 := th.Clk.Now()
 	f.sh.lockOf(ino).RLock(th.Clk)
+	if w := th.Clk.Now() - t0; w > 0 {
+		sp.LockContend(ino, w)
+	}
 }
 
 func (f *FS) runlockInode(th *proc.Thread, ino int64) {

@@ -31,6 +31,17 @@ go run ./cmd/zofs-trace record -workload append -system Ext4-DAX \
     -o "$tracedir/smoke.jsonl" -threads 1 -ops 8 -device-mb 64 >/dev/null
 go run ./cmd/zofs-trace audit -max-lost 0 "$tracedir/smoke.jsonl" >/dev/null
 
+echo "== spans smoke =="
+# Causal-span gates. The "spans" experiment is self-asserting: spans-off vs
+# spans-on simulated throughput within 2% (the disabled-overhead budget),
+# per-op component attribution summing to the measured latency within 1%,
+# and a parseable OpenMetrics rendering. Then a -spans collection run must
+# produce an export that zofs-top's validator (share sum ~100%) accepts.
+go run ./cmd/zofs-bench -quick spans >/dev/null
+go run ./cmd/zofs-bench -quick -spans "$tracedir/spans" fig8 >/dev/null
+go run ./cmd/zofs-top -validate "$tracedir/spans/spans.prom" >/dev/null
+go run ./cmd/zofs-top -once -dir "$tracedir/spans" >/dev/null
+
 echo "== crashmc smoke =="
 # Crash-state model checker gates: a dense ZoFS sweep (>=200 states under
 # all media models on both crash edges) and one baseline must hold every
