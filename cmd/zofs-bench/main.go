@@ -6,7 +6,7 @@
 //	zofs-bench [-quick] [-stats] [-threads 1,2,4,8,12,16,20] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
-// fig11 table9 safety recovery crashmc hotpath spans — or "all" (the
+// fig11 table9 safety recovery crashmc hotpath spans wa — or "all" (the
 // default).
 package main
 
@@ -48,6 +48,7 @@ var experiments = []struct {
 	{"crashmc", "crash-state model checker and fault injection", harness.RunCrashMC},
 	{"hotpath", "zero-copy hot path vs copy-path baseline", harness.RunHotpath},
 	{"spans", "causal-span overhead/attribution/OpenMetrics gate", harness.RunSpans},
+	{"wa", "write-amplification and byte-conservation gate", harness.RunWA},
 }
 
 func main() {

@@ -9,12 +9,17 @@
 // Commands: ls [path], cat <file>, write <file> <text...>, append <file>
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
 // ln -s <target> <link>, chmod <octal> <path>, chown <uid> <gid> <path>,
-// stat <path>, cd <dir>, pwd, df, coffers, recover <path>, stats [reset],
-// spans [reset], sync, quit.
+// stat <path>, cd <dir>, pwd, df, wear [n], coffers, recover <path>,
+// stats [reset], spans [reset], sync, quit.
 //
 // "stats" dumps the per-layer telemetry accumulated since the shell started
 // (or since the last "stats reset"): NVM media traffic, PKRU switches,
 // KernFS call counts, and per-operation simulated-latency quantiles.
+// "stats reset" also zeroes the byte-flow ledger behind "df" and "wear".
+//
+// "df" reconciles the byte flow of the session so far (app vs issued vs
+// media bytes, write amplification) and prints the per-coffer space table.
+// "wear" prints the n hottest pages of the wear heatmap (default 10).
 //
 // "spans" dumps the causal-span latency attribution for everything typed so
 // far: per-op component breakdowns (media, flush/fence, lock wait, PKRU,
@@ -26,9 +31,12 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
 	"zofs/internal/fslibs"
 	"zofs/internal/kernfs"
@@ -55,6 +63,7 @@ func main() {
 		fatal("load: %v", err)
 	}
 	dev.SetRecorder(telemetry.New())
+	dev.EnableAccounting()
 	// Span collection must be on before the shell thread is created so the
 	// thread picks up a span context; every command then gets attributed.
 	spans.Enable(spans.Config{})
@@ -70,6 +79,12 @@ func main() {
 	if err := lib.ZoFS().EnsureRootDir(th); err != nil {
 		fatal("root: %v", err)
 	}
+	// Published/dumped span snapshots carry the byte-flow and coffer-space
+	// panels alongside the latency attribution.
+	spans.OnSnapshot(func(s *spans.Snapshot) {
+		s.Flow = dev.FlowSnapshot()
+		s.Space = lib.ZoFS().SpaceReport()
+	})
 
 	save := func() {
 		out, err := os.Create(path)
@@ -106,9 +121,11 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 	fail := func(err error) { fmt.Println(cmd+":", err) }
 	switch cmd {
 	case "help":
-		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df coffers recover stats spans sync quit")
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df wear coffers recover stats spans sync quit")
 		fmt.Println("stats [reset]: dump (or zero) per-layer telemetry counters and latencies")
 		fmt.Println("spans [reset]: dump (or zero) causal-span latency attribution")
+		fmt.Println("df: byte-flow reconciliation and per-coffer space table")
+		fmt.Println("wear [n]: n hottest pages of the wear heatmap (default 10)")
 	case "quit", "exit":
 		return true
 	case "sync":
@@ -241,6 +258,7 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 		rec := k.Device().Recorder()
 		if len(args) == 2 && args[1] == "reset" {
 			rec.Reset()
+			k.Device().ResetAccounting()
 			fmt.Println("stats reset")
 			return false
 		}
@@ -266,11 +284,48 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 			fail(fmt.Errorf("usage: spans [reset]"))
 			return false
 		}
-		if err := col.Snapshot().WriteText(os.Stdout); err != nil {
+		snap := col.Snapshot()
+		spans.Enrich(&snap)
+		if err := snap.WriteText(os.Stdout); err != nil {
 			fail(err)
 		}
 	case "df":
 		fmt.Printf("%d free pages of %d\n", k.FreePages(), k.Device().Pages())
+		if f := k.Device().FlowSnapshot(); f != nil {
+			fmt.Printf("byte flow: app %d  issued %d  media %d  WA %.2f  flushes %d  fences %d\n",
+				f.App, f.Total, f.MediaBytes(), f.WA(), f.Flushes, f.Fences)
+			for _, c := range byteflow.Classes() {
+				if f.Issued[c] != 0 {
+					fmt.Printf("  %-8s %d bytes\n", c, f.Issued[c])
+				}
+			}
+		}
+		t := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(t, "coffer\tpath\tpages\tused\tfree_listed\tcached\textents\tfrag")
+		for _, cs := range lib.ZoFS().SpaceReport() {
+			fmt.Fprintf(t, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%.3f\n",
+				cs.ID, cs.Path, cs.Pages, cs.Used, cs.FreeListed, cs.Cached, cs.Extents, cs.Frag)
+		}
+		t.Flush()
+	case "wear":
+		n := 10
+		if len(args) == 2 {
+			if v, err := strconv.Atoi(args[1]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		wear := lib.ZoFS().WearReport()
+		sort.Slice(wear, func(i, j int) bool { return wear[i].Writes > wear[j].Writes })
+		if n > len(wear) {
+			n = len(wear)
+		}
+		fmt.Printf("hottest pages (%d of %d worn):\n", n, len(wear))
+		t := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(t, "page\tcoffer\twrites\tbytes\tflushes")
+		for _, pw := range wear[:n] {
+			fmt.Fprintf(t, "%d\t%d\t%d\t%d\t%d\n", pw.Page, pw.Coffer, pw.Writes, pw.Bytes, pw.Flushes)
+		}
+		t.Flush()
 	case "coffers":
 		for _, id := range k.Coffers() {
 			info, _ := k.Info(id)

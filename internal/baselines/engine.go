@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
@@ -233,7 +234,9 @@ func (e *Engine) JournalWrite(th *proc.Thread, buf []byte) int64 {
 	// Virtual time is charged per-thread inside WriteNT, so this real-time
 	// lock does not perturb simulated results.
 	e.jMu.Lock()
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassJournal))
 	e.dev.WriteNT(th.Clk, off, buf)
+	th.Clk.SetWriteClass(prev)
 	e.jMu.Unlock()
 	return off
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
@@ -437,6 +438,8 @@ func (h *bHandle) WriteAt(th *proc.Thread, p []byte, off int64) (int, error) {
 	h.e.access(th, h.ino, true)
 	h.ino.Lock.Lock(th.Clk)
 	defer h.ino.Lock.Unlock(th.Clk)
+	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassData))
+	defer th.Clk.SetWriteClass(wprev)
 	n := 0
 	for n < len(p) {
 		idx := (off + int64(n)) / pageSize
@@ -472,6 +475,8 @@ func (h *bHandle) Append(th *proc.Thread, p []byte) (int64, error) {
 	h.ino.mu.Lock()
 	off := h.ino.size
 	h.ino.mu.Unlock()
+	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassData))
+	defer th.Clk.SetWriteClass(wprev)
 	n := 0
 	for n < len(p) {
 		idx := (off + int64(n)) / pageSize

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"zofs/internal/byteflow"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
@@ -231,11 +232,13 @@ func NewExt4DAX(dev *nvm.Device) *Engine {
 			blocks := append([]int64(nil), ino.blocks[min(ino.synced, len(ino.blocks)):]...)
 			ino.synced = len(ino.blocks)
 			ino.mu.Unlock()
+			wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassData))
 			for _, pg := range blocks {
 				if pg > 0 {
 					e.dev.Flush(th.Clk, pg*pageSize, pageSize)
 				}
 			}
+			th.Clk.SetWriteClass(wprev)
 		},
 	})
 }

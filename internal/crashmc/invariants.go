@@ -95,6 +95,25 @@ func checkZoFS(p *personality, dev *nvm.Device, ops []Op, res runResult,
 	}
 
 	f2 := zofs.New(k2, p.opts)
+
+	// Space conservation: after remount and fsck, the allocator's space
+	// accounting must reconcile three ways — the kernel's persistent
+	// allocation table against its volatile extent trees against a full
+	// page census — and every µFS free-list page must sit inside its
+	// coffer's grant exactly once. Recovery reclaimed any batch caches the
+	// crash stranded, so no page may be unaccounted for.
+	step("space_conserved", func() {
+		if err := f2.VerifySpace(); err != nil {
+			panic(err)
+		}
+		for _, cs := range f2.SpaceReport() {
+			if cs.Used < 0 || cs.FreeListed+cs.Cached > cs.Pages {
+				panic(fmt.Sprintf("coffer %d space rows inconsistent: pages=%d used=%d free_listed=%d cached=%d",
+					cs.ID, cs.Pages, cs.Used, cs.FreeListed, cs.Cached))
+			}
+		}
+	})
+
 	o := oracleAfter(ops, res.completed)
 	var inflight *Op
 	if res.completed < len(ops) {

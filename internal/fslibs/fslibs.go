@@ -396,6 +396,7 @@ func (l *Lib) Write(th *proc.Thread, fd int, buf []byte) (n int, err error) {
 		if aerr != nil {
 			return 0, aerr
 		}
+		l.kern.Device().AddAppBytes(int64(len(buf)))
 		l.mu.Lock()
 		e.pos = off + int64(len(buf))
 		l.mu.Unlock()
@@ -405,6 +406,10 @@ func (l *Lib) Write(th *proc.Thread, fd int, buf []byte) (n int, err error) {
 	pos := e.pos
 	l.mu.Unlock()
 	n, err = e.h.WriteAt(th, buf, pos)
+	// The dispatcher is the application boundary for preloaded programs, so
+	// it credits the byte-flow ledger's app bytes — the same role obsfs
+	// plays for the benchmark harnesses.
+	l.kern.Device().AddAppBytes(int64(n))
 	l.mu.Lock()
 	e.pos = pos + int64(n)
 	l.mu.Unlock()
@@ -430,7 +435,9 @@ func (l *Lib) Pwrite(th *proc.Thread, fd int, buf []byte, off int64) (n int, err
 	if err != nil {
 		return 0, err
 	}
-	return e.h.WriteAt(th, buf, off)
+	n, err = e.h.WriteAt(th, buf, off)
+	l.kern.Device().AddAppBytes(int64(n))
+	return n, err
 }
 
 // Lseek whence values.

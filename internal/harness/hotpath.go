@@ -95,6 +95,12 @@ func hotpathRun(sys sysfactory.System, opts Options, n int) (map[string]float64,
 	if err != nil {
 		return nil, err
 	}
+	return hotpathRunOn(in, n)
+}
+
+// hotpathRunOn runs the three hot-path cells on an instance the caller
+// built (and may have instrumented, e.g. enabled byte-flow accounting on).
+func hotpathRunOn(in *sysfactory.Instance, n int) (map[string]float64, error) {
 	th := in.Proc.NewThread()
 	// With span collection active the wrapper opens a root span per op; with
 	// it off (and no telemetry recorder passed) this returns in.FS unchanged.

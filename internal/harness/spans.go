@@ -43,8 +43,19 @@ func RunSpans(w io.Writer, opts Options) error {
 	}
 
 	col := spans.Enable(spans.Config{})
-	inst, err := hotpathRun(sysfactory.ZoFS, opts, n)
+	// Byte-flow accounting rides along on the instrumented run: the
+	// obsfs wrap registers the snapshot enricher, so the snapshot (and any
+	// live -spans publication) carries the byte-flow and space panels, and
+	// the OpenMetrics validation below covers those series with real data.
+	var inst map[string]float64
+	in, err := sysfactory.ZoFS.New(opts.DeviceBytes)
+	if err == nil {
+		in.Dev.EnableAccounting()
+		inst, err = hotpathRunOn(in, n)
+	}
 	snap := col.Snapshot()
+	spans.Enrich(&snap)
+	spans.OnSnapshot(nil)
 	open := col.OpenRoots()
 	spans.Install(prev)
 	if err != nil {

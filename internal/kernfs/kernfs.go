@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
@@ -208,6 +209,14 @@ func Mount(dev *nvm.Device) (*KernFS, error) {
 // Device returns the underlying NVM device.
 func (k *KernFS) Device() *nvm.Device { return k.dev }
 
+// writeRootPage persists a coffer's root page. Root pages are the coffer's
+// super-inode, so the byte-flow ledger books them inode-class.
+func (k *KernFS) writeRootPage(clk *simclock.Clock, pg int64, rp *coffer.RootPage) {
+	prev := clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	k.dev.WriteNT(clk, pg*nvm.PageSize, coffer.EncodeRootPage(rp))
+	clk.SetWriteClass(prev)
+}
+
 // rec returns the telemetry recorder attached to the device (nil when
 // telemetry is disabled; all recorder methods are nil-safe).
 func (k *KernFS) rec() *telemetry.Recorder { return k.dev.Recorder() }
@@ -236,6 +245,24 @@ func (k *KernFS) FreePages() int64 {
 	k.kmu.Lock(nil)
 	defer k.kmu.Unlock(nil)
 	return k.space.freePages()
+}
+
+// FreeExtents returns the global free pool's extents in address order
+// (df-style tools derive device-level fragmentation from them).
+func (k *KernFS) FreeExtents() []coffer.Extent {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	return k.space.freeExtents()
+}
+
+// VerifySpace re-reads the persistent allocation table and cross-checks it
+// against the kernel's volatile extent trees: per-slot ownership, per-owner
+// page counts, and the whole-device census. Uncharged (a fsck/tooling
+// operation, not a modeled syscall).
+func (k *KernFS) VerifySpace() error {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	return k.space.verify()
 }
 
 // ---- fs_mount / fs_umount -------------------------------------------------
@@ -413,9 +440,11 @@ func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ c
 		ID: id, Type: typ, Mode: mode, UID: uid, GID: gid,
 		RootInode: pages[1], Custom: pages[2], Path: path,
 	}
-	k.dev.WriteNT(th.Clk, pages[0]*nvm.PageSize, coffer.EncodeRootPage(&rp))
+	k.writeRootPage(th.Clk, pages[0], &rp)
+	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassAlloc))
 	k.dev.Zero(th.Clk, pages[1]*nvm.PageSize, nvm.PageSize)
 	k.dev.Zero(th.Clk, pages[2]*nvm.PageSize, nvm.PageSize)
+	th.Clk.SetWriteClass(wprev)
 	if err := k.paths.insert(th.Clk, path, id); err != nil {
 		// Roll back the allocation.
 		for _, e := range exts {
@@ -502,9 +531,12 @@ func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero
 	}
 	th.CPU(perfmodel.PTEUpdate * npages)
 	if zero {
+		// Grant scrubbing is allocator overhead in the byte-flow ledger.
+		wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassAlloc))
 		for _, e := range exts {
 			k.dev.Zero(th.Clk, e.Start*nvm.PageSize, e.Count*nvm.PageSize)
 		}
+		th.Clk.SetWriteClass(wprev)
 	}
 	return exts, nil
 }
@@ -721,7 +753,7 @@ func (k *KernFS) SetCofferMeta(th *proc.Thread, id coffer.ID, mode coffer.Mode, 
 		return ErrPerm
 	}
 	ci.rp.Mode, ci.rp.UID, ci.rp.GID = mode, uid, gid
-	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
 }
 
@@ -742,7 +774,7 @@ func (k *KernFS) SetCofferType(th *proc.Thread, id coffer.ID, typ coffer.Type, m
 	}
 	ci.rp.Type = typ
 	ci.rp.Mode = mode
-	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
 }
 
@@ -762,7 +794,7 @@ func (k *KernFS) UpdateRootPointers(th *proc.Thread, id coffer.ID, rootInode, cu
 		return ErrNotMapped
 	}
 	ci.rp.RootInode, ci.rp.Custom = rootInode, custom
-	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
 }
 
@@ -822,7 +854,7 @@ func (k *KernFS) renameTreeLocked(th *proc.Thread, oldPath, newPath string, exac
 		}
 		c := k.coffers[op.id]
 		c.rp.Path = op.to
-		k.dev.WriteNT(th.Clk, int64(op.id)*nvm.PageSize, coffer.EncodeRootPage(&c.rp))
+		k.writeRootPage(th.Clk, int64(op.id), &c.rp)
 		th.CPU(perfmodel.CPUSmallOp)
 	}
 	return nil
@@ -880,7 +912,7 @@ func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mod
 		ID: id, Type: ci.rp.Type, Mode: mode, UID: uid, GID: gid,
 		RootInode: rootInode, Custom: custom, Path: newPath,
 	}
-	k.dev.WriteNT(th.Clk, rootPg*nvm.PageSize, coffer.EncodeRootPage(&rp))
+	k.writeRootPage(th.Clk, rootPg, &rp)
 	if err := k.paths.insert(th.Clk, newPath, id); err != nil {
 		return 0, err
 	}
@@ -961,7 +993,7 @@ func (k *KernFS) BeginRecover(th *proc.Thread, id coffer.ID, leaseNS uint64) ([]
 	}
 	ci.rp.Flags |= coffer.FlagInRecovery
 	ci.rp.Lease = uint64(th.Clk.Now()) + leaseNS
-	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	for pid, ps := range ci.mappers {
 		if pid != th.Proc.PID {
 			k.unmapLocked(ps, id)
@@ -1014,7 +1046,7 @@ func (k *KernFS) EndRecover(th *proc.Thread, id coffer.ID, inUse []int64) error 
 	}
 	ci.rp.Flags &^= coffer.FlagInRecovery
 	ci.rp.Lease = 0
-	k.dev.WriteNT(th.Clk, int64(id)*nvm.PageSize, coffer.EncodeRootPage(&ci.rp))
+	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
@@ -80,6 +81,8 @@ func entrySize(pathLen int) int64 {
 
 // init formats the bucket heads to empty.
 func (pt *pathTable) init(clk *simclock.Clock) {
+	prev := clk.SwapWriteClass(uint8(byteflow.ClassDentry))
+	defer clk.SetWriteClass(prev)
 	pt.dev.Zero(clk, pt.bucketOff, pathTabBytes())
 	pt.vol = map[string]coffer.ID{}
 }
@@ -138,6 +141,9 @@ func (pt *pathTable) insert(clk *simclock.Clock, p string, id coffer.ID) error {
 	if len(p) > coffer.MaxPathLen {
 		return fmt.Errorf("%w: path too long", ErrInvalid)
 	}
+	// Path-table entries are directory structure at the Treasury layer.
+	prev := clk.SwapWriteClass(uint8(byteflow.ClassDentry))
+	defer clk.SetWriteClass(prev)
 	b := pt.bucketFor(p)
 	sz := entrySize(len(p))
 
@@ -196,6 +202,8 @@ func (pt *pathTable) remove(clk *simclock.Clock, p string) error {
 	if _, ok := pt.vol[p]; !ok {
 		return ErrNotFound
 	}
+	prev := clk.SwapWriteClass(uint8(byteflow.ClassDentry))
+	defer clk.SetWriteClass(prev)
 	b := pt.bucketFor(p)
 	h := pathHash(p)
 	page := make([]byte, nvm.PageSize)

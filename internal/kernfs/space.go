@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
 	"zofs/internal/nvm"
 	"zofs/internal/simclock"
@@ -39,6 +40,8 @@ func (sm *spaceManager) slotOff(page int64) int64 { return sm.tabStart + page*al
 // streaming non-temporal write. Run lengths descend from count to 1, as in
 // Figure 3.
 func (sm *spaceManager) writeRun(clk *simclock.Clock, start, count int64, id coffer.ID) {
+	prev := clk.SwapWriteClass(uint8(byteflow.ClassAlloc))
+	defer clk.SetWriteClass(prev)
 	buf := make([]byte, count*allocSlotSize)
 	for i := int64(0); i < count; i++ {
 		binary.LittleEndian.PutUint32(buf[i*allocSlotSize:], uint32(id))
@@ -186,3 +189,58 @@ func (sm *spaceManager) pagesOf(id coffer.ID) int64 {
 
 // freePages returns the number of unallocated pages.
 func (sm *spaceManager) freePages() int64 { return sm.free.Pages() }
+
+// freeExtents returns the free pool's extents in address order.
+func (sm *spaceManager) freeExtents() []coffer.Extent { return sm.free.All() }
+
+// verify re-reads the persistent allocation table (uncharged) and checks it
+// against the volatile trees: every slot's owner must match the owning
+// extent set, and the per-owner page counts must agree exactly. This is the
+// kernel side of the byte-flow space conservation check — the persistent
+// table is the authority, the volatile trees are the cache under test.
+func (sm *spaceManager) verify() error {
+	const slotsPerRead = int64(nvm.PageSize / allocSlotSize)
+	buf := make([]byte, nvm.PageSize)
+	counted := map[coffer.ID]int64{}
+	for page := int64(0); page < sm.npages; page += slotsPerRead {
+		n := slotsPerRead
+		if page+n > sm.npages {
+			n = sm.npages - page
+		}
+		sm.dev.ReadNoCharge(sm.slotOff(page), buf[:n*allocSlotSize])
+		for i := int64(0); i < n; i++ {
+			pg := page + i
+			id := coffer.ID(binary.LittleEndian.Uint32(buf[i*allocSlotSize:]))
+			counted[id]++
+			if id == 0 {
+				if !sm.free.Contains(pg, 1) {
+					return fmt.Errorf("kernfs: page %d free on media but not in the free tree", pg)
+				}
+				continue
+			}
+			own := sm.byOwner[id]
+			if own == nil || !own.Contains(pg, 1) {
+				return fmt.Errorf("kernfs: page %d owned by coffer %d on media but not in its extent tree", pg, id)
+			}
+		}
+	}
+	if got, want := sm.free.Pages(), counted[0]; got != want {
+		return fmt.Errorf("kernfs: free tree holds %d pages, table says %d", got, want)
+	}
+	for id, want := range counted {
+		if id == 0 {
+			continue
+		}
+		if got := sm.pagesOf(id); got != want {
+			return fmt.Errorf("kernfs: coffer %d extent tree holds %d pages, table says %d", id, got, want)
+		}
+	}
+	var total int64
+	for _, n := range counted {
+		total += n
+	}
+	if total != sm.npages {
+		return fmt.Errorf("kernfs: table census %d pages != device %d", total, sm.npages)
+	}
+	return nil
+}

@@ -89,6 +89,9 @@ type Device struct {
 
 	// rec is the telemetry sink; nil (the default) is a valid no-op sink.
 	rec *telemetry.Recorder
+	// acct is the optional byte-flow ledger (see acct.go); nil (the
+	// default) keeps every write path at a pointer load plus a branch.
+	acct atomic.Pointer[acctState]
 	// tr is the persistence flight recorder; nil (the default) is a valid
 	// no-op sink, keeping the untraced store path at a pointer load.
 	tr *pmemtrace.Recorder
@@ -365,6 +368,7 @@ func (d *Device) WriteView(clk *simclock.Clock, off, n int64) (buf []byte, commi
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences)
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
+	d.acctWrite(clk, off, n, true, true)
 	d.tr.Record(d.uid, clk, pmemtrace.KindNTStore, off, n)
 	c := d.chunkFor(off, true)
 	co := off % chunkBytes
@@ -454,6 +458,7 @@ func (d *Device) Write(clk *simclock.Clock, off int64, data []byte) {
 		spans.BillNVM(clk, spans.CompMedia, clk.Now()-t0, 0, 0, 0, 0)
 	}
 	d.rec.Inc(telemetry.CtrNVMCachedWrites)
+	d.acctWrite(clk, off, n, false, false)
 	d.tr.Record(d.uid, clk, pmemtrace.KindStore, off, n)
 	if d.track {
 		d.saveDirty(off, n)
@@ -486,6 +491,7 @@ func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences) // WriteNT folds the trailing fence in
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
+	d.acctWrite(clk, off, n, true, true)
 	d.tr.Record(d.uid, clk, pmemtrace.KindNTStore, off, n)
 	d.copyIn(off, data)
 	if d.track {
@@ -513,6 +519,7 @@ func (d *Device) Flush(clk *simclock.Clock, off, n int64) {
 	d.rec.Inc(telemetry.CtrNVMFences)
 	d.rec.Add(telemetry.CtrNVMCLWBLines, lines(off, n))
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
+	d.acctFlush(clk, off, n)
 	d.tr.Record(d.uid, clk, pmemtrace.KindFlush, off, n)
 	if d.track {
 		d.clearDirty(off, n)
@@ -529,6 +536,7 @@ func (d *Device) Fence(clk *simclock.Clock) {
 		spans.BillNVM(clk, spans.CompFlush, clk.Now()-t0, 0, 0, 0, 1)
 	}
 	d.rec.Inc(telemetry.CtrNVMFences)
+	d.acctFence()
 	d.tr.Record(d.uid, clk, pmemtrace.KindFence, 0, 0)
 }
 
@@ -548,6 +556,7 @@ func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Add(telemetry.CtrNVMZeroBytes, n)
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
+	d.acctWrite(clk, off, n, true, false)
 	d.tr.Record(d.uid, clk, pmemtrace.KindZero, off, n)
 	for rem := n; rem > 0; {
 		c := d.chunkFor(off, false)
@@ -607,6 +616,7 @@ func (d *Device) Store64(clk *simclock.Clock, off int64, v uint64) {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences)
 	d.rec.Add(telemetry.CtrNVMBytesWritten, 8)
+	d.acctWrite(clk, off, 8, true, true)
 	d.tr.Record(d.uid, clk, pmemtrace.KindStore64, off, 8)
 	c := d.chunkFor(off, true)
 	mu := &d.casMu[(off/8)%lockStripes]
@@ -653,6 +663,7 @@ func (d *Device) CAS64(clk *simclock.Clock, off int64, old, new uint64) bool {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences)
 	d.rec.Add(telemetry.CtrNVMBytesWritten, 8)
+	d.acctWrite(clk, off, 8, true, true)
 	d.tr.Record(d.uid, clk, pmemtrace.KindCAS, off, 8)
 	if d.track {
 		d.clearDirty(off, 8)

@@ -12,7 +12,9 @@
 package obsfs
 
 import (
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
+	"zofs/internal/nvm"
 	"zofs/internal/proc"
 	"zofs/internal/spans"
 	"zofs/internal/telemetry"
@@ -23,17 +25,47 @@ import (
 type FS struct {
 	inner vfs.FileSystem
 	rec   *telemetry.Recorder
+	// dev is the wrapped FS's backing device when it exposes one. The
+	// wrapper is the single place application-payload bytes are credited to
+	// the byte-flow ledger, uniformly for every system under test — the
+	// inner FS never self-reports, so app bytes are counted exactly once.
+	dev *nvm.Device
 }
+
+// deviced is implemented by file systems that expose their backing device
+// (zofs.FS, baselines.Engine).
+type deviced interface{ Device() *nvm.Device }
+
+// spacer is implemented by file systems that can report per-coffer space
+// (zofs.FS).
+type spacer interface{ SpaceReport() []byteflow.CofferSpace }
 
 // Wrap returns fs instrumented against rec (which may be nil — the nil
 // recorder is a valid no-op sink) and the process-wide span collector. With
-// neither telemetry nor spans enabled it returns fs unchanged — no wrapping
-// cost when observability is off.
+// neither telemetry, spans nor device byte-flow accounting enabled it
+// returns fs unchanged — no wrapping cost when observability is off.
+//
+// When both spans and byte-flow accounting are live, the wrap also
+// registers the snapshot enricher: published span snapshots (zofs-top's
+// feed) carry this instance's byte-flow and coffer-space panels.
 func Wrap(fs vfs.FileSystem, rec *telemetry.Recorder) vfs.FileSystem {
-	if rec == nil && spans.Active() == nil {
+	var dev *nvm.Device
+	if d, ok := fs.(deviced); ok {
+		dev = d.Device()
+	}
+	if rec == nil && spans.Active() == nil && !dev.AccountingEnabled() {
 		return fs
 	}
-	return &FS{inner: fs, rec: rec}
+	if dev.AccountingEnabled() && spans.Active() != nil {
+		sp, _ := fs.(spacer)
+		spans.OnSnapshot(func(s *spans.Snapshot) {
+			s.Flow = dev.FlowSnapshot()
+			if sp != nil {
+				s.Space = sp.SpaceReport()
+			}
+		})
+	}
+	return &FS{inner: fs, rec: rec, dev: dev}
 }
 
 // Unwrap returns the wrapped file system (tooling, type assertions).
@@ -145,12 +177,18 @@ func (h *handle) ReadAt(th *proc.Thread, p []byte, off int64) (int, error) {
 
 func (h *handle) WriteAt(th *proc.Thread, p []byte, off int64) (int, error) {
 	defer h.fs.begin(th, telemetry.OpWrite, "")()
-	return h.inner.WriteAt(th, p, off)
+	n, err := h.inner.WriteAt(th, p, off)
+	h.fs.dev.AddAppBytes(int64(n))
+	return n, err
 }
 
 func (h *handle) Append(th *proc.Thread, p []byte) (int64, error) {
 	defer h.fs.begin(th, telemetry.OpAppend, "")()
-	return h.inner.Append(th, p)
+	off, err := h.inner.Append(th, p)
+	if err == nil {
+		h.fs.dev.AddAppBytes(int64(len(p)))
+	}
+	return off, err
 }
 
 func (h *handle) Stat(th *proc.Thread) (vfs.FileInfo, error) {

@@ -22,9 +22,10 @@ import (
 // Clock is the virtual clock of one simulated thread. It is not safe for
 // concurrent use; each simulated thread owns exactly one Clock.
 type Clock struct {
-	now  int64 // virtual nanoseconds since simulation start
-	tag  uint64
-	bill any
+	now    int64 // virtual nanoseconds since simulation start
+	tag    uint64
+	wclass uint8
+	bill   any
 }
 
 // NewClock returns a clock starting at virtual time zero.
@@ -59,6 +60,38 @@ func (c *Clock) SetTag(t uint64) { c.tag = t }
 
 // Tag returns the clock's origin tag (zero when untagged).
 func (c *Clock) Tag() uint64 { return c.tag }
+
+// SetWriteClass sets the byte-class tag the device attributes this thread's
+// writes to (a byteflow.Class value; zero is the untagged residual). Like
+// the tag, it rides the clock because the clock is the one per-thread object
+// every device access already carries. Nil-receiver safe so tag sites run
+// unconditionally on clock-less paths.
+func (c *Clock) SetWriteClass(wc uint8) {
+	if c != nil {
+		c.wclass = wc
+	}
+}
+
+// WriteClass returns the clock's current byte-class tag (zero when untagged
+// or when the clock is nil).
+func (c *Clock) WriteClass() uint8 {
+	if c == nil {
+		return 0
+	}
+	return c.wclass
+}
+
+// SwapWriteClass sets the byte-class tag and returns the previous one, the
+// save/restore idiom for nested tag scopes (a data write that allocates a
+// page re-tags to alloc and restores on the way out).
+func (c *Clock) SwapWriteClass(wc uint8) uint8 {
+	if c == nil {
+		return 0
+	}
+	prev := c.wclass
+	c.wclass = wc
+	return prev
+}
 
 // SetBill attaches an opaque cost sink to the clock. Like the tag, it lets
 // per-thread observers (the causal span layer) ride along without simclock

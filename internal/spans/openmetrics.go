@@ -7,6 +7,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"zofs/internal/byteflow"
 )
 
 // WriteOpenMetrics renders a snapshot in the OpenMetrics text exposition
@@ -75,6 +77,41 @@ func WriteOpenMetrics(w io.Writer, s Snapshot) error {
 			c.Name(), strconv.FormatFloat(s.CriticalPath[c.Name()], 'f', 4, 64))
 	}
 
+	if f := s.Flow; f != nil {
+		scalar("zofs_app_bytes", "counter", "application-requested write bytes", strconv.FormatInt(f.App, 10))
+		scalar("zofs_issued_bytes", "counter", "bytes issued to the device", strconv.FormatInt(f.Total, 10))
+		scalar("zofs_media_bytes", "counter", "estimated bytes that reached media", strconv.FormatInt(f.MediaBytes(), 10))
+		scalar("zofs_flushes", "counter", "cache-line flush instructions", strconv.FormatInt(f.Flushes, 10))
+		scalar("zofs_fences", "counter", "store fences", strconv.FormatInt(f.Fences, 10))
+		scalar("zofs_write_amplification", "gauge", "media bytes per application byte", strconv.FormatFloat(f.WA(), 'f', 4, 64))
+		fmt.Fprintf(bw, "# TYPE zofs_issued_class_bytes counter\n")
+		for _, c := range byteflow.Classes() {
+			fmt.Fprintf(bw, "zofs_issued_class_bytes_total{class=%q} %d\n", c.String(), f.Issued[c])
+		}
+		fmt.Fprintf(bw, "# TYPE zofs_nt_class_bytes counter\n")
+		for _, c := range byteflow.Classes() {
+			fmt.Fprintf(bw, "zofs_nt_class_bytes_total{class=%q} %d\n", c.String(), f.NT[c])
+		}
+		fmt.Fprintf(bw, "# TYPE zofs_flush_class_lines counter\n")
+		for _, c := range byteflow.Classes() {
+			fmt.Fprintf(bw, "zofs_flush_class_lines_total{class=%q} %d\n", c.String(), f.Lines[c])
+		}
+	}
+	if len(s.Space) > 0 {
+		fmt.Fprintf(bw, "# TYPE zofs_coffer_pages gauge\n")
+		for _, cs := range s.Space {
+			id := strconv.FormatUint(cs.ID, 10)
+			fmt.Fprintf(bw, "zofs_coffer_pages{coffer=%q,state=\"used\"} %d\n", id, cs.Used)
+			fmt.Fprintf(bw, "zofs_coffer_pages{coffer=%q,state=\"free_listed\"} %d\n", id, cs.FreeListed)
+			fmt.Fprintf(bw, "zofs_coffer_pages{coffer=%q,state=\"cached\"} %d\n", id, cs.Cached)
+		}
+		fmt.Fprintf(bw, "# TYPE zofs_coffer_frag gauge\n")
+		fmt.Fprintf(bw, "# HELP zofs_coffer_frag fraction of adjacent page pairs breaking contiguity\n")
+		for _, cs := range s.Space {
+			fmt.Fprintf(bw, "zofs_coffer_frag{coffer=\"%d\"} %s\n", cs.ID, strconv.FormatFloat(cs.Frag, 'f', 4, 64))
+		}
+	}
+
 	if len(s.Contention) > 0 {
 		fmt.Fprintf(bw, "# TYPE zofs_lock_wait_ns counter\n")
 		for _, l := range s.Contention {
@@ -109,6 +146,9 @@ func ValidateOpenMetrics(r io.Reader) error {
 		latSum    = map[string]float64{}
 		shareSum  = map[string]float64{}
 		shareSeen = map[string]bool{}
+		issued    = int64(-1)
+		classSum  int64
+		classSeen bool
 	)
 	for sc.Scan() {
 		line++
@@ -160,6 +200,11 @@ func ValidateOpenMetrics(r io.Reader) error {
 		case "zofs_op_component_share":
 			shareSum[labels["op"]] += val
 			shareSeen[labels["op"]] = true
+		case "zofs_issued_bytes_total":
+			issued = int64(val)
+		case "zofs_issued_class_bytes_total":
+			classSum += int64(val)
+			classSeen = true
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -176,6 +221,15 @@ func ValidateOpenMetrics(r io.Reader) error {
 			return fmt.Errorf("op %q: component shares sum to %.2f%%, want 100±1", op, sum)
 		}
 	}
+	// Byte-flow conservation is exact: per-class issued bytes must sum to
+	// the independently counted issued total.
+	if classSeen && issued >= 0 && classSum != issued {
+		return fmt.Errorf("byte-flow: class bytes sum to %d, issued total is %d", classSum, issued)
+	}
+	if classSeen && issued < 0 {
+		return fmt.Errorf("byte-flow: class series present without zofs_issued_bytes_total")
+	}
+	_ = byteflow.NumClasses
 	return nil
 }
 

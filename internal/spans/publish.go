@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,10 +13,34 @@ import (
 // publishes into a directory; zofs-top polls it. Files are written to a temp
 // name and renamed so a reader never observes a half-written snapshot.
 
+// enricher holds the OnSnapshot hook.
+var enricher atomic.Pointer[func(*Snapshot)]
+
+// OnSnapshot installs a hook the publisher applies to every snapshot before
+// writing — the place harnesses attach device byte-flow and per-coffer
+// space rows, which the collector itself cannot see. Nil uninstalls.
+func OnSnapshot(f func(*Snapshot)) {
+	if f == nil {
+		enricher.Store(nil)
+		return
+	}
+	enricher.Store(&f)
+}
+
+// Enrich applies the OnSnapshot hook (if any) to s. Publishers call it
+// automatically; direct Snapshot() consumers (zofs-shell's spans dump) call
+// it themselves to pick up the byte-flow and space panels.
+func Enrich(s *Snapshot) {
+	if f := enricher.Load(); f != nil {
+		(*f)(s)
+	}
+}
+
 // Publish writes the collector's current snapshot into dir as spans.json
 // (the Snapshot document) and spans.prom (its OpenMetrics rendering).
 func Publish(c *Collector, dir string) error {
 	snap := c.Snapshot()
+	Enrich(&snap)
 	raw, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		return err

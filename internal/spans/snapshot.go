@@ -6,6 +6,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"zofs/internal/byteflow"
 	"zofs/internal/telemetry"
 )
 
@@ -69,6 +70,13 @@ type Snapshot struct {
 
 	Contention        []LockStat `json:"contention,omitempty"`
 	ContentionDropped int64      `json:"contention_dropped,omitempty"`
+
+	// Flow is the device byte-flow ledger at snapshot time and Space the
+	// per-coffer space rows. The collector doesn't know the device, so both
+	// are attached by the publisher (see OnSnapshot) or by harnesses; nil
+	// when byte-flow accounting is disabled.
+	Flow  *byteflow.Flow         `json:"flow,omitempty"`
+	Space []byteflow.CofferSpace `json:"space,omitempty"`
 }
 
 // Snapshot copies the collector's aggregates into a Snapshot.
@@ -183,6 +191,10 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 		DcacheMisses:      s.DcacheMisses - prev.DcacheMisses,
 		ContentionDropped: s.ContentionDropped - prev.ContentionDropped,
 		Ops:               map[string]OpBreakdown{},
+		Space:             s.Space, // space rows are a gauge, keep current
+	}
+	if s.Flow != nil {
+		d.Flow = s.Flow.Sub(prev.Flow)
 	}
 	for name, cur := range s.Ops {
 		old := prev.Ops[name] // zero value when absent
@@ -304,6 +316,35 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		fmt.Fprintf(w, " %s %.1f%%", c.Name(), s.CriticalPath[c.Name()])
 	}
 	fmt.Fprintln(w)
+
+	if s.Flow != nil {
+		f := s.Flow
+		fmt.Fprintf(w, "byte flow: app %d  issued %d  media %d  WA %.2f  flushes %d  fences %d\n",
+			f.App, f.Total, f.MediaBytes(), f.WA(), f.Flushes, f.Fences)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "class\tissued\tnt\tflush_lines")
+		for _, c := range byteflow.Classes() {
+			if f.Issued[c] == 0 && f.NT[c] == 0 && f.Lines[c] == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", c, f.Issued[c], f.NT[c], f.Lines[c])
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	if len(s.Space) > 0 {
+		fmt.Fprintln(w, "coffer space:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "coffer\tpath\tpages\tused\tfree_listed\tcached\textents\tfrag")
+		for _, cs := range s.Space {
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%.3f\n",
+				cs.ID, cs.Path, cs.Pages, cs.Used, cs.FreeListed, cs.Cached, cs.Extents, cs.Frag)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
 
 	if len(s.Contention) > 0 {
 		fmt.Fprintln(w, "lock contention (by total wait):")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
@@ -151,6 +152,11 @@ func (f *FS) slotFor(th *proc.Thread, m *mount, class int) (*threadSlots, int64,
 // the allocation table but are referenced by nothing, so recovery's in-use
 // traversal reclaims them (§5.3).
 func (f *FS) allocPage(th *proc.Thread, m *mount, class int) (int64, error) {
+	// Allocator scope: lease stores, kernel grants (including their zeroing
+	// and allocation-table writes) and free-list chaining are alloc-class
+	// bytes, whatever class the caller was writing.
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassAlloc))
+	defer th.Clk.SetWriteClass(prev)
 	ts, slotOff, err := f.slotFor(th, m, class)
 	if err != nil {
 		return 0, err
@@ -265,7 +271,9 @@ func (f *FS) pushExtents(th *proc.Thread, ts *threadSlots, slotOff int64, class 
 }
 
 // chainStore performs a checked 8-byte store whose media cost is accounted
-// in bulk by the caller.
+// in bulk by the caller. The nil clock means the byte-flow ledger books
+// these stores in the residual class (no clock, no class tag) — the one
+// deliberate residual source; see DESIGN.md §11.
 func (f *FS) chainStore(th *proc.Thread, off int64, v uint64) {
 	th.CheckAccess(off, 8, true)
 	f.kern.Device().Store64(nil, off, v)
@@ -276,6 +284,8 @@ func (f *FS) chainStore(th *proc.Thread, off int64, v uint64) {
 // are scrubbed on free so the metadata list invariant — pages arrive
 // zeroed — holds for recycled pages exactly as for fresh kernel grants.
 func (f *FS) freePage(th *proc.Thread, m *mount, class int, page int64) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassAlloc))
+	defer th.Clk.SetWriteClass(prev)
 	if debugPool {
 		if st, _ := debugFree.Load(page); st == 1 {
 			panic(fmt.Sprintf("zofs: double free of page %d (class %d)", page, class))

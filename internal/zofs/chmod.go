@@ -1,6 +1,7 @@
 package zofs
 
 import (
+	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
 	"zofs/internal/proc"
 	"zofs/internal/vfs"
@@ -126,6 +127,8 @@ func (f *FS) setPerm(th *proc.Thread, path string, mode coffer.Mode, uid, gid ui
 	}
 
 	writeInodePerm := func() {
+		prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+		defer th.Clk.SetWriteClass(prev)
 		b := make([]byte, 12)
 		putU32(b, 0, uint32(newMode))
 		putU32(b, 4, newUID)
@@ -227,6 +230,8 @@ func (f *FS) maybeMergeBack(th *proc.Thread, dir, base string, target coffer.ID)
 	f.dirUpdateCoffer(th, pos.ino, base, loc, 0, de.inode)
 	// Back in-coffer, stat reads the inode's own permission words (the
 	// root page is gone) — sync them with what the root page said.
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(prev)
 	b := make([]byte, 12)
 	putU32(b, 0, uint32(rp.Mode))
 	putU32(b, 4, rp.UID)

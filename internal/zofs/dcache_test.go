@@ -286,6 +286,18 @@ func TestBatchedGrantsReclaimedByRecovery(t *testing.T) {
 		if err := f.EnsureRootDir(th); err != nil {
 			t.Fatal(err)
 		}
+		// Recovery just reclaimed the previous cycle's stranded batches: the
+		// space accounting must reconcile exactly — table vs trees vs census
+		// on the kernel side, free inventory inside the grant on the µFS
+		// side — with nothing double-counted or leaked.
+		if err := f.VerifySpace(); err != nil {
+			t.Fatalf("cycle %d: space accounting after recovery: %v", cycle, err)
+		}
+		for _, cs := range f.SpaceReport() {
+			if cs.Used < 0 || cs.Used+cs.FreeListed+cs.Cached != cs.Pages {
+				t.Fatalf("cycle %d: coffer %d space rows inconsistent: %+v", cycle, cs.ID, cs)
+			}
+		}
 		// One create pulls a full metadata batch (and the write a data
 		// batch) into the volatile caches; the rest of both batches is
 		// stranded by the "crash" below.

@@ -1,6 +1,7 @@
 package zofs
 
 import (
+	"zofs/internal/byteflow"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
 	"zofs/internal/spans"
@@ -176,6 +177,8 @@ func (f *FS) dirLookupScan(th *proc.Thread, dirIno int64, name string) (dentry, 
 // device image through a write view when available; the copy path remains
 // for the NoZeroCopy baseline.
 func (f *FS) writeDentry(th *proc.Thread, loc deLoc, name string, typ uint8, cofferID uint32, inode int64) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassDentry))
+	defer th.Clk.SetWriteClass(prev)
 	wrote := false
 	if !f.opts.NoZeroCopy {
 		if buf, commit, ok := th.WriteView(loc.addr()+8, dentrySize-8); ok {
@@ -209,6 +212,8 @@ func (f *FS) writeDentry(th *proc.Thread, loc deLoc, name string, typ uint8, cof
 // index exact; free dentry slots come off the cached free lists instead of
 // rescanning pages.
 func (f *FS) dirInsert(th *proc.Thread, m *mount, dirIno int64, name string, typ uint8, cofferID uint32, inode int64) error {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassDentry))
+	defer th.Clk.SetWriteClass(prev)
 	if len(name) > MaxNameLen {
 		return vfs.ErrNameTooLong
 	}
@@ -381,6 +386,8 @@ func (f *FS) dirInsertScan(th *proc.Thread, m *mount, dirIno int64, name string,
 // cache enabled the store runs under the index mutex and the slot returns
 // to its free list, so the index stays complete.
 func (f *FS) dirRemove(th *proc.Thread, dirIno int64, name string, loc deLoc) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassDentry))
+	defer th.Clk.SetWriteClass(prev)
 	if f.opts.NoDirCache {
 		th.Store64(loc.addr(), dentryCommit(deStateFree, 0, 0, 0))
 		return
@@ -403,6 +410,8 @@ func (f *FS) dirRemove(th *proc.Thread, dirIno int64, name string, loc deLoc) {
 // the coffer-ID field is written, then the inode pointer is re-stored to
 // refresh readers (same name). The cached entry absorbs the same delta.
 func (f *FS) dirUpdateCoffer(th *proc.Thread, dirIno int64, name string, loc deLoc, cofferID uint32, inode int64) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassDentry))
+	defer th.Clk.SetWriteClass(prev)
 	write := func() {
 		var b [8]byte
 		putU32(b[:4], 0, cofferID)

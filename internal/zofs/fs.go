@@ -8,6 +8,7 @@ import (
 	"zofs/internal/coffer"
 	"zofs/internal/kernfs"
 	"zofs/internal/mpk"
+	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
 	"zofs/internal/spans"
@@ -125,6 +126,9 @@ func (f *FS) Name() string { return "ZoFS" }
 
 // Kern exposes the kernel module (tooling, tests).
 func (f *FS) Kern() *kernfs.KernFS { return f.kern }
+
+// Device returns the backing NVM device (byte-flow accounting, tooling).
+func (f *FS) Device() *nvm.Device { return f.kern.Device() }
 
 // SecondMount registers another process with the kernel and returns a µFS
 // instance for it — the multi-process sharing setup of Tables 2 and §6.5.

@@ -1,6 +1,7 @@
 package zofs
 
 import (
+	"zofs/internal/byteflow"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
 	"zofs/internal/spans"
@@ -15,6 +16,8 @@ import (
 // initInode writes a fresh inode header into a (kernel-zeroed) metadata
 // page. The header write is the only persistence needed: pointers are zero.
 func (f *FS) initInode(th *proc.Thread, page int64, typ vfs.FileType, mode uint32, uid, gid uint32) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(prev)
 	hdr := make([]byte, inoHeaderLen)
 	putU32(hdr, inoMagicOff, inoMagic)
 	putU32(hdr, inoTypeOff, uint32(typ))
@@ -29,6 +32,8 @@ func (f *FS) initInode(th *proc.Thread, page int64, typ vfs.FileType, mode uint3
 
 // writeSymlinkTarget stores a symlink's target in its inode page.
 func (f *FS) writeSymlinkTarget(th *proc.Thread, page int64, target string) error {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(prev)
 	if len(target) > symMaxLen {
 		return vfs.ErrNameTooLong
 	}
@@ -51,6 +56,8 @@ func (f *FS) inodeSize(th *proc.Thread, ino int64) int64 {
 // setInodeSize persists a new size and mtime (two adjacent words, one
 // streaming write).
 func (f *FS) setInodeSize(th *proc.Thread, ino int64, size int64) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(prev)
 	var buf [16]byte
 	putU64(buf[:], 0, uint64(size))
 	putU64(buf[:], 8, uint64(th.Clk.Now()))
@@ -60,6 +67,8 @@ func (f *FS) setInodeSize(th *proc.Thread, ino int64, size int64) {
 // blockPtr maps file block idx to its data page, optionally allocating the
 // page (and any needed indirect pages) on the way.
 func (f *FS) blockPtr(th *proc.Thread, m *mount, ino, idx int64, alloc bool) (int64, error) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(prev)
 	slot, err := f.blockSlot(th, m, ino, idx, alloc)
 	if err != nil || slot == 0 {
 		return 0, err
@@ -109,6 +118,8 @@ func (f *FS) blockSlot(th *proc.Thread, m *mount, ino, idx int64, alloc bool) (i
 // blockPtrForWrite resolves (allocating if absent) the data page for block
 // idx and reports whether it was freshly allocated, in one map walk.
 func (f *FS) blockPtrForWrite(th *proc.Thread, m *mount, ino, idx int64) (pg int64, created bool, err error) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(prev)
 	slot, err := f.blockSlot(th, m, ino, idx, true)
 	if err != nil {
 		return 0, false, err
@@ -127,6 +138,8 @@ func (f *FS) blockPtrForWrite(th *proc.Thread, m *mount, ino, idx int64) (pg int
 // indirectPage dereferences (and optionally allocates) a pointer page.
 // Pointer pages must arrive zeroed, so they come from the metadata class.
 func (f *FS) indirectPage(th *proc.Thread, m *mount, slot int64, alloc bool) (int64, error) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(prev)
 	pg := int64(th.Load64Cached(slot))
 	if pg == 0 && alloc {
 		newPg, err := f.allocPage(th, m, classMeta)
@@ -196,6 +209,8 @@ func (f *FS) readAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (
 // Newly allocated, partially covered pages are zeroed first (data-class
 // grants are not scrubbed).
 func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (int, error) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassData))
+	defer th.Clk.SetWriteClass(prev)
 	if off < 0 {
 		return 0, vfs.ErrInvalid
 	}
@@ -262,7 +277,9 @@ func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) 
 	if end := off + int64(n); end > size {
 		f.setInodeSize(th, ino, end)
 	} else {
+		th.Clk.SetWriteClass(uint8(byteflow.ClassInode))
 		th.Store64(ino*pageSize+inoMtimeOff, uint64(th.Clk.Now()))
+		th.Clk.SetWriteClass(uint8(byteflow.ClassData))
 	}
 	return n, nil
 }
@@ -270,6 +287,8 @@ func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) 
 // deInline migrates inline content to a real data page (the file outgrew
 // the inode's tail).
 func (f *FS) deInline(th *proc.Thread, m *mount, ino, size int64) error {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassData))
+	defer th.Clk.SetWriteClass(prev)
 	f.rec().Inc(telemetry.CtrZoFSDeInline)
 	buf := make([]byte, size)
 	th.Read(ino*pageSize+inoInlineOff, buf)
@@ -287,6 +306,8 @@ func (f *FS) deInline(th *proc.Thread, m *mount, ino, size int64) error {
 // Shrinking commits the new size first, then frees the trimmed pages —
 // a crash in between only leaks pages, which recovery reclaims (§5.3).
 func (f *FS) truncateTo(th *proc.Thread, m *mount, ino, newSize int64) error {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassData))
+	defer th.Clk.SetWriteClass(prev)
 	if newSize < 0 {
 		return vfs.ErrInvalid
 	}
@@ -334,6 +355,8 @@ func (f *FS) truncateTo(th *proc.Thread, m *mount, ino, newSize int64) error {
 // clearBlockPtr zeroes the pointer slot for a block (direct and indirect
 // levels; empty indirect pages are left in place and reclaimed by fsck).
 func (f *FS) clearBlockPtr(th *proc.Thread, ino, idx int64) {
+	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(prev)
 	switch {
 	case idx < inoDirectCnt:
 		th.Store64(ino*pageSize+inoDirectOff+8*idx, 0)

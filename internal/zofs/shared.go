@@ -3,6 +3,7 @@ package zofs
 import (
 	"sync"
 
+	"zofs/internal/byteflow"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
@@ -118,12 +119,16 @@ func (f *FS) lockInode(th *proc.Thread, m *mount, ino int64) {
 		sp.LockContend(ino, w)
 	}
 	f.window(th, m, true)
+	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
 	th.Store64(ino*nvm.PageSize+inoLeaseOff, leaseWord(th.TID, th.Clk.Now()+leaseDuration))
+	th.Clk.SetWriteClass(wprev)
 }
 
 func (f *FS) unlockInode(th *proc.Thread, m *mount, ino int64) {
 	f.window(th, m, true)
+	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
 	th.Store64(ino*nvm.PageSize+inoLeaseOff, 0)
+	th.Clk.SetWriteClass(wprev)
 	f.sh.lockOf(ino).Unlock(th.Clk)
 }
 

@@ -42,6 +42,17 @@ go run ./cmd/zofs-bench -quick -spans "$tracedir/spans" fig8 >/dev/null
 go run ./cmd/zofs-top -validate "$tracedir/spans/spans.prom" >/dev/null
 go run ./cmd/zofs-top -once -dir "$tracedir/spans" >/dev/null
 
+echo "== wa smoke =="
+# Byte-flow gates. The "wa" experiment is self-asserting: per-class issued
+# bytes sum exactly to the device's independent issued total, write cells
+# keep media >= issued >= app, and accounting-on vs accounting-off simulated
+# throughput agrees within 2%. Then zofs-df must reconcile flow and space
+# accounting (-validate exits 1 on violation) and emit OpenMetrics series
+# the spans validator accepts.
+go run ./cmd/zofs-bench -quick wa >/dev/null
+go run ./cmd/zofs-df -files 128 -validate -om "$tracedir/flow.prom" >/dev/null
+go run ./cmd/zofs-top -validate "$tracedir/flow.prom" >/dev/null
+
 echo "== crashmc smoke =="
 # Crash-state model checker gates: a dense ZoFS sweep (>=200 states under
 # all media models on both crash edges) and one baseline must hold every
