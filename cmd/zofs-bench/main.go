@@ -6,8 +6,8 @@
 //	zofs-bench [-quick] [-stats] [-threads 1,2,4,8,12,16,20] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
-// fig11 table9 safety recovery crashmc hotpath spans wa — or "all" (the
-// default).
+// fig11 table9 safety recovery crashmc hotpath spans wa fxmark-scale — or
+// "all" (the default).
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"zofs/internal/harness"
+	"zofs/internal/lockprof"
 	"zofs/internal/pmemtrace"
 	"zofs/internal/spans"
 )
@@ -49,6 +50,7 @@ var experiments = []struct {
 	{"hotpath", "zero-copy hot path vs copy-path baseline", harness.RunHotpath},
 	{"spans", "causal-span overhead/attribution/OpenMetrics gate", harness.RunSpans},
 	{"wa", "write-amplification and byte-conservation gate", harness.RunWA},
+	{"fxmark-scale", "FxMark scalability matrix with per-lock contention attribution", harness.RunFxmarkScale},
 }
 
 func main() {
@@ -59,6 +61,7 @@ func main() {
 	statsDir := flag.String("statsdir", "results", "directory for metrics-<experiment>-<config>.json sidecars")
 	traceFile := flag.String("trace", "", "record every NVM persistence event to this JSONL file (audit/export with zofs-trace; best with -quick and a single experiment)")
 	spansDir := flag.String("spans", "", "collect causal spans for the whole run and write spans.jsonl, spans.json and spans.prom into this directory (watch live with zofs-top)")
+	lockDir := flag.String("lockprof", "", "profile named-lock contention for the whole run and write locks.json, locks.prom and waits.jsonl into this directory (inspect with zofs-locks)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = func() {
@@ -127,6 +130,33 @@ func main() {
 			}
 			fmt.Printf("==== span attribution (%d spans -> %s) ====\n", col.Finished(), *spansDir)
 			col.Snapshot().WriteText(os.Stdout)
+		}()
+	}
+
+	if *lockDir != "" {
+		if err := os.MkdirAll(*lockDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: -lockprof: %v\n", err)
+			os.Exit(1)
+		}
+		reg := lockprof.Enable(lockprof.Config{})
+		// The span snapshot (and zofs-top, which renders it) carries the
+		// contention panel whenever both layers are on.
+		spans.OnLockReport(func() *lockprof.Report {
+			rep := reg.Snapshot()
+			return &rep
+		})
+		stop := lockprof.PublishEvery(reg, *lockDir, 500*time.Millisecond)
+		defer func() {
+			stop()
+			lockprof.Disable()
+			spans.OnLockReport(nil)
+			if err := lockprof.Publish(reg, *lockDir); err != nil {
+				fmt.Fprintf(os.Stderr, "zofs-bench: -lockprof: %v\n", err)
+				os.Exit(1)
+			}
+			rep := reg.Snapshot()
+			fmt.Printf("==== lock contention (%d acquires -> %s) ====\n", rep.Acquires, *lockDir)
+			rep.WriteText(os.Stdout)
 		}()
 	}
 

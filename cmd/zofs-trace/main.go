@@ -29,13 +29,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"zofs/internal/coffer"
 	"zofs/internal/kernfs"
+	"zofs/internal/lockprof"
 	"zofs/internal/nvm"
 	"zofs/internal/obsfs"
 	"zofs/internal/pmemtrace"
@@ -336,9 +339,10 @@ func cmdExport(args []string) {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	out := fs.String("o", "chrome.json", "output Chrome trace-event JSON path")
 	spanLog := fs.String("spans", "", "merge causal-span roots from this spans.jsonl (zofs-bench -spans) instead of telemetry op spans")
+	waitLog := fs.String("waits", "", "merge per-thread blocked-on lanes from this waits.jsonl (zofs-bench -lockprof)")
 	fs.Parse(args)
 	if fs.NArg() > 1 || (fs.NArg() == 0 && *spanLog == "") {
-		fmt.Fprintln(os.Stderr, "usage: zofs-trace export [-o chrome.json] [-spans spans.jsonl] [trace.jsonl]")
+		fmt.Fprintln(os.Stderr, "usage: zofs-trace export [-o chrome.json] [-spans spans.jsonl] [-waits waits.jsonl] [trace.jsonl]")
 		os.Exit(2)
 	}
 	var events []pmemtrace.Event
@@ -355,19 +359,28 @@ func cmdExport(args []string) {
 		if err != nil {
 			fatal("-spans: %v", err)
 		}
+		var waits []lockprof.BlockedInterval
+		if *waitLog != "" {
+			if waits, err = loadWaits(*waitLog); err != nil {
+				fatal("-waits: %v", err)
+			}
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal("%v", err)
 		}
-		if err := spans.WriteChromeTrace(f, roots, events); err != nil {
+		if err := spans.WriteChromeTraceLanes(f, roots, events, waits); err != nil {
 			f.Close()
 			fatal("%v", err)
 		}
 		if err := f.Close(); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Printf("wrote %s (%d events, %d causal spans)\n", *out, len(events), len(roots))
+		fmt.Printf("wrote %s (%d events, %d causal spans, %d lock waits)\n", *out, len(events), len(roots), len(waits))
 		return
+	}
+	if *waitLog != "" {
+		fatal("-waits requires -spans (blocked-on lanes ride on the causal-span timeline)")
 	}
 	if err := exportChrome(*out, events, tspans); err != nil {
 		fatal("%v", err)
@@ -382,6 +395,26 @@ func loadRoots(path string) ([]spans.Root, error) {
 	}
 	defer f.Close()
 	return spans.ReadRootsJSONL(f)
+}
+
+func loadWaits(path string) ([]lockprof.BlockedInterval, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var waits []lockprof.BlockedInterval
+	dec := json.NewDecoder(f)
+	for {
+		var b lockprof.BlockedInterval
+		if err := dec.Decode(&b); err != nil {
+			if err == io.EOF {
+				return waits, nil
+			}
+			return nil, err
+		}
+		waits = append(waits, b)
+	}
 }
 
 // ---- shared --------------------------------------------------------------

@@ -14,12 +14,14 @@
 package baselines
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
+	"zofs/internal/lockprof"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
@@ -75,7 +77,7 @@ type Inode struct {
 	// inoPage is the on-device inode-table page backing this inode.
 	inoPage int64
 
-	Lock simclock.RWMutex // per-file readers-writer lock
+	Lock lockprof.RWMutex // per-file readers-writer lock
 
 	mu     sync.Mutex // protects the fields below
 	size   int64
@@ -109,7 +111,7 @@ type Engine struct {
 
 	nextIno  atomic.Int64
 	nextPage atomic.Int64 // bump allocator over the data region
-	freeMu   simclock.Mutex
+	freeMu   lockprof.Mutex
 	freeList []int64
 
 	pools   sync.Map // tid -> *pagePool (per-thread allocators)
@@ -138,6 +140,7 @@ type pagePool struct {
 // NewEngine formats a device for a baseline FS.
 func NewEngine(dev *nvm.Device, cfg Config) *Engine {
 	e := &Engine{cfg: cfg, dev: dev}
+	e.freeMu.Init("baseline.freelist", cfg.Name)
 	// First 1024 pages are the journal/log area.
 	e.jStart = 0
 	e.jBytes = 1024 * pageSize
@@ -157,6 +160,7 @@ func (e *Engine) newInode(typ vfs.FileType, mode coffer.Mode, uid, gid uint32) *
 	ino := &Inode{
 		ID: e.nextIno.Add(1), Typ: typ, Mode: mode, UID: uid, GID: gid, Nlink: 1,
 	}
+	ino.Lock.Init("baseline.inode", strconv.FormatInt(ino.ID, 10))
 	if typ == vfs.TypeDir {
 		ino.children = &sync.Map{}
 	}

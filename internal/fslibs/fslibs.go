@@ -13,11 +13,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
-	"sync"
 
 	"zofs/internal/coffer"
 	"zofs/internal/kernfs"
+	"zofs/internal/lockprof"
 	"zofs/internal/logfs"
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
@@ -54,7 +55,7 @@ type Lib struct {
 	opts  Options
 	byTyp map[coffer.Type]vfs.FileSystem
 
-	mu  sync.Mutex
+	mu  lockprof.RealMutex // guards fds/cwd; real-only, no virtual cost
 	fds map[int]*fdEntry
 	cwd string
 }
@@ -85,6 +86,7 @@ func Mount(kern *kernfs.KernFS, th *proc.Thread, opts Options) (*Lib, error) {
 		fds: map[int]*fdEntry{},
 		cwd: "/",
 	}
+	l.mu.Init("fslib.fds", strconv.Itoa(th.Proc.PID))
 	return l, nil
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
+	"zofs/internal/lockprof"
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
@@ -67,13 +68,13 @@ type KernFS struct {
 
 	// kmu is the kernel big lock: real mutual exclusion for the volatile
 	// structures plus virtual-time serialization of kernel work.
-	kmu simclock.Mutex
+	kmu lockprof.Mutex
 	// pmu guards the path→coffer table separately: lookups take the read
 	// side and never serialize with allocation. (The persistent table is
 	// mapped read-only into user space — §4.1 — so resolution does not
 	// enter the kernel at all; the read lock models only coherence with
 	// concurrent path updates.)
-	pmu simclock.RWMutex
+	pmu lockprof.RWMutex
 
 	space *spaceManager
 	paths *pathTable
@@ -186,6 +187,8 @@ func Mount(dev *nvm.Device) (*KernFS, error) {
 		coffers:    map[coffer.ID]*cofferInfo{},
 		procs:      map[int]*procState{},
 	}
+	k.kmu.Init("kernfs.big", "")
+	k.pmu.Init("kernfs.paths", "")
 	k.paths = &pathTable{dev: dev, bucketOff: pathPage * nvm.PageSize, sm: k.space, wmu: &k.pmu}
 	if err := k.space.scan(nil); err != nil {
 		return nil, err

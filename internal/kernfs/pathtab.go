@@ -7,6 +7,7 @@ import (
 
 	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
+	"zofs/internal/lockprof"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
 	"zofs/internal/simclock"
@@ -44,7 +45,7 @@ type pathTable struct {
 	// wmu is the write-side coupling to KernFS.pmu: callers of insert/
 	// remove/rename hold the kernel lock; the volatile map additionally
 	// synchronizes with lock-free readers through this pointer.
-	wmu *simclock.RWMutex
+	wmu *lockprof.RWMutex
 
 	vol map[string]coffer.ID
 }

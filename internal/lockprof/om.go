@@ -1,0 +1,210 @@
+package lockprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics rendering of a Report. All families carry the zofs_lockprof_
+// prefix so the series namespace cannot collide with the span layer's
+// zofs_lock_wait_ns_total (which aggregates by contention key, not by named
+// lock). The validator re-parses the text and enforces the conservation
+// invariants, so a drifting writer fails CI rather than shipping bad data.
+
+// WriteOpenMetrics renders rep in OpenMetrics text format.
+func WriteOpenMetrics(w io.Writer, rep Report) error {
+	bw := bufio.NewWriter(w)
+	scalar := func(name, typ, help string, v int64) {
+		fmt.Fprintf(bw, "# TYPE %s %s\n# HELP %s %s\n%s", name, typ, name, help, name)
+		if typ == "counter" {
+			fmt.Fprint(bw, "_total")
+		}
+		fmt.Fprintf(bw, " %d\n", v)
+	}
+	scalar("zofs_lockprof_acquires", "counter", "Instrumented lock acquisitions.", rep.Acquires)
+	scalar("zofs_lockprof_contended", "counter", "Acquisitions that waited.", rep.Contended)
+	scalar("zofs_lockprof_wait_ns", "counter", "Total virtual lock-wait nanoseconds.", rep.WaitNS)
+	scalar("zofs_lockprof_hold_ns", "counter", "Total virtual lock-hold nanoseconds.", rep.HoldNS)
+	scalar("zofs_lockprof_real_wait_ns", "counter", "Total real-time wait nanoseconds on real-only locks.", rep.RealWaitNS)
+	scalar("zofs_lockprof_held", "gauge", "Instrumented locks currently held.", rep.HeldNow)
+	scalar("zofs_lockprof_inversions", "gauge", "Distinct lock-order inversions observed.", int64(len(rep.Inversions)))
+
+	fmt.Fprintf(bw, "# TYPE zofs_lockprof_lock_acquires counter\n# HELP zofs_lockprof_lock_acquires Acquisitions per named lock.\n")
+	for _, l := range rep.Locks {
+		fmt.Fprintf(bw, "zofs_lockprof_lock_acquires_total{lock=%q,class=%q,real=%q} %d\n",
+			l.Lock, l.Class, strconv.FormatBool(l.Real), l.Acquires)
+	}
+	fmt.Fprintf(bw, "# TYPE zofs_lockprof_lock_contended counter\n# HELP zofs_lockprof_lock_contended Contended acquisitions per named lock.\n")
+	for _, l := range rep.Locks {
+		fmt.Fprintf(bw, "zofs_lockprof_lock_contended_total{lock=%q} %d\n", l.Lock, l.Contended)
+	}
+	fmt.Fprintf(bw, "# TYPE zofs_lockprof_lock_wait_ns counter\n# HELP zofs_lockprof_lock_wait_ns Virtual wait nanoseconds per named lock.\n")
+	for _, l := range rep.Locks {
+		if !l.Real {
+			fmt.Fprintf(bw, "zofs_lockprof_lock_wait_ns_total{lock=%q} %d\n", l.Lock, l.WaitNS)
+		}
+	}
+	fmt.Fprintf(bw, "# TYPE zofs_lockprof_lock_hold_ns counter\n# HELP zofs_lockprof_lock_hold_ns Virtual hold nanoseconds per named lock.\n")
+	for _, l := range rep.Locks {
+		if !l.Real {
+			fmt.Fprintf(bw, "zofs_lockprof_lock_hold_ns_total{lock=%q} %d\n", l.Lock, l.HoldNS)
+		}
+	}
+	fmt.Fprintf(bw, "# TYPE zofs_lockprof_lock_real_wait_ns counter\n# HELP zofs_lockprof_lock_real_wait_ns Real wait nanoseconds per real-only lock.\n")
+	for _, l := range rep.Locks {
+		if l.Real {
+			fmt.Fprintf(bw, "zofs_lockprof_lock_real_wait_ns_total{lock=%q} %d\n", l.Lock, l.WaitNS)
+		}
+	}
+	fmt.Fprintf(bw, "# TYPE zofs_lockprof_lock_wait_p99_ns gauge\n# HELP zofs_lockprof_lock_wait_p99_ns p99 wait nanoseconds per named lock.\n")
+	for _, l := range rep.Locks {
+		fmt.Fprintf(bw, "zofs_lockprof_lock_wait_p99_ns{lock=%q} %d\n", l.Lock, l.WaitP99NS)
+	}
+	fmt.Fprintf(bw, "# TYPE zofs_lockprof_edge_wait_ns counter\n# HELP zofs_lockprof_edge_wait_ns Wait nanoseconds on wanted lock while holding another.\n")
+	for _, e := range rep.Edges {
+		fmt.Fprintf(bw, "zofs_lockprof_edge_wait_ns_total{held=%q,wanted=%q} %d\n", e.From, e.To, e.WaitNS)
+	}
+	fmt.Fprintf(bw, "# TYPE zofs_lockprof_edge_waits counter\n# HELP zofs_lockprof_edge_waits Contended acquisitions per wait-for edge.\n")
+	for _, e := range rep.Edges {
+		fmt.Fprintf(bw, "zofs_lockprof_edge_waits_total{held=%q,wanted=%q} %d\n", e.From, e.To, e.Count)
+	}
+	fmt.Fprintln(bw, "# EOF")
+	return bw.Flush()
+}
+
+var (
+	omSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9][0-9eE+.-]*|NaN|[+-]Inf)$`)
+	omLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+func splitOMLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		m := omLabelRe.FindStringSubmatch(part)
+		if m == nil {
+			return nil, fmt.Errorf("bad label pair %q", part)
+		}
+		v, err := strconv.Unquote(`"` + m[2] + `"`)
+		if err != nil {
+			return nil, fmt.Errorf("bad label value %q: %v", part, err)
+		}
+		out[m[1]] = v
+	}
+	return out, nil
+}
+
+// ValidateOpenMetrics parses a lockprof OpenMetrics document and enforces
+// its invariants:
+//
+//   - syntax: every non-comment line is a valid sample, "# EOF" terminates;
+//   - conservation: per-lock virtual waits sum exactly to
+//     zofs_lockprof_wait_ns_total, holds to hold_ns_total, and real waits to
+//     real_wait_ns_total;
+//   - sanity: contended <= acquires per lock;
+//   - edge soundness: each contended wait bills at most one outgoing edge,
+//     so edge waits grouped by wanted lock cannot exceed that lock's total
+//     wait. (The naive "edge wait <= holder hold sum" is NOT an invariant:
+//     n queued waiters each wait behind the same hold, multiplying it.)
+func ValidateOpenMetrics(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var (
+		sawEOF     bool
+		lineNo     int
+		scalars    = map[string]int64{}
+		lockWait   = map[string]int64{}
+		lockHold   = map[string]int64{}
+		realWait   = map[string]int64{}
+		acquires   = map[string]int64{}
+		contended  = map[string]int64{}
+		edgeByDest = map[string]int64{}
+	)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if sawEOF && line != "" {
+			return fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := omSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: not a valid OpenMetrics sample: %q", lineNo, line)
+		}
+		name, labelStr, valStr := m[1], m[2], m[3]
+		labels, err := splitOMLabels(labelStr)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value: %v", lineNo, err)
+		}
+		iv := int64(v)
+		switch name {
+		case "zofs_lockprof_acquires_total", "zofs_lockprof_contended_total",
+			"zofs_lockprof_wait_ns_total", "zofs_lockprof_hold_ns_total",
+			"zofs_lockprof_real_wait_ns_total", "zofs_lockprof_held",
+			"zofs_lockprof_inversions":
+			scalars[name] = iv
+		case "zofs_lockprof_lock_wait_ns_total":
+			lockWait[labels["lock"]] += iv
+		case "zofs_lockprof_lock_hold_ns_total":
+			lockHold[labels["lock"]] += iv
+		case "zofs_lockprof_lock_real_wait_ns_total":
+			realWait[labels["lock"]] += iv
+		case "zofs_lockprof_lock_acquires_total":
+			acquires[labels["lock"]] += iv
+		case "zofs_lockprof_lock_contended_total":
+			contended[labels["lock"]] += iv
+		case "zofs_lockprof_edge_wait_ns_total":
+			edgeByDest[labels["wanted"]] += iv
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawEOF {
+		return fmt.Errorf("missing # EOF terminator")
+	}
+	sum := func(m map[string]int64) int64 {
+		var s int64
+		for _, v := range m {
+			s += v
+		}
+		return s
+	}
+	if got, want := sum(lockWait), scalars["zofs_lockprof_wait_ns_total"]; got != want {
+		return fmt.Errorf("per-lock virtual waits sum to %d ns, total says %d", got, want)
+	}
+	if got, want := sum(lockHold), scalars["zofs_lockprof_hold_ns_total"]; got != want {
+		return fmt.Errorf("per-lock holds sum to %d ns, total says %d", got, want)
+	}
+	if got, want := sum(realWait), scalars["zofs_lockprof_real_wait_ns_total"]; got != want {
+		return fmt.Errorf("per-lock real waits sum to %d ns, total says %d", got, want)
+	}
+	for lock, c := range contended {
+		if a, ok := acquires[lock]; ok && c > a {
+			return fmt.Errorf("lock %s: contended %d > acquires %d", lock, c, a)
+		}
+	}
+	for dest, w := range edgeByDest {
+		if lw, ok := lockWait[dest]; ok && w > lw {
+			return fmt.Errorf("edges into %s sum to %d ns > lock's total wait %d ns", dest, w, lw)
+		}
+	}
+	return nil
+}

@@ -20,9 +20,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"zofs/internal/lockprof"
 	"zofs/internal/perfmodel"
 	"zofs/internal/pmemtrace"
 	"zofs/internal/simclock"
@@ -96,7 +98,7 @@ type Device struct {
 	// no-op sink, keeping the untraced store path at a pointer load.
 	tr *pmemtrace.Recorder
 
-	casMu [lockStripes]sync.Mutex
+	casMu [lockStripes]lockprof.RealMutex
 
 	writeCount atomic.Int64
 	failAfter  atomic.Int64 // 0 = disabled
@@ -137,6 +139,9 @@ func New(cfg Config) *Device {
 		for i := range d.dirty {
 			d.dirty[i].lines = make(map[int64][]byte)
 		}
+	}
+	for i := range d.casMu {
+		d.casMu[i].Init("nvm.stripe", strconv.Itoa(i))
 	}
 	return d
 }

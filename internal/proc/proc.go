@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"zofs/internal/lockprof"
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
@@ -86,6 +87,11 @@ func (p *Process) NewThread() *Thread {
 	// to the active span through the clock without knowing about spans.
 	if col := spans.Active(); col != nil {
 		t.Clk.SetBill(spans.NewThreadCtx(col, t.TID))
+	}
+	// And the lock-profiler state: named-lock wrappers record waits against
+	// it when the registry that issued it is still the active one.
+	if reg := lockprof.Active(); reg != nil {
+		t.Clk.SetLockState(reg.NewThreadState(t.TID))
 	}
 	return t
 }

@@ -22,10 +22,11 @@ import (
 // Clock is the virtual clock of one simulated thread. It is not safe for
 // concurrent use; each simulated thread owns exactly one Clock.
 type Clock struct {
-	now    int64 // virtual nanoseconds since simulation start
-	tag    uint64
-	wclass uint8
-	bill   any
+	now       int64 // virtual nanoseconds since simulation start
+	tag       uint64
+	wclass    uint8
+	bill      any
+	lockState any
 }
 
 // NewClock returns a clock starting at virtual time zero.
@@ -102,6 +103,26 @@ func (c *Clock) SetBill(b any) { c.bill = b }
 // Bill returns the clock's attached cost sink (nil when none).
 func (c *Clock) Bill() any { return c.bill }
 
+// SetLockState attaches the thread's lock-profiler state (a
+// lockprof.ThreadState) to the clock. Like the tag and the bill sink it is
+// an opaque rider: simclock stays ignorant of the profiler, the profiler
+// gets a per-thread slot on the one object every lock site already holds.
+// Nil-receiver safe so attach sites run unconditionally on clock-less paths.
+func (c *Clock) SetLockState(s any) {
+	if c != nil {
+		c.lockState = s
+	}
+}
+
+// LockState returns the clock's attached lock-profiler state (nil when none
+// or when the clock is nil).
+func (c *Clock) LockState() any {
+	if c == nil {
+		return nil
+	}
+	return c.lockState
+}
+
 // lockWaitBiller is implemented by cost sinks that want virtual lock-wait
 // time attributed to them (see Mutex/RWMutex).
 type lockWaitBiller interface{ BillLockWait(ns int64) }
@@ -114,6 +135,23 @@ func (c *Clock) billLockWait(ns int64) {
 	if b, ok := c.bill.(lockWaitBiller); ok {
 		b.BillLockWait(ns)
 	}
+}
+
+// drainTo is the single wait path shared by Mutex and RWMutex: it advances
+// the clock past a holder's virtual release stamp, bills the elapsed wait to
+// the attached cost sink, and returns it. Every virtual lock wait in the
+// process flows through here — with no other billLockWait caller, the span
+// layer's lock_wait total and the lock profiler's per-lock wait sums are
+// measurements of the same quantity and must agree exactly (the equality the
+// fxmark-scale cross-check gate asserts).
+func (c *Clock) drainTo(stamp int64) int64 {
+	wait := stamp - c.now
+	if wait <= 0 {
+		return 0
+	}
+	c.now = stamp
+	c.billLockWait(wait)
+	return wait
 }
 
 // Duration is a convenience converter from time.Duration to virtual ns.

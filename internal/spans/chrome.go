@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 
+	"zofs/internal/lockprof"
 	"zofs/internal/pmemtrace"
 )
 
@@ -54,6 +55,14 @@ func usec(ns int64) float64 { return float64(ns) / 1e3 }
 // WriteChromeTrace renders root spans (with their children) and pmemtrace
 // device events on one timeline. Either input may be empty.
 func WriteChromeTrace(w io.Writer, roots []Root, events []pmemtrace.Event) error {
+	return WriteChromeTraceLanes(w, roots, events, nil)
+}
+
+// WriteChromeTraceLanes is WriteChromeTrace plus per-thread blocked-on
+// lanes: each lockprof blocked interval renders as a "lockwait" complete
+// event named wait:<lock> on its thread's track, so the wait sits visually
+// inside the op that incurred it and the blamed holder is one click away.
+func WriteChromeTraceLanes(w io.Writer, roots []Root, events []pmemtrace.Event, waits []lockprof.BlockedInterval) error {
 	bw := bufio.NewWriter(w)
 	first := true
 	emit := func(ev chromeEvent) error {
@@ -130,6 +139,25 @@ func WriteChromeTrace(w io.Writer, roots []Root, events []pmemtrace.Event) error
 			if err := emit(ce); err != nil {
 				return err
 			}
+		}
+	}
+
+	lanes := append([]lockprof.BlockedInterval(nil), waits...)
+	sort.SliceStable(lanes, func(i, j int) bool {
+		if lanes[i].StartNS != lanes[j].StartNS {
+			return lanes[i].StartNS < lanes[j].StartNS
+		}
+		return lanes[i].TID < lanes[j].TID
+	})
+	for _, b := range lanes {
+		d := usec(b.DurNS)
+		if err := emit(chromeEvent{
+			Name: "wait:" + b.Lock, Cat: "lockwait", Ph: "X",
+			TS: usec(b.StartNS), Dur: &d,
+			PID: chromePID, TID: int32(b.TID),
+			Args: &chromeArgs{Detail: fmt.Sprintf("blocked by tid %d", b.HolderTID)},
+		}); err != nil {
+			return err
 		}
 	}
 

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync/atomic"
 	"time"
+
+	"zofs/internal/lockprof"
 )
 
 // Publishing: periodic snapshot files for live monitoring. zofs-bench -spans
@@ -15,6 +17,9 @@ import (
 
 // enricher holds the OnSnapshot hook.
 var enricher atomic.Pointer[func(*Snapshot)]
+
+// lockReporter holds the OnLockReport hook.
+var lockReporter atomic.Pointer[func() *lockprof.Report]
 
 // OnSnapshot installs a hook the publisher applies to every snapshot before
 // writing — the place harnesses attach device byte-flow and per-coffer
@@ -27,12 +32,28 @@ func OnSnapshot(f func(*Snapshot)) {
 	enricher.Store(&f)
 }
 
-// Enrich applies the OnSnapshot hook (if any) to s. Publishers call it
-// automatically; direct Snapshot() consumers (zofs-shell's spans dump) call
-// it themselves to pick up the byte-flow and space panels.
+// OnLockReport installs a hook producing the named-lock contention panel
+// (typically a closure over lockprof.Registry.Snapshot). It is separate from
+// OnSnapshot so the lock panel composes with the byte-flow enricher the
+// obsfs wrap installs, rather than displacing it. Nil uninstalls.
+func OnLockReport(f func() *lockprof.Report) {
+	if f == nil {
+		lockReporter.Store(nil)
+		return
+	}
+	lockReporter.Store(&f)
+}
+
+// Enrich applies the OnSnapshot and OnLockReport hooks (if any) to s.
+// Publishers call it automatically; direct Snapshot() consumers (zofs-shell's
+// spans dump) call it themselves to pick up the byte-flow, space and lock
+// panels.
 func Enrich(s *Snapshot) {
 	if f := enricher.Load(); f != nil {
 		(*f)(s)
+	}
+	if f := lockReporter.Load(); f != nil {
+		s.Locks = (*f)()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"zofs/internal/byteflow"
+	"zofs/internal/lockprof"
 	"zofs/internal/telemetry"
 )
 
@@ -77,6 +78,15 @@ type Snapshot struct {
 	// when byte-flow accounting is disabled.
 	Flow  *byteflow.Flow         `json:"flow,omitempty"`
 	Space []byteflow.CofferSpace `json:"space,omitempty"`
+
+	// Locks is the named-lock contention panel (per-lock waits, wait-for
+	// edges, order inversions), attached by the publisher via OnLockReport
+	// when a lockprof registry is collecting; nil otherwise.
+	Locks *lockprof.Report `json:"locks,omitempty"`
+
+	// LockWaitNS is the collector-level total of every virtual lock wait,
+	// inside or outside spans — comparable 1:1 with Locks.WaitNS.
+	LockWaitNS int64 `json:"lock_wait_ns,omitempty"`
 }
 
 // Snapshot copies the collector's aggregates into a Snapshot.
@@ -91,6 +101,7 @@ func (c *Collector) Snapshot() Snapshot {
 	s.Started = c.started.Load()
 	s.Finished = c.finished.Load()
 	s.Open = c.open.Load()
+	s.LockWaitNS = c.lockWaitNS.Load()
 	s.Aborted = c.aborted.Load()
 	s.Abandoned = c.abandoned.Load()
 	s.DoubleCloses = c.doubleClose.Load()
@@ -357,7 +368,15 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			}
 			fmt.Fprintf(tw, "%s\t%d\t%dns\t%dns\n", l.Lock, l.Waits, l.WaitNS, l.MaxWaitNS)
 		}
-		return tw.Flush()
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	if s.Locks != nil {
+		fmt.Fprintln(w, "named locks (lockprof):")
+		if err := s.Locks.WriteText(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -38,9 +38,11 @@ const (
 	// CompFlush is persistence-ordering time: CLWB line cost, fence stalls
 	// and the write-latency exposure of explicit flushes.
 	CompFlush
-	// CompLock is synchronization time: virtual lock-wait behind other
-	// threads (inode locks, dir bucket locks, the KernFS big lock) plus the
-	// CPU cost of lock acquire/release bookkeeping.
+	// CompLock is pure synchronization wait: virtual time spent blocked
+	// behind other threads' lock holds (inode locks, dir bucket locks, the
+	// KernFS big lock). Lock acquire/release CPU bookkeeping lands in the
+	// CompOther residual, so this component equals the lock profiler's
+	// per-lock wait sums exactly (the fxmark-scale cross-check).
 	CompLock
 	// CompPKRU is protection-domain switching: WRPKRU register writes.
 	CompPKRU
@@ -235,8 +237,17 @@ func (c *ThreadCtx) Bill(comp Component, ns int64) {
 }
 
 // BillLockWait satisfies the simclock lock-wait hook: virtual time spent
-// waiting behind another thread's lock hold lands in CompLock.
-func (c *ThreadCtx) BillLockWait(ns int64) { c.Bill(CompLock, ns) }
+// waiting behind another thread's lock hold lands in CompLock. The
+// collector-level total counts every wait, including those outside any root
+// span, so it can be compared 1:1 against the lock profiler's registry
+// total.
+func (c *ThreadCtx) BillLockWait(ns int64) {
+	if c == nil || ns <= 0 {
+		return
+	}
+	c.col.lockWaitNS.Add(ns)
+	c.Bill(CompLock, ns)
+}
 
 // billNVM attributes one device-level access: its virtual time plus the
 // bytes/flush/fence counts the span reports.
@@ -384,6 +395,9 @@ type Collector struct {
 	overBilled  atomic.Int64
 	dcHits      atomic.Int64
 	dcMisses    atomic.Int64
+	// lockWaitNS counts every virtual lock wait billed to this collector,
+	// inside or outside a span — the spans side of the lockprof cross-check.
+	lockWaitNS atomic.Int64
 
 	ops [telemetry.NumOps]opAgg
 
@@ -585,6 +599,16 @@ func (c *Collector) Finished() int64 {
 	return c.finished.Load()
 }
 
+// LockWaitNS reports total virtual lock-wait nanoseconds billed to this
+// collector's threads, inside or outside spans. With the lock profiler
+// attached to the same threads this equals its registry WaitNS exactly.
+func (c *Collector) LockWaitNS() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.lockWaitNS.Load()
+}
+
 // Reset zeroes every aggregate, the contention table, the ring and the
 // lifecycle counters (the JSONL sink is untouched).
 func (c *Collector) Reset() {
@@ -600,6 +624,7 @@ func (c *Collector) Reset() {
 	c.overBilled.Store(0)
 	c.dcHits.Store(0)
 	c.dcMisses.Store(0)
+	c.lockWaitNS.Store(0)
 	for i := range c.ops {
 		a := &c.ops[i]
 		a.count.Store(0)

@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 
+	"zofs/internal/lockprof"
 	"zofs/internal/proc"
-	"zofs/internal/simclock"
 	"zofs/internal/vfs"
 )
 
@@ -15,7 +15,7 @@ import (
 // lock, as SQLite serializes on its file lock.
 type DB struct {
 	p       *pager
-	lock    simclock.Mutex
+	lock    lockprof.Mutex
 	catalog *btree
 	tables  map[string]*btree
 }
@@ -27,6 +27,7 @@ func Open(fs vfs.FileSystem, th *proc.Thread, path string) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{p: p, tables: map[string]*btree{}}
+	db.lock.Init("sqldb.db", "")
 	catRoot, err := p.loadHeader(th)
 	if err != nil {
 		return nil, err

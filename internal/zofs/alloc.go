@@ -1,6 +1,7 @@
 package zofs
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,7 +9,6 @@ import (
 	"zofs/internal/coffer"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
-	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
@@ -114,7 +114,6 @@ var debugFree sync.Map // page -> int
 // re-validating the lease as needed, along with the cached free-list head.
 func (f *FS) slotFor(th *proc.Thread, m *mount, class int) (*threadSlots, int64, error) {
 	th.CPU(perfmodel.CPULockAcquire) // clock_gettime for the lease check
-	f.span(th).Bill(spans.CompLock, perfmodel.CPULockAcquire)
 	ts := m.threadSlotsFor(th.TID)
 	if ts.slot[class] >= 0 {
 		off := slotOffset(m.custom, ts.slot[class])
@@ -157,8 +156,24 @@ func (f *FS) allocPage(th *proc.Thread, m *mount, class int) (int64, error) {
 	// bytes, whatever class the caller was writing.
 	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassAlloc))
 	defer th.Clk.SetWriteClass(prev)
+	if !f.opts.NoAllocBatch {
+		if ts := m.threadSlotsFor(th.TID); ts.slot[class] < 0 && th.Clk.Now() < ts.noSlotUntil[class] {
+			th.CPU(perfmodel.CPULockAcquire) // backoff-deadline check
+			return f.allocSlotless(th, m, ts, class)
+		}
+	}
 	ts, slotOff, err := f.slotFor(th, m, class)
 	if err != nil {
+		if !f.opts.NoAllocBatch && errors.Is(err, vfs.ErrNoSpace) {
+			// Every pool slot is leased to a live thread: the pool is one
+			// custom page (62 slots, §5.2), so past ~62 threads per coffer
+			// claims must fail until a lease expires. Serve the thread
+			// slotless through the volatile cache and back off the pool
+			// rescans for half a lease window.
+			ts := m.threadSlotsFor(th.TID)
+			ts.noSlotUntil[class] = th.Clk.Now() + leaseDuration/2
+			return f.allocSlotless(th, m, ts, class)
+		}
 		return 0, err
 	}
 	if !f.opts.NoAllocBatch {
@@ -210,6 +225,32 @@ func (f *FS) allocPage(th *proc.Thread, m *mount, class int) (int64, error) {
 		// metadata.
 		th.Store64(page*pageSize, 0)
 	}
+	return page, nil
+}
+
+// allocSlotless serves a page with no pool slot: straight from the volatile
+// batch cache, refilled by whole kernel grants. A slot only carries the
+// persistent free-list head, which the batch cache never used — a slotless
+// thread loses nothing but crash observability. A crash leaks its cached
+// batch and recovery's in-use traversal reclaims it, exactly as for slotted
+// threads' caches (§5.3).
+func (f *FS) allocSlotless(th *proc.Thread, m *mount, ts *threadSlots, class int) (int64, error) {
+	if page, ok := f.popCached(th, ts, class); ok {
+		return page, nil
+	}
+	exts, err := f.enlarge(th, m, class)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range exts {
+		for pg := e.Start; pg < e.End(); pg++ {
+			if debugPool {
+				debugFree.Store(pg, 1)
+			}
+			ts.cache[class] = append(ts.cache[class], pg)
+		}
+	}
+	page, _ := f.popCached(th, ts, class)
 	return page, nil
 }
 

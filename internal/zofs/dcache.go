@@ -1,9 +1,11 @@
 package zofs
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"zofs/internal/lockprof"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
 )
@@ -51,7 +53,9 @@ func (c *dcache) dir(ino int64) *dirIndex {
 	if v, ok := c.dirs.Load(ino); ok {
 		return v.(*dirIndex)
 	}
-	v, _ := c.dirs.LoadOrStore(ino, &dirIndex{})
+	nidx := &dirIndex{}
+	nidx.mu.Init("zofs.dcache", strconv.FormatInt(ino, 10))
+	v, _ := c.dirs.LoadOrStore(ino, nidx)
 	return v.(*dirIndex)
 }
 
@@ -72,11 +76,12 @@ type cachedDe struct {
 
 // dirIndex is one directory's volatile index. mu serializes index access
 // AND the NVM dentry mutations of this directory, so a rebuild scan always
-// observes a quiescent structure. It is a plain mutex (not a virtual-time
-// lock): holding it costs no simulated time, and virtual-time concurrency
-// is still governed by the bucket locks.
+// observes a quiescent structure. It is a real-time mutex (not a
+// virtual-time lock): holding it costs no simulated time, and virtual-time
+// concurrency is still governed by the bucket locks; the lockprof wrapper
+// records its real contention without adding virtual cost.
 type dirIndex struct {
-	mu       sync.Mutex
+	mu       lockprof.RealMutex
 	epoch    uint64 // device epoch the index was built under
 	complete bool   // names holds every live dentry of the directory
 	names    map[string]cachedDe

@@ -7,6 +7,7 @@ import (
 
 	"zofs/internal/coffer"
 	"zofs/internal/kernfs"
+	"zofs/internal/lockprof"
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
@@ -74,7 +75,7 @@ type FS struct {
 	sh   *shared
 	opts Options
 
-	mu     sync.Mutex
+	mu     lockprof.RealMutex // guards mounts; real-only, no virtual cost
 	mounts map[coffer.ID]*mount
 }
 
@@ -100,6 +101,11 @@ type threadSlots struct {
 	// referenced by nothing persistent: a crash leaks them and recovery
 	// reclaims them as not-in-use (§5.3).
 	cache [2][]int64
+	// noSlotUntil backs off pool-claim retries per class after claimSlot
+	// found every slot leased (more live threads than pool slots): until
+	// this virtual instant the thread allocates slotless through the
+	// volatile cache instead of rescanning the pool on every page.
+	noSlotUntil [2]int64
 }
 
 // Allocation classes: metadata pages are kernel-zeroed on enlarge, data
@@ -113,12 +119,14 @@ const (
 // process. The caller must have registered the process via kern.FSMount.
 func New(kern *kernfs.KernFS, opts Options) *FS {
 	opts.fill()
-	return &FS{
+	f := &FS{
 		kern:   kern,
 		sh:     sharedFor(kern.Device()),
 		opts:   opts,
 		mounts: map[coffer.ID]*mount{},
 	}
+	f.mu.Init("zofs.mounts", "")
+	return f
 }
 
 // Name implements vfs.FileSystem.

@@ -1,14 +1,14 @@
 package zofs
 
 import (
+	"strconv"
 	"sync"
 
 	"zofs/internal/byteflow"
+	"zofs/internal/lockprof"
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
-	"zofs/internal/simclock"
-	"zofs/internal/spans"
 )
 
 // shared holds the cross-process coordination state for one device's ZoFS
@@ -18,7 +18,7 @@ import (
 // behaviour is modeled by per-inode virtual-time readers-writer locks,
 // shared by every process of the same device.
 type shared struct {
-	locks sync.Map // inode page (int64) -> *simclock.RWMutex
+	locks sync.Map // inode page (int64) -> *lockprof.RWMutex
 	// open tracks open-handle counts per inode across every process of the
 	// device, so unlink can defer content reclamation until the last close
 	// (POSIX semantics). A crash drops the table; recovery reclaims the
@@ -97,12 +97,21 @@ func sharedFor(dev *nvm.Device) *shared {
 	return s.(*shared)
 }
 
-func (s *shared) lockOf(page int64) *simclock.RWMutex {
+// lockOf returns the shared lock for an inode page (non-negative keys) or a
+// directory hash bucket (negative keys), naming it for the lock profiler on
+// first creation.
+func (s *shared) lockOf(page int64) *lockprof.RWMutex {
 	if l, ok := s.locks.Load(page); ok {
-		return l.(*simclock.RWMutex)
+		return l.(*lockprof.RWMutex)
 	}
-	l, _ := s.locks.LoadOrStore(page, &simclock.RWMutex{})
-	return l.(*simclock.RWMutex)
+	var nl *lockprof.RWMutex
+	if page < 0 {
+		nl = lockprof.NewRWMutex("zofs.dirbucket", strconv.FormatInt(-page, 10))
+	} else {
+		nl = lockprof.NewRWMutex("zofs.inode", strconv.FormatInt(page, 10))
+	}
+	l, _ := s.locks.LoadOrStore(page, nl)
+	return l.(*lockprof.RWMutex)
 }
 
 // lockInode write-locks an inode: virtual-time/real serialization through
@@ -112,7 +121,6 @@ func (s *shared) lockOf(page int64) *simclock.RWMutex {
 func (f *FS) lockInode(th *proc.Thread, m *mount, ino int64) {
 	sp := f.span(th)
 	th.CPU(perfmodel.CPULockAcquire) // clock_gettime via vDSO + bookkeeping
-	sp.Bill(spans.CompLock, perfmodel.CPULockAcquire)
 	t0 := th.Clk.Now()
 	f.sh.lockOf(ino).Lock(th.Clk)
 	if w := th.Clk.Now() - t0; w > 0 {
@@ -149,7 +157,6 @@ func bucketKey(dirIno int64, name string) int64 {
 func (f *FS) lockDirBucket(th *proc.Thread, dirIno int64, name string) int64 {
 	sp := f.span(th)
 	th.CPU(2 * perfmodel.CPULockAcquire) // clock_gettime + bucket lease CAS
-	sp.Bill(spans.CompLock, 2*perfmodel.CPULockAcquire)
 	k := bucketKey(dirIno, name)
 	t0 := th.Clk.Now()
 	f.sh.lockOf(k).Lock(th.Clk)
@@ -161,7 +168,6 @@ func (f *FS) lockDirBucket(th *proc.Thread, dirIno int64, name string) int64 {
 
 func (f *FS) unlockDirBucket(th *proc.Thread, k int64) {
 	th.CPU(perfmodel.CPULockAcquire)
-	f.span(th).Bill(spans.CompLock, perfmodel.CPULockAcquire)
 	f.sh.lockOf(k).Unlock(th.Clk)
 }
 
@@ -170,7 +176,6 @@ func (f *FS) unlockDirBucket(th *proc.Thread, k int64) {
 func (f *FS) rlockInode(th *proc.Thread, ino int64) {
 	sp := f.span(th)
 	th.CPU(perfmodel.CPULockAcquire)
-	sp.Bill(spans.CompLock, perfmodel.CPULockAcquire)
 	t0 := th.Clk.Now()
 	f.sh.lockOf(ino).RLock(th.Clk)
 	if w := th.Clk.Now() - t0; w > 0 {

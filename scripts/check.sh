@@ -73,4 +73,18 @@ else
     fi
 fi
 
+echo "== fxmark-scale smoke =="
+# Concurrency-observatory gates. The "fxmark-scale" experiment is
+# self-asserting: 1-thread cells must be bit-identical in ops and virtual
+# time with the lock profiler off vs on (disabled overhead < 2%, measured
+# exactly 0), and the spans layer's aggregate lock_wait must equal the
+# profiler's per-lock wait sum to the nanosecond on a contended cell. Then a
+# -lockprof collection run must produce an OpenMetrics export that
+# zofs-locks' validator (wait/hold conservation, edge bounds) accepts and a
+# renderable text report.
+go run ./cmd/zofs-bench -quick -threads 1,4,16 fxmark-scale >/dev/null
+go run ./cmd/zofs-bench -quick -lockprof "$tracedir/locks" fig8 >/dev/null
+go run ./cmd/zofs-locks -validate "$tracedir/locks/locks.prom" >/dev/null
+go run ./cmd/zofs-locks -once -dir "$tracedir/locks" >/dev/null
+
 echo "OK"
