@@ -6,8 +6,8 @@
 //	zofs-bench [-quick] [-stats] [-threads 1,2,4,8,12,16,20] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
-// fig11 table9 safety recovery crashmc hotpath spans wa fxmark-scale — or
-// "all" (the default).
+// fig11 table9 safety recovery crashmc hotpath spans wa fxmark-scale chaos
+// — or "all" (the default).
 package main
 
 import (
@@ -51,6 +51,7 @@ var experiments = []struct {
 	{"spans", "causal-span overhead/attribution/OpenMetrics gate", harness.RunSpans},
 	{"wa", "write-amplification and byte-conservation gate", harness.RunWA},
 	{"fxmark-scale", "FxMark scalability matrix with per-lock contention attribution", harness.RunFxmarkScale},
+	{"chaos", "adversarial campaign: byzantine clients, lease steal, quarantine containment", harness.RunChaos},
 }
 
 func main() {

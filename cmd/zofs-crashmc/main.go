@@ -40,7 +40,7 @@ func main() {
 	ops := flag.Int("ops", 30, "workload length")
 	deviceMB := flag.Int64("device-mb", 64, "simulated device size in MiB")
 	minStates := flag.Int("min-states", 0, "fail unless at least this many crash states were explored")
-	inject := flag.String("inject", "none", "fault campaign instead of crash sweep: none, bitflip or lease")
+	inject := flag.String("inject", "none", "fault campaign instead of crash sweep: none, bitflip, lease or slotless")
 	flips := flag.Int("flips", 8, "bit flips for -inject bitflip")
 	jsonPath := flag.String("json", "", "write the full report as JSON to this file")
 	flag.Parse()
@@ -93,7 +93,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "zofs-crashmc: explored %d states, need at least %d\n", r.States, *minStates)
 			os.Exit(1)
 		}
-	case "bitflip", "lease":
+	case "bitflip", "lease", "slotless":
 		fr, v, err := crashmc.RunFaults(cfg, *inject)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zofs-crashmc: %v\n", err)
@@ -105,6 +105,10 @@ func main() {
 		fmt.Printf("%s inject=%s: detected=%v repairs=%d leases cleared=%d survivor errors=%d/%d panics=%d\n",
 			cfg.System, *inject, fr.Detected, fr.Repairs, fr.LeasesCleared,
 			fr.SurvivorErrors, fr.SurvivorOps, fr.SurvivorPanics)
+		if fr.Mode == "slotless" {
+			fmt.Printf("  stranded %d slotless batch pages; recovery reclaimed %d\n",
+				fr.StrandedPages, fr.PagesReclaimed)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "zofs-crashmc: bad -inject %q\n", *inject)
 		os.Exit(2)

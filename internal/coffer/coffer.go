@@ -98,6 +98,18 @@ const (
 	// FlagInRecovery marks a coffer under recovery (§3.5).
 	FlagInRecovery = 1 << 0
 
+	// FlagReadOnly marks a coffer quarantined read-only (DESIGN.md §13):
+	// repeated MPK violations pointed at it, so KernFS refuses write
+	// mappings and enlarges while reads keep serving. Persistent — set and
+	// cleared only through the kernel's quarantine calls.
+	FlagReadOnly = 1 << 1
+
+	// FlagOffline marks a coffer quarantined offline: fsck found
+	// unrepairable damage, so every mapping is refused until an operator
+	// (or a successful re-recovery) lifts the quarantine. Other coffers
+	// keep serving — the paper's containment claim made operational.
+	FlagOffline = 1 << 2
+
 	// MaxPathLen bounds coffer paths so they fit in the root page.
 	MaxPathLen = nvm.PageSize - rpPathOff
 )

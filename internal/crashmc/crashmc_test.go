@@ -117,6 +117,31 @@ func TestLeaseCampaign(t *testing.T) {
 	}
 }
 
+// TestSlotlessCampaign: with every pool slot leased to live foreign
+// holders, a doomed process serves itself slotless off volatile batch
+// grants and dies with the grant tail unused. Recovery must reclaim
+// exactly the stranded pages — no more, no less — and space accounting
+// must reconcile on the recovered image.
+func TestSlotlessCampaign(t *testing.T) {
+	rep, viols, err := RunFaults(Config{System: "ZoFS", Seed: 11, Ops: 16}, "slotless")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range viols {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.StrandedPages == 0 {
+		t.Error("doomed process stranded no batch pages — slotless path not exercised")
+	}
+	if !rep.Detected {
+		t.Errorf("recovery reclaimed %d pages, fewer than the %d stranded", rep.PagesReclaimed, rep.StrandedPages)
+	}
+	if rep.SurvivorErrors != 0 || rep.SurvivorPanics != 0 {
+		t.Errorf("slotless service not graceful: %d errors, %d panics over %d ops",
+			rep.SurvivorErrors, rep.SurvivorPanics, rep.SurvivorOps)
+	}
+}
+
 // TestDetectsSeededCorruption proves the checker's teeth end to end: hand
 // the explorer a crash state and then corrupt a completed file's data
 // behind its back — the durability invariant must fire. This guards

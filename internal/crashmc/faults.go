@@ -7,6 +7,7 @@ import (
 
 	"zofs/internal/fslibs"
 	"zofs/internal/kernfs"
+	"zofs/internal/obsfs"
 	"zofs/internal/pmemtrace"
 	"zofs/internal/proc"
 	"zofs/internal/vfs"
@@ -19,7 +20,7 @@ import (
 // degradation shape: errors instead of panics, detection by recovery, and
 // a usable file system afterwards.
 type FaultReport struct {
-	Mode  string `json:"mode"` // bitflip | lease
+	Mode  string `json:"mode"` // bitflip | lease | slotless
 	Flips int    `json:"flips,omitempty"`
 
 	// Survivor behavior while the damage is live.
@@ -35,6 +36,10 @@ type FaultReport struct {
 	// Lease-campaign assertions.
 	LeaseStolen        bool `json:"lease_stolen,omitempty"`
 	LiveLeaseRespected bool `json:"live_lease_respected,omitempty"`
+
+	// Slotless-campaign accounting.
+	StrandedPages  int64 `json:"stranded_pages,omitempty"`  // doomed process's cached batch at crash
+	PagesReclaimed int64 `json:"pages_reclaimed,omitempty"` // recovery's reclaim across all coffers
 }
 
 // RunFaults executes one injected-fault campaign ("bitflip" or "lease")
@@ -54,8 +59,10 @@ func RunFaults(cfg Config, mode string) (*FaultReport, []Violation, error) {
 		return runBitflip(p, cfg)
 	case "lease":
 		return runLease(p, cfg)
+	case "slotless":
+		return runSlotless(p, cfg)
 	}
-	return nil, nil, fmt.Errorf("crashmc: unknown fault mode %q (have bitflip, lease)", mode)
+	return nil, nil, fmt.Errorf("crashmc: unknown fault mode %q (have bitflip, lease, slotless)", mode)
 }
 
 // runBitflip corrupts metadata bits in live inode pages, then asserts the
@@ -310,6 +317,193 @@ func runLease(p *personality, cfg Config) (*FaultReport, []Violation, error) {
 			fail("lease_clear", fmt.Sprintf("slot %d lease survived recovery (tid=%d expiry=%d)", slot, tid, expiry))
 			break
 		}
+	}
+	return rep, viols, nil
+}
+
+// runSlotless exercises the allocator's slotless fallback (§5.2) dying at
+// its worst moment. Every pool slot is first leased to a live foreign
+// holder, so a fresh "doomed" process must allocate slotless: straight from
+// a volatile batch cache refilled by whole kernel grants, never touching a
+// slot. The doomed process then crashes with the tail of its last grant
+// unconsumed — those pages are tagged to the coffer in the kernel's
+// persistent allocation table but referenced by nothing on NVM, the exact
+// window between slotless grant and first use. Recovery's in-use traversal
+// must hand every stranded page back to the kernel while keeping every page
+// the doomed process did publish, and the three-way space accounting must
+// reconcile afterwards (space_conserved).
+func runSlotless(p *personality, cfg Config) (*FaultReport, []Violation, error) {
+	rep := &FaultReport{Mode: "slotless"}
+	var viols []Violation
+	fail := func(invariant, detail string) {
+		viols = append(viols, Violation{Model: "slotless", Invariant: invariant, Detail: detail})
+	}
+	step := func(invariant string, fn func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(invariant, fmt.Sprint(r))
+			}
+		}()
+		fn()
+	}
+
+	st, err := p.build(cfg.DeviceBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	ops := GenWorkload(cfg.Seed, cfg.Ops)
+	if res := runOps(st.fs, st.th, ops); res.err != nil || res.crashed {
+		return nil, nil, fmt.Errorf("crashmc: slotless setup workload: err=%v crashed=%v", res.err, res.crashed)
+	}
+	o := oracleAfter(ops, len(ops))
+	inner := st.fs
+	if w, ok := inner.(*obsfs.FS); ok { // obsfs only wraps when observability is on
+		inner = w.Unwrap()
+	}
+	setupFS, ok := inner.(*zofs.FS)
+	if !ok {
+		return nil, nil, fmt.Errorf("crashmc: slotless campaign needs a raw ZoFS stack")
+	}
+	root := st.k.RootCoffer()
+	rp, ok := st.k.Info(root)
+	if !ok {
+		return nil, nil, fmt.Errorf("crashmc: root coffer has no info")
+	}
+
+	// Exhaust the pool: every slot leased to a distinct live foreign holder
+	// far beyond any survivor's clock. The doomed process has no slot to
+	// claim or steal — slotFor must fail ErrNoSpace and alloc go slotless.
+	const foreignBase = 4001
+	liveExpiry := st.th.Clk.Now() + 1_000_000_000_000
+	for slot := 0; slot < zofs.PoolSlots(); slot++ {
+		zofs.PlantSlotLease(st.dev, rp.Custom, slot, foreignBase+slot, liveExpiry)
+	}
+
+	// Doomed process: created files must succeed with zero free slots —
+	// slotless service is graceful degradation, not an error path.
+	th2 := proc.NewProcess(st.dev, 0, 0).NewThread()
+	if err := st.k.FSMount(th2); err != nil {
+		return nil, nil, err
+	}
+	f2 := zofs.New(st.k, p.opts)
+	doomed := map[string][]byte{}
+	for i := 0; i < 4; i++ {
+		rep.SurvivorOps++
+		path := fmt.Sprintf("/slotless%d", i)
+		data := opData(&Op{Len: 9000, Seed: uint32(100 + i)})
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					rep.SurvivorPanics++
+					fail("graceful", fmt.Sprintf("doomed create %s panicked: %v", path, r))
+				}
+			}()
+			h, err := f2.Create(th2, path, 0o644)
+			if err != nil {
+				rep.SurvivorErrors++
+				fail("graceful", fmt.Sprintf("slotless create %s: %v", path, err))
+				return
+			}
+			if _, err := h.WriteAt(th2, data, 0); err != nil {
+				rep.SurvivorErrors++
+				fail("graceful", fmt.Sprintf("slotless write %s: %v", path, err))
+			}
+			h.Close(th2)
+			doomed[path] = data
+		}()
+	}
+
+	// The fallback must not have touched the pool: every slot still carries
+	// the planted foreign lease, untouched by the doomed thread.
+	for slot := 0; slot < zofs.PoolSlots(); slot++ {
+		if tid, _ := zofs.SlotLease(st.dev, rp.Custom, slot); tid != foreignBase+slot {
+			fail("slotless_bypass", fmt.Sprintf(
+				"slot %d lease changed to tid %d: doomed thread claimed a slot instead of going slotless", slot, tid))
+			break
+		}
+	}
+
+	// Crash accounting, taken the instant before the simulated death: the
+	// unconsumed tail of the doomed process's kernel grants lives only in
+	// its DRAM batch caches.
+	strandedDoomed, strandedSetup, freeListed := int64(0), int64(0), int64(0)
+	for _, cs := range f2.SpaceReport() {
+		strandedDoomed += cs.Cached
+		freeListed += cs.FreeListed
+	}
+	for _, cs := range setupFS.SpaceReport() {
+		strandedSetup += cs.Cached
+	}
+	rep.StrandedPages = strandedDoomed
+	if strandedDoomed == 0 {
+		fail("slotless_setup", "doomed process crashed with no stranded batch pages — the campaign tested nothing")
+	}
+	freeAtCrash := st.k.FreePages()
+
+	// The crash: both processes die (their caches evaporate), the machine
+	// reboots, and offline recovery walks every coffer.
+	zofs.ResetShared(st.dev)
+	k2, err := kernfs.Mount(st.dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	th3 := proc.NewProcess(st.dev, 0, 0).NewThread()
+	if err := k2.FSMount(th3); err != nil {
+		return nil, nil, err
+	}
+	stats, err := zofs.FsckAll(k2, th3)
+	if err != nil {
+		fail("detection", fmt.Sprintf("fsck over stranded grants: %v", err))
+		return rep, viols, nil
+	}
+	for _, s := range stats {
+		rep.Repairs += len(s.Repairs)
+		rep.LeasesCleared += s.LeasesCleared
+		rep.PagesReclaimed += s.PagesReclaimed
+	}
+	rep.Detected = rep.PagesReclaimed >= strandedDoomed
+
+	// Exact reclaim: what recovery hands back is precisely the pages no
+	// inode references — both processes' stranded caches plus the persistent
+	// free-list chains it resets. One page more means data loss, one page
+	// less means a leak.
+	want := strandedDoomed + strandedSetup + freeListed
+	if rep.PagesReclaimed != want {
+		fail("reclaim_exact", fmt.Sprintf(
+			"recovery reclaimed %d pages, want %d (doomed cache %d + setup cache %d + free-listed %d)",
+			rep.PagesReclaimed, want, strandedDoomed, strandedSetup, freeListed))
+	}
+	if free := k2.FreePages(); free != freeAtCrash+rep.PagesReclaimed {
+		fail("free_conserved", fmt.Sprintf(
+			"kernel free pages %d after recovery, want %d (%d at crash + %d reclaimed)",
+			free, freeAtCrash+rep.PagesReclaimed, freeAtCrash, rep.PagesReclaimed))
+	}
+
+	// space_conserved: the three-way reconciliation (allocation table vs
+	// extent trees vs page census) must hold on the recovered image.
+	f3 := zofs.New(k2, p.opts)
+	step("space_conserved", func() {
+		if err := f3.VerifySpace(); err != nil {
+			panic(err)
+		}
+		for _, cs := range f3.SpaceReport() {
+			if cs.Used < 0 || cs.FreeListed+cs.Cached > cs.Pages {
+				panic(fmt.Sprintf("coffer %d space rows inconsistent: pages=%d used=%d free_listed=%d cached=%d",
+					cs.ID, cs.Pages, cs.Used, cs.FreeListed, cs.Cached))
+			}
+		}
+	})
+
+	// Durability: reclaiming the stranded tail must not have swallowed any
+	// published page — neither the setup workload's files nor the pages the
+	// doomed process consumed from its grants before dying.
+	for path, want := range o.files {
+		path, want := path, want
+		step("durability", func() { checkExactFile(f3, th3, path, want) })
+	}
+	for path, want := range doomed {
+		path, want := path, want
+		step("durability", func() { checkExactFile(f3, th3, path, want) })
 	}
 	return rep, viols, nil
 }

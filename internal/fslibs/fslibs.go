@@ -118,27 +118,33 @@ func (l *Lib) guard(th *proc.Thread, err *error) {
 	if nvm.IsInjectedCrash(r) {
 		panic(r) // crash injection must propagate to the test harness
 	}
-	switch r.(type) {
-	case mpk.Violation, nvm.Fault:
-		rec := l.kern.Device().Recorder()
-		rec.Inc(telemetry.CtrFaultsRecovered)
-		if _, isViolation := r.(mpk.Violation); isViolation {
-			rec.Inc(telemetry.CtrMPKViolations)
-		}
-		// The op survives with an error, but its span records the abort so
-		// the attribution tables can separate faulted from clean latency.
-		spans.FromClock(th.Clk).MarkAborted()
-		th.CloseWindow()
-		// The kernel may have changed our mappings behind the library's
-		// back (recovery unmaps coffers, §3.5): drop cached mappings so
-		// the next operation re-issues coffer_map.
-		if z, ok := l.byTyp[coffer.TypeZoFS].(*zofs.FS); ok {
-			z.InvalidateAll()
-		}
-		*err = fmt.Errorf("%w: fault inside FS library: %v", vfs.ErrIO, r)
-	default:
+	viol, isViolation := r.(mpk.Violation)
+	if _, isFault := r.(nvm.Fault); !isFault && !isViolation {
 		panic(r)
 	}
+	rec := l.kern.Device().Recorder()
+	rec.Inc(telemetry.CtrFaultsRecovered)
+	// The op survives with an error, but its span records the abort so
+	// the attribution tables can separate faulted from clean latency.
+	spans.FromClock(th.Clk).MarkAborted()
+	th.CloseWindow()
+	if isViolation {
+		rec.Inc(telemetry.CtrMPKViolations)
+		// Attribute the faulting page to its coffer and report it, so
+		// repeated stray writes at one victim trip the kernel's read-only
+		// quarantine (DESIGN.md §13) instead of faulting forever.
+		if id, ok := l.kern.OwnerOf(viol.Page); ok {
+			l.kern.ReportViolation(th, id)
+		}
+	}
+	// The kernel may have changed our mappings behind the library's
+	// back (recovery unmaps coffers, §3.5; quarantine downgrades or
+	// evicts them): drop cached mappings so the next operation re-issues
+	// coffer_map and observes the typed quarantine error.
+	if z, ok := l.byTyp[coffer.TypeZoFS].(*zofs.FS); ok {
+		z.InvalidateAll()
+	}
+	*err = fmt.Errorf("%w: fault inside FS library: %v", vfs.ErrIO, r)
 }
 
 // trace starts a per-op latency measurement against the thread's virtual

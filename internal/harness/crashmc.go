@@ -35,7 +35,7 @@ func RunCrashMC(w io.Writer, opts Options) error {
 			failed = true
 		}
 	}
-	for _, mode := range []string{"bitflip", "lease"} {
+	for _, mode := range []string{"bitflip", "lease", "slotless"} {
 		rep, viols, err := crashmc.RunFaults(crashmc.Config{
 			System: "ZoFS", Seed: 1, Ops: ops, DeviceBytes: 64 << 20,
 		}, mode)
@@ -45,6 +45,10 @@ func RunCrashMC(w io.Writer, opts Options) error {
 		fmt.Fprintf(w, "  inject %-8s detected=%v repairs=%d leases cleared=%d survivor errors=%d/%d panics=%d\n",
 			mode, rep.Detected, rep.Repairs, rep.LeasesCleared,
 			rep.SurvivorErrors, rep.SurvivorOps, rep.SurvivorPanics)
+		if mode == "slotless" {
+			fmt.Fprintf(w, "  inject %-8s stranded=%d pages, recovery reclaimed=%d\n",
+				"", rep.StrandedPages, rep.PagesReclaimed)
+		}
 		for _, v := range viols {
 			fmt.Fprintf(w, "    VIOLATION %s\n", v)
 			failed = true

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"zofs/internal/byteflow"
 	"zofs/internal/coffer"
@@ -41,6 +42,12 @@ var (
 	ErrInvalid      = errors.New("kernfs: invalid argument")
 	ErrNotMapped    = errors.New("kernfs: coffer not mapped")
 	ErrInRecovery   = errors.New("kernfs: coffer in recovery")
+	// ErrCofferReadOnly / ErrCofferOffline are the quarantine errnos
+	// (DESIGN.md §13): the coffer exists but has been fenced off — writes
+	// (read-only) or all access (offline) fail fast with a typed error
+	// while every other coffer keeps serving.
+	ErrCofferReadOnly = errors.New("kernfs: coffer quarantined read-only")
+	ErrCofferOffline  = errors.New("kernfs: coffer quarantined offline")
 )
 
 // Superblock layout (page 0).
@@ -83,7 +90,17 @@ type KernFS struct {
 	coffers    map[coffer.ID]*cofferInfo
 	procs      map[int]*procState
 	procsMu    sync.Mutex
+
+	// violations counts MPK-violation reports per coffer (ReportViolation);
+	// crossing violationThreshold auto-quarantines the coffer read-only.
+	// Volatile by design: a reboot clears the tally but not the quarantine
+	// flags, which live in the root page.
+	violations map[coffer.ID]int
 }
+
+// violationThreshold is how many reported stray-write violations at one
+// coffer the kernel tolerates before fencing it read-only (DESIGN.md §13).
+const violationThreshold = 3
 
 type cofferInfo struct {
 	rp      coffer.RootPage
@@ -96,6 +113,13 @@ type procState struct {
 	keys     map[coffer.ID]mpk.Key
 	writable map[coffer.ID]bool
 	usedKeys uint16
+	// revGen counts kernel-initiated mapping revocations and downgrades
+	// (coffer delete, recovery eviction, quarantine). It models a
+	// user-readable shared counter: the µFS compares it against its cached
+	// value before trusting its mount cache, so a mapping the kernel pulled
+	// out from under the library is noticed before — not after — the library
+	// dereferences a dead key. Voluntary coffer_unmap does not bump it.
+	revGen atomic.Uint64
 }
 
 // Mkfs formats a device: superblock, allocation table, path table and the
@@ -186,6 +210,7 @@ func Mount(dev *nvm.Device) (*KernFS, error) {
 		rootCoffer: coffer.ID(binary.LittleEndian.Uint64(sb[sbRootOff:])),
 		coffers:    map[coffer.ID]*cofferInfo{},
 		procs:      map[int]*procState{},
+		violations: map[coffer.ID]int{},
 	}
 	k.kmu.Init("kernfs.big", "")
 	k.pmu.Init("kernfs.paths", "")
@@ -325,7 +350,7 @@ func (k *KernFS) SetIdentity(th *proc.Thread, uid, gid uint32) error {
 		return ErrInvalid
 	}
 	for id := range ps.keys {
-		k.unmapLocked(ps, id)
+		k.revokeLocked(ps, id)
 	}
 	th.Proc.SetIdentity(uid, gid)
 	return nil
@@ -459,9 +484,11 @@ func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ c
 	return id, nil
 }
 
-// CofferDelete removes an empty/unused coffer and frees all its pages
-// (Table 5: coffer_delete). Only the owner (or root) may delete, and no
-// other process may have it mapped.
+// CofferDelete removes a coffer and frees all its pages (Table 5:
+// coffer_delete). Only the owner (or root) may delete. Every process's
+// mapping is revoked first — the same eviction discipline BeginRecover
+// uses — so a deleted coffer can never stay readable through stale page
+// tables; a straggler faults on its next access and re-resolves the path.
 func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
 	defer kcall(th, "coffer_delete")()
 	th.Syscall()
@@ -478,11 +505,8 @@ func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
 	if id == k.rootCoffer {
 		return fmt.Errorf("%w: cannot delete root coffer", ErrInvalid)
 	}
-	for pid, ps := range ci.mappers {
-		if pid != th.Proc.PID {
-			return ErrBusy
-		}
-		k.unmapLocked(ps, id)
+	for _, ps := range ci.mappers {
+		k.revokeLocked(ps, id)
 	}
 	for _, e := range k.space.extentsOf(id) {
 		if err := k.space.release(th.Clk, id, e.Start, e.Count); err != nil {
@@ -515,6 +539,14 @@ func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero
 	ci := k.coffers[id]
 	if ci == nil {
 		return nil, ErrNotFound
+	}
+	// Quarantine fences before the mapper check, so a degraded (remapped
+	// read-only) holdover gets the typed quarantine error, not ErrNotMapped.
+	if ci.rp.Flags&coffer.FlagOffline != 0 {
+		return nil, ErrCofferOffline
+	}
+	if ci.rp.Flags&coffer.FlagReadOnly != 0 {
+		return nil, ErrCofferReadOnly
 	}
 	ps := ci.mappers[th.Proc.PID]
 	if ps == nil || !ps.writable[id] {
@@ -595,6 +627,12 @@ func (k *KernFS) CofferShrink(th *proc.Thread, id coffer.ID, exts []coffer.Exten
 	if ci == nil {
 		return ErrNotFound
 	}
+	if ci.rp.Flags&coffer.FlagOffline != 0 {
+		return ErrCofferOffline
+	}
+	if ci.rp.Flags&coffer.FlagReadOnly != 0 {
+		return ErrCofferReadOnly
+	}
 	ps := ci.mappers[th.Proc.PID]
 	if ps == nil || !ps.writable[id] {
 		return ErrNotMapped
@@ -640,6 +678,12 @@ func (k *KernFS) CofferMap(th *proc.Thread, id coffer.ID, write bool) (MapInfo, 
 	}
 	if ci.rp.Flags&coffer.FlagInRecovery != 0 {
 		return MapInfo{}, ErrInRecovery
+	}
+	if ci.rp.Flags&coffer.FlagOffline != 0 {
+		return MapInfo{}, ErrCofferOffline
+	}
+	if write && ci.rp.Flags&coffer.FlagReadOnly != 0 {
+		return MapInfo{}, ErrCofferReadOnly
 	}
 	ps := k.stateOf(th.Proc.PID)
 	if ps == nil {
@@ -721,6 +765,26 @@ func (k *KernFS) unmapLocked(ps *procState, id coffer.ID) {
 	if ci := k.coffers[id]; ci != nil {
 		delete(ci.mappers, ps.p.PID)
 	}
+}
+
+// revokeLocked is unmapLocked for kernel-initiated evictions: the process
+// did not ask for this, so its revocation generation is bumped to tell the
+// µFS its mount cache is stale.
+func (k *KernFS) revokeLocked(ps *procState, id coffer.ID) {
+	k.unmapLocked(ps, id)
+	ps.revGen.Add(1)
+}
+
+// RevocationGen returns the process's revocation generation. This is not a
+// system call: it models a load from a kernel-maintained, user-readable
+// shared page (vDSO-style), which is why it takes no clock and charges no
+// syscall cost.
+func (k *KernFS) RevocationGen(pid int) uint64 {
+	ps := k.stateOf(pid)
+	if ps == nil {
+		return 0
+	}
+	return ps.revGen.Load()
 }
 
 // MappedCoffers returns the coffers currently mapped by a process.
@@ -999,7 +1063,7 @@ func (k *KernFS) BeginRecover(th *proc.Thread, id coffer.ID, leaseNS uint64) ([]
 	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	for pid, ps := range ci.mappers {
 		if pid != th.Proc.PID {
-			k.unmapLocked(ps, id)
+			k.revokeLocked(ps, id)
 		}
 	}
 	return k.space.extentsOf(id), nil
@@ -1051,6 +1115,131 @@ func (k *KernFS) EndRecover(th *proc.Thread, id coffer.ID, inUse []int64) error 
 	ci.rp.Lease = 0
 	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
+}
+
+// ---- quarantine (DESIGN.md §13) ---------------------------------------------
+
+// QuarantineCoffer fences one coffer: read-only (offline=false) keeps read
+// mappings alive but downgrades every write mapping and refuses new write
+// maps/enlarges/shrinks; offline (offline=true) unmaps the coffer from every
+// process and refuses all maps. The flag is persisted in the root page so the
+// quarantine survives reboot; every other coffer is untouched — the paper's
+// fault-containment claim (§3.1) made operational. Owner or root only.
+func (k *KernFS) QuarantineCoffer(th *proc.Thread, id coffer.ID, offline bool) error {
+	defer kcall(th, "quarantine_coffer")()
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
+		return ErrPerm
+	}
+	k.quarantineLocked(th, ci, offline)
+	return nil
+}
+
+// quarantineLocked applies the quarantine under kmu: flag + root page write,
+// then mapper downgrade (read-only) or eviction (offline).
+func (k *KernFS) quarantineLocked(th *proc.Thread, ci *cofferInfo, offline bool) {
+	k.rec().Inc(telemetry.CtrKernQuarantines)
+	if offline {
+		ci.rp.Flags |= coffer.FlagOffline
+	} else {
+		ci.rp.Flags |= coffer.FlagReadOnly
+	}
+	k.writeRootPage(th.Clk, int64(ci.rp.ID), &ci.rp)
+	id := ci.rp.ID
+	if offline {
+		for _, ps := range ci.mappers {
+			k.revokeLocked(ps, id)
+		}
+		return
+	}
+	for _, ps := range ci.mappers {
+		if ps.writable[id] {
+			ps.writable[id] = false
+			k.mapPagesLocked(ps, ci, ps.keys[id], false)
+			// The mapping survives but its write grant is gone — a cache
+			// flush on the µFS side turns the next write into a clean typed
+			// error instead of an MPK fault.
+			ps.revGen.Add(1)
+		}
+	}
+}
+
+// UnquarantineCoffer lifts a quarantine (operator action, or µFS recovery
+// that repaired the damage). Mappings are not restored — processes re-map on
+// their next access and go back through the permission check. Owner or root
+// only.
+func (k *KernFS) UnquarantineCoffer(th *proc.Thread, id coffer.ID) error {
+	defer kcall(th, "unquarantine_coffer")()
+	th.Syscall()
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return ErrNotFound
+	}
+	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
+		return ErrPerm
+	}
+	ci.rp.Flags &^= uint32(coffer.FlagReadOnly | coffer.FlagOffline)
+	k.writeRootPage(th.Clk, int64(id), &ci.rp)
+	delete(k.violations, id)
+	return nil
+}
+
+// ReportViolation records an MPK violation whose faulting address fell in
+// the given coffer (fslibs' SIGSEGV-analogue handler reports these). After
+// violationThreshold reports the kernel fences the coffer read-only — a
+// byzantine client spraying stray writes at one coffer degrades that coffer,
+// not the device. Reports on an already-quarantined coffer are counted but
+// change nothing. Returns true when this report triggered the quarantine.
+func (k *KernFS) ReportViolation(th *proc.Thread, id coffer.ID) (bool, error) {
+	defer kcall(th, "report_violation")()
+	th.Syscall()
+	k.rec().Inc(telemetry.CtrKernViolationReports)
+	k.kmu.Lock(th.Clk)
+	defer k.kmu.Unlock(th.Clk)
+	ci := k.coffers[id]
+	if ci == nil {
+		return false, ErrNotFound
+	}
+	k.violations[id]++
+	if k.violations[id] < violationThreshold ||
+		ci.rp.Flags&(coffer.FlagReadOnly|coffer.FlagOffline) != 0 {
+		return false, nil
+	}
+	k.quarantineLocked(th, ci, false)
+	return true, nil
+}
+
+// Violations reports the volatile violation tally for a coffer (tooling).
+func (k *KernFS) Violations(id coffer.ID) int {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	return k.violations[id]
+}
+
+// OwnerOf resolves a device page to the coffer owning it (the kernel's
+// allocation-table view) — how the violation handler attributes a stray
+// write's faulting address to a victim coffer. Returns false for free or
+// kernel-owned pages.
+func (k *KernFS) OwnerOf(page int64) (coffer.ID, bool) {
+	k.kmu.Lock(nil)
+	defer k.kmu.Unlock(nil)
+	for id, s := range k.space.byOwner {
+		if id == 0 || id == coffer.KernelID || s == nil {
+			continue
+		}
+		if s.Contains(page, 1) {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // ---- file_mmap / file_execve ---------------------------------------------------

@@ -223,14 +223,16 @@ func TestCofferDelete(t *testing.T) {
 	if _, err := k.CofferMap(other, id, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := k.CofferDelete(th, id); !errors.Is(err, ErrBusy) {
+	// Delete revokes every process's mapping (the same eviction discipline
+	// recovery uses) rather than failing EBUSY: a reader must not be able to
+	// pin a name its owner wants gone.
+	if err := k.CofferDelete(th, id); err != nil {
 		t.Fatalf("delete while mapped elsewhere: %v", err)
 	}
-	if err := k.CofferUnmap(other, id); err != nil {
-		t.Fatal(err)
-	}
-	if err := k.CofferDelete(th, id); err != nil {
-		t.Fatalf("delete: %v", err)
+	for _, m := range k.MappedCoffers(other.Proc.PID) {
+		if m == id {
+			t.Fatal("other still maps deleted coffer")
+		}
 	}
 	if k.FreePages() != free+3 {
 		t.Fatalf("pages not reclaimed: %d vs %d+3", k.FreePages(), free)

@@ -85,11 +85,20 @@ func clkClass(clk *simclock.Clock) byteflow.Class {
 // nt-store family (persistent at issue); fenced marks writes that fold a
 // trailing fence in.
 func (d *Device) acctWrite(clk *simclock.Clock, off, n int64, persisted, fenced bool) {
+	d.acctWriteClass(clkClass(clk), off, n, persisted, fenced)
+}
+
+// acctWriteClass is acctWrite with the byte class resolved by the caller —
+// the ledger path for clock-less stores that still belong to a named class
+// (Store64Class).
+func (d *Device) acctWriteClass(cls byteflow.Class, off, n int64, persisted, fenced bool) {
 	a := d.acct.Load()
 	if a == nil || n <= 0 {
 		return
 	}
-	cls := clkClass(clk)
+	if int(cls) >= byteflow.NumClasses {
+		cls = byteflow.ClassOther
+	}
 	a.total.Add(n)
 	a.issued[cls].Add(n)
 	if persisted {

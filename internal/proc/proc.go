@@ -37,11 +37,24 @@ type Process struct {
 	// Kernel-private per-process state attached by KernFS (mapped coffers,
 	// assigned MPK regions). Typed as any to avoid a dependency cycle.
 	KernState any
-
-	nextTID atomic.Int64
 }
 
 var nextPID atomic.Int64
+
+// nextTID is global, like gettid(): a TID identifies a thread across every
+// process on the machine. The persistent inode lease word stores the holder's
+// TID, so cross-process holder identity checks (is this lease mine, or a
+// dead peer's?) are only sound with machine-unique TIDs.
+var nextTID atomic.Int64
+
+// ResetIDs restarts the machine-global PID/TID counters, as a reboot of the
+// simulated machine would. Only for harnesses that model a whole machine
+// from boot (the chaos engine): their reports must be byte-reproducible, so
+// identity counters cannot depend on what ran earlier in the host process.
+func ResetIDs() {
+	nextPID.Store(0)
+	nextTID.Store(0)
+}
 
 // NewProcess creates a process with the given identity over a device.
 func NewProcess(dev *nvm.Device, uid, gid uint32) *Process {
@@ -77,7 +90,7 @@ func (p *Process) NewThread() *Thread {
 	t := &Thread{
 		Proc: p,
 		Clk:  simclock.NewClock(),
-		TID:  int(p.nextTID.Add(1)),
+		TID:  int(nextTID.Add(1)),
 		pkru: mpk.DefaultPKRU(),
 	}
 	// Tag the clock so the flight recorder can attribute device events to

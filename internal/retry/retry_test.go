@@ -1,0 +1,133 @@
+package retry
+
+import (
+	"testing"
+
+	"zofs/internal/simclock"
+)
+
+var testPolicy = Policy{Base: 20_000, Cap: 25_000_000, Budget: 500_000_000}
+
+// DelayAt is the jitter stream's contract: pure, bounded, growing.
+func TestDelayAtDeterministic(t *testing.T) {
+	for n := 0; n < 70; n++ {
+		a := testPolicy.DelayAt(42, n)
+		b := testPolicy.DelayAt(42, n)
+		if a != b {
+			t.Fatalf("DelayAt(42, %d) not pure: %d vs %d", n, a, b)
+		}
+	}
+	if a, b := testPolicy.DelayAt(1, 3), testPolicy.DelayAt(2, 3); a == b {
+		t.Errorf("different seeds produced identical jitter %d at attempt 3", a)
+	}
+}
+
+func TestDelayAtBounds(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		for n := 0; n < 70; n++ {
+			d := testPolicy.DelayAt(seed, n)
+			// Exponential growth capped at Cap, jittered into [ideal/2, ideal].
+			ideal := testPolicy.Base
+			if n > 0 {
+				if n >= 62 || ideal<<uint(n) <= 0 || ideal<<uint(n) > testPolicy.Cap {
+					ideal = testPolicy.Cap
+				} else {
+					ideal <<= uint(n)
+				}
+			}
+			if d < ideal/2 || d > ideal {
+				t.Fatalf("DelayAt(%d, %d) = %d outside [%d, %d]", seed, n, d, ideal/2, ideal)
+			}
+			if d > testPolicy.Cap {
+				t.Fatalf("DelayAt(%d, %d) = %d exceeds cap %d", seed, n, d, testPolicy.Cap)
+			}
+		}
+	}
+}
+
+// A backoff sequence must never sleep past its budget, and must report
+// exhaustion (without advancing the clock) once the deadline is reached.
+func TestSleepBudgetBound(t *testing.T) {
+	clk := simclock.NewClock()
+	bo := testPolicy.Start(clk.Now(), 7)
+	for bo.Sleep(clk) {
+		if clk.Now() > bo.Deadline() {
+			t.Fatalf("slept to %d, past deadline %d", clk.Now(), bo.Deadline())
+		}
+	}
+	if clk.Now() != bo.Deadline() {
+		t.Errorf("gave up at %d, want exactly the deadline %d", clk.Now(), bo.Deadline())
+	}
+	if bo.Slept() != testPolicy.Budget {
+		t.Errorf("Slept() = %d, want the whole budget %d", bo.Slept(), testPolicy.Budget)
+	}
+	at := clk.Now()
+	if bo.Sleep(clk) {
+		t.Error("Sleep returned true after exhaustion")
+	}
+	if clk.Now() != at {
+		t.Error("exhausted Sleep still advanced the clock")
+	}
+}
+
+// Two backoff sequences with the same (policy, seed, start) must replay the
+// exact same wakeup times — the chaos engine's reproducibility contract.
+func TestSleepReplayIdentical(t *testing.T) {
+	run := func() []int64 {
+		clk := simclock.NewClock()
+		bo := testPolicy.Start(clk.Now(), 99)
+		var wakes []int64
+		for bo.Sleep(clk) {
+			wakes = append(wakes, clk.Now())
+		}
+		return wakes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wakeup %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if len(a) < 2 {
+		t.Fatalf("budget admitted only %d sleeps; policy exercises no growth", len(a))
+	}
+}
+
+// SleepUntil clamps the wakeup to the polling target: the sleeper lands
+// exactly on a future expiry instead of overshooting it, and still makes
+// one-tick progress when the target is already past.
+func TestSleepUntilTarget(t *testing.T) {
+	clk := simclock.NewClock()
+	bo := testPolicy.Start(clk.Now(), 3)
+	target := int64(5_000) // before the first jittered delay (>=10µs)
+	if !bo.SleepUntil(clk, target) {
+		t.Fatal("SleepUntil gave up with budget to spare")
+	}
+	if clk.Now() != target {
+		t.Errorf("woke at %d, want the target %d exactly", clk.Now(), target)
+	}
+	// Target in the past: minimal progress, no stall.
+	before := clk.Now()
+	if !bo.SleepUntil(clk, 0) {
+		t.Fatal("SleepUntil gave up with budget to spare")
+	}
+	if clk.Now() != before+1 {
+		t.Errorf("past target slept %d ticks, want exactly 1", clk.Now()-before)
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(12345) != Mix(12345) {
+		t.Error("Mix not pure")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[Mix(i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("Mix collided on sequential inputs: %d distinct of 1000", len(seen))
+	}
+}

@@ -51,6 +51,12 @@ const (
 	CompMemcpy
 	// CompKernel is kernel-crossing time: syscall entry/exit charges.
 	CompKernel
+	// CompRetry is failure-path wait: virtual time spent in backoff sleeps
+	// and re-attempt delays under the unified retry policy (lease
+	// re-acquisition, allocator slot claims, quarantine-era remaps). Kept
+	// apart from CompLock so contention on healthy locks and churn on
+	// failure paths stay distinguishable.
+	CompRetry
 	// CompOther is the residual — CPU work not billed to any component
 	// (hashing, dentry scans, structure walks) — computed at fold time as
 	// span duration minus everything billed, so components always sum to
@@ -67,6 +73,7 @@ var compNames = [NumComponents]string{
 	CompPKRU:   "pkru",
 	CompMemcpy: "memcpy",
 	CompKernel: "kernel",
+	CompRetry:  "retry",
 	CompOther:  "other",
 }
 

@@ -51,6 +51,8 @@ const (
 	CtrKernCofferMerge
 	CtrKernMovePages
 	CtrKernRecoveries
+	CtrKernQuarantines
+	CtrKernViolationReports
 
 	// fslibs / dispatch layer.
 	CtrDispatchOps
@@ -83,18 +85,20 @@ var counterNames = [numCounters]string{
 	CtrMPKWRPKRUCharged: "mpk.wrpkru_charged",
 	CtrMPKViolations:    "mpk.violations",
 
-	CtrKernSyscalls:      "kernfs.syscalls",
-	CtrKernCofferNew:     "kernfs.coffer_new",
-	CtrKernCofferDelete:  "kernfs.coffer_delete",
-	CtrKernCofferEnlarge: "kernfs.coffer_enlarge",
-	CtrKernEnlargePages:  "kernfs.enlarge_pages",
-	CtrKernCofferShrink:  "kernfs.coffer_shrink",
-	CtrKernCofferMap:     "kernfs.coffer_map",
-	CtrKernCofferUnmap:   "kernfs.coffer_unmap",
-	CtrKernCofferSplit:   "kernfs.coffer_split",
-	CtrKernCofferMerge:   "kernfs.coffer_merge",
-	CtrKernMovePages:     "kernfs.move_pages",
-	CtrKernRecoveries:    "kernfs.recoveries",
+	CtrKernSyscalls:         "kernfs.syscalls",
+	CtrKernCofferNew:        "kernfs.coffer_new",
+	CtrKernCofferDelete:     "kernfs.coffer_delete",
+	CtrKernCofferEnlarge:    "kernfs.coffer_enlarge",
+	CtrKernEnlargePages:     "kernfs.enlarge_pages",
+	CtrKernCofferShrink:     "kernfs.coffer_shrink",
+	CtrKernCofferMap:        "kernfs.coffer_map",
+	CtrKernCofferUnmap:      "kernfs.coffer_unmap",
+	CtrKernCofferSplit:      "kernfs.coffer_split",
+	CtrKernCofferMerge:      "kernfs.coffer_merge",
+	CtrKernMovePages:        "kernfs.move_pages",
+	CtrKernRecoveries:       "kernfs.recoveries",
+	CtrKernQuarantines:      "kernfs.quarantines",
+	CtrKernViolationReports: "kernfs.violation_reports",
 
 	CtrDispatchOps:     "fslibs.ops",
 	CtrFaultsRecovered: "fslibs.faults_recovered",

@@ -83,6 +83,18 @@ var (
 	ErrCorrupted   = errors.New("vfs: file system structure corrupted")
 	ErrIO          = errors.New("vfs: input/output error")
 	ErrCrossDevice = errors.New("vfs: cross-device link")
+
+	// Failure-path typed errors (graceful degradation, DESIGN.md §13).
+	// ErrLeaseTimeout: a lease acquisition exhausted its retry deadline
+	// budget behind a live foreign holder. ErrStaleLease: a resurrected
+	// holder's publish was fenced off because its lease epoch was
+	// superseded by a steal. ErrReadOnlyCoffer / ErrOfflineCoffer: the op
+	// targeted a quarantined coffer (writes rejected / all access
+	// rejected); other coffers keep serving.
+	ErrLeaseTimeout   = errors.New("vfs: lease acquisition timed out")
+	ErrStaleLease     = errors.New("vfs: stale lease epoch")
+	ErrReadOnlyCoffer = errors.New("vfs: coffer quarantined read-only")
+	ErrOfflineCoffer  = errors.New("vfs: coffer quarantined offline")
 )
 
 // SymlinkError is returned when a path walk expands a symbolic link: the

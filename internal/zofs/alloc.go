@@ -9,12 +9,23 @@ import (
 	"zofs/internal/coffer"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
+	"zofs/internal/retry"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
 
 // rec returns the device's telemetry recorder (nil-safe when disabled).
 func (f *FS) rec() *telemetry.Recorder { return f.kern.Device().Recorder() }
+
+// allocRescanPolicy schedules pool-rescan backoff when every slot is leased
+// to a live thread: the first retry lands after roughly half a lease window
+// (the previous fixed behaviour), then grows toward two full windows so
+// threads far past the pool size stop hammering the 62-slot scan. Budget is
+// irrelevant here — the memo never sleeps — so only Base/Cap are used.
+var allocRescanPolicy = retry.Policy{
+	Base: leaseDuration / 2,
+	Cap:  2 * leaseDuration,
+}
 
 // Leased per-thread allocator (paper §5.2, Figure 6).
 //
@@ -163,15 +174,22 @@ func (f *FS) allocPage(th *proc.Thread, m *mount, class int) (int64, error) {
 		}
 	}
 	ts, slotOff, err := f.slotFor(th, m, class)
+	if err == nil {
+		ts.noSlotTries[class] = 0
+	}
 	if err != nil {
 		if !f.opts.NoAllocBatch && errors.Is(err, vfs.ErrNoSpace) {
 			// Every pool slot is leased to a live thread: the pool is one
 			// custom page (62 slots, §5.2), so past ~62 threads per coffer
 			// claims must fail until a lease expires. Serve the thread
 			// slotless through the volatile cache and back off the pool
-			// rescans for half a lease window.
+			// rescans under the unified retry policy. The backoff is latent
+			// (a memo of when to rescan, not a sleep — the thread keeps
+			// serving pages slotless meanwhile), so no retry time is billed.
 			ts := m.threadSlotsFor(th.TID)
-			ts.noSlotUntil[class] = th.Clk.Now() + leaseDuration/2
+			seed := uint64(th.TID)<<32 ^ uint64(m.id)
+			ts.noSlotUntil[class] = th.Clk.Now() + allocRescanPolicy.DelayAt(seed, ts.noSlotTries[class])
+			ts.noSlotTries[class]++
 			return f.allocSlotless(th, m, ts, class)
 		}
 		return 0, err
@@ -312,12 +330,14 @@ func (f *FS) pushExtents(th *proc.Thread, ts *threadSlots, slotOff int64, class 
 }
 
 // chainStore performs a checked 8-byte store whose media cost is accounted
-// in bulk by the caller. The nil clock means the byte-flow ledger books
-// these stores in the residual class (no clock, no class tag) — the one
-// deliberate residual source; see DESIGN.md §11.
+// in bulk by the caller (pushExtents charges one batched latency + fence
+// for the whole run). The store carries no clock — a clock here would
+// double-bill that batched time — but its bytes still book to the alloc
+// class via Store64Class, so free-list chaining no longer lands in the
+// ledger's residual bucket.
 func (f *FS) chainStore(th *proc.Thread, off int64, v uint64) {
 	th.CheckAccess(off, 8, true)
-	f.kern.Device().Store64(nil, off, v)
+	f.kern.Device().Store64Class(byteflow.ClassAlloc, off, v)
 }
 
 // freePage returns a page to the thread's free list — by default the

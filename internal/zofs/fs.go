@@ -2,6 +2,7 @@ package zofs
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 
@@ -75,8 +76,9 @@ type FS struct {
 	sh   *shared
 	opts Options
 
-	mu     lockprof.RealMutex // guards mounts; real-only, no virtual cost
-	mounts map[coffer.ID]*mount
+	mu      lockprof.RealMutex // guards mounts and revSeen; real-only, no virtual cost
+	mounts  map[coffer.ID]*mount
+	revSeen uint64 // last-seen kernel revocation generation (see ensureMapped)
 }
 
 // mount is a cached coffer mapping.
@@ -101,6 +103,10 @@ type threadSlots struct {
 	// referenced by nothing persistent: a crash leaks them and recovery
 	// reclaims them as not-in-use (§5.3).
 	cache [2][]int64
+	// noSlotTries counts consecutive exhausted pool scans per class; it
+	// indexes the unified retry policy's backoff schedule and resets to
+	// zero once a slot is claimed.
+	noSlotTries [2]int
 	// noSlotUntil backs off pool-claim retries per class after claimSlot
 	// found every slot leased (more live threads than pool slots): until
 	// this virtual instant the thread allocates slotless through the
@@ -171,6 +177,10 @@ func errno(err error) error {
 		return vfs.ErrExist
 	case errors.Is(err, kernfs.ErrNoSpace):
 		return vfs.ErrNoSpace
+	case errors.Is(err, kernfs.ErrCofferReadOnly):
+		return vfs.ErrReadOnlyCoffer
+	case errors.Is(err, kernfs.ErrCofferOffline):
+		return vfs.ErrOfflineCoffer
 	case errors.Is(err, kernfs.ErrInRecovery), errors.Is(err, kernfs.ErrBusy):
 		return vfs.ErrIO
 	default:
@@ -183,7 +193,17 @@ func errno(err error) error {
 // (§3.4.2: "the µFS should call coffer_unmap to release MPK regions before
 // mapping new coffers").
 func (f *FS) ensureMapped(th *proc.Thread, id coffer.ID, write bool) (*mount, error) {
+	gen := f.kern.RevocationGen(th.Proc.PID)
 	f.mu.Lock()
+	if gen != f.revSeen {
+		// The kernel revoked or downgraded one of our mappings behind our
+		// back (coffer delete, recovery eviction, quarantine): every cached
+		// mount is suspect — a deleted coffer's ID may already name a new
+		// coffer. Drop the cache; coffer_map re-issues cheaply for mappings
+		// that are in fact still live.
+		f.revSeen = gen
+		f.mounts = make(map[coffer.ID]*mount)
+	}
 	if m, ok := f.mounts[id]; ok && (!write || m.writable) {
 		f.mu.Unlock()
 		return m, nil
@@ -288,7 +308,7 @@ func (f *FS) walk(th *proc.Thread, path string, followFinal, write bool) (walkPo
 		hdr := f.readInodeHeader(th, pos.ino)
 		if u32at(hdr, inoMagicOff) != inoMagic {
 			pos.close()
-			return walkPos{}, vfs.ErrCorrupted
+			return walkPos{}, fmt.Errorf("%w: bad root inode magic at %q ino %d", vfs.ErrCorrupted, pos.path, pos.ino)
 		}
 		pos.typ = vfs.FileType(u32at(hdr, inoTypeOff))
 		if pos.typ == vfs.TypeSymlink && followFinal {
@@ -309,7 +329,7 @@ func (f *FS) walk(th *proc.Thread, path string, followFinal, write bool) (walkPo
 		hdr := f.readInodeHeader(th, pos.ino)
 		if u32at(hdr, inoMagicOff) != inoMagic {
 			pos.close()
-			return walkPos{}, vfs.ErrCorrupted
+			return walkPos{}, fmt.Errorf("%w: bad dir inode magic at %q ino %d", vfs.ErrCorrupted, pos.path, pos.ino)
 		}
 		typ := vfs.FileType(u32at(hdr, inoTypeOff))
 		if typ == vfs.TypeSymlink {
@@ -335,7 +355,8 @@ func (f *FS) walk(th *proc.Thread, path string, followFinal, write bool) (walkPo
 			info, ok := f.kern.Info(target)
 			if !ok || info.Path != childPath || info.RootInode != de.inode {
 				pos.close()
-				return walkPos{}, vfs.ErrCorrupted
+				return walkPos{}, fmt.Errorf("%w: cross-coffer dentry %q names coffer %d (known=%v path %q root %d, dentry inode %d)",
+					vfs.ErrCorrupted, childPath, target, ok, info.Path, info.RootInode, de.inode)
 			}
 			pos.close()
 			nm, err := f.ensureMapped(th, target, write)
@@ -351,7 +372,7 @@ func (f *FS) walk(th *proc.Thread, path string, followFinal, write bool) (walkPo
 			hdr := f.readInodeHeader(th, pos.ino)
 			if u32at(hdr, inoMagicOff) != inoMagic {
 				pos.close()
-				return walkPos{}, vfs.ErrCorrupted
+				return walkPos{}, fmt.Errorf("%w: bad final inode magic at %q ino %d", vfs.ErrCorrupted, pos.path, pos.ino)
 			}
 			pos.typ = vfs.FileType(u32at(hdr, inoTypeOff))
 			if pos.typ == vfs.TypeSymlink && followFinal {

@@ -205,10 +205,12 @@ func (f *FS) readAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (
 }
 
 // writeAt writes file data in place with non-temporal stores (§5.3: ZoFS
-// does not implement atomic data updates); the caller holds the write lock.
-// Newly allocated, partially covered pages are zeroed first (data-class
-// grants are not scrubbed).
-func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) (int, error) {
+// does not implement atomic data updates); the caller holds the write lock
+// at the given lease epoch, which fences the metadata publish: a holder
+// whose lease was stolen mid-op (checkLease) gets vfs.ErrStaleLease
+// instead of committing over the stealer. Newly allocated, partially
+// covered pages are zeroed first (data-class grants are not scrubbed).
+func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, epoch uint8, p []byte, off int64) (int, error) {
 	prev := th.Clk.SwapWriteClass(uint8(byteflow.ClassData))
 	defer th.Clk.SetWriteClass(prev)
 	if off < 0 {
@@ -227,6 +229,9 @@ func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) 
 			// The whole write fits in the inode page: one store, no
 			// allocation, no block pointer.
 			f.rec().Inc(telemetry.CtrZoFSInlineWrites)
+			if err := f.checkLease(th, ino, epoch); err != nil {
+				return 0, err
+			}
 			th.WriteNT(ino*pageSize+inoInlineOff+off, p)
 			if !inline {
 				th.Store64(ino*pageSize+inoInlineFlag, 1)
@@ -273,6 +278,14 @@ func (f *FS) writeAt(th *proc.Thread, m *mount, ino int64, p []byte, off int64) 
 		}
 		th.WriteNT(pg*pageSize+pOff, p[n:n+chunk])
 		n += chunk
+	}
+	// Epoch fence before the commit-point publish: if the lease was stolen
+	// while the data stores ran, the size/mtime must not be published —
+	// the stealer owns the inode's metadata now. The data stores above may
+	// have landed (ZoFS data writes are not atomic), but they are invisible
+	// beyond the committed size and are the stealer's to overwrite.
+	if err := f.checkLease(th, ino, epoch); err != nil {
+		return 0, err
 	}
 	if end := off + int64(n); end > size {
 		f.setInodeSize(th, ino, end)

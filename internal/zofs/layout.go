@@ -43,7 +43,7 @@ const (
 	inoSizeOff  = 24         // u64
 	inoMtimeOff = 32         // u64
 	inoCtimeOff = 40         // u64
-	inoLeaseOff = 48         // u64 lease lock word {tid:16 | expiry:48}
+	inoLeaseOff = 48         // u64 lease lock word {tid:16 | epoch:8 | expiry:40}
 	inoDirL1Off = 56         // u64 (directories: first-level hash page)
 
 	inoHeaderLen = 64 // bytes read as "the inode header"
@@ -134,15 +134,28 @@ func unpackCommit(w uint64) (state uint8, nameLen int, typ uint8, hash uint32) {
 	return uint8(w), int(uint8(w >> 8)), uint8(w >> 16), uint32(w >> 32)
 }
 
-// leaseWord packs a lease lock value: owner tid in the top 16 bits, expiry
-// virtual time (ns) in the low 48.
+// leaseWord packs an allocator-slot lease lock value: owner tid in the top
+// 16 bits, expiry virtual time (ns) in the low 48.
 func leaseWord(tid int, expiry int64) uint64 {
 	return uint64(tid&0xffff)<<48 | uint64(expiry)&0xffffffffffff
 }
 
-// unpackLease splits a lease word.
+// unpackLease splits a slot lease word.
 func unpackLease(w uint64) (tid int, expiry int64) {
 	return int(w >> 48), int64(w & 0xffffffffffff)
+}
+
+// inoLeaseWord packs an inode lease lock value: owner tid (top 16 bits), a
+// fencing epoch (8 bits, bumped on every steal so a resurrected stale
+// holder's publishes are rejected) and the expiry virtual time in the low
+// 40 bits (~18 virtual minutes of range — campaigns run milliseconds).
+func inoLeaseWord(tid, epoch int, expiry int64) uint64 {
+	return uint64(tid&0xffff)<<48 | uint64(epoch&0xff)<<40 | uint64(expiry)&0xffffffffff
+}
+
+// unpackInoLease splits an inode lease word.
+func unpackInoLease(w uint64) (tid, epoch int, expiry int64) {
+	return int(w >> 48), int(uint8(w >> 40)), int64(w & 0xffffffffff)
 }
 
 // u64at / putU64 are little helpers over little-endian encoding.

@@ -1,6 +1,8 @@
 package zofs
 
 import (
+	"fmt"
+
 	"zofs/internal/coffer"
 	"zofs/internal/proc"
 	"zofs/internal/vfs"
@@ -80,6 +82,17 @@ func (f *FS) Create(th *proc.Thread, path string, mode coffer.Mode) (vfs.Handle,
 	if err != nil {
 		return nil, errno(err)
 	}
+	// coffer_new already published the path in the kernel registry. Until
+	// the root inode is initialized and the dentry is in place, any exit —
+	// error return or MPK fault unwinding through here — must delete the
+	// coffer again, or the path resolves forever to an uninitialized root.
+	published := false
+	defer func() {
+		if !published {
+			f.kern.CofferDelete(th, newID)
+			f.sh.dc.bump() // deleted coffer's pages may be re-granted
+		}
+	}()
 	nm, err := f.ensureMapped(th, newID, true)
 	if err != nil {
 		return nil, err
@@ -89,10 +102,9 @@ func (f *FS) Create(th *proc.Thread, path string, mode coffer.Mode) (vfs.Handle,
 	// Back to the parent coffer to publish the cross-coffer dentry.
 	f.window(th, pos.m, true)
 	if err := f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeRegular), uint32(newID), nm.root); err != nil {
-		f.kern.CofferDelete(th, newID)
-		f.sh.dc.bump() // deleted coffer's pages may be re-granted
 		return nil, err
 	}
+	published = true
 	return f.newHandle(nm, nm.root, path, vfs.O_RDWR), nil
 }
 
@@ -104,7 +116,8 @@ func (f *FS) openExisting(th *proc.Thread, pos walkPos, de dentry, flags int, pa
 		target := coffer.ID(de.cofferID)
 		info, ok := f.kern.Info(target)
 		if !ok || info.RootInode != de.inode {
-			return nil, vfs.ErrCorrupted
+			return nil, fmt.Errorf("%w: cross-coffer dentry %q names coffer %d (known=%v root %d, dentry inode %d)",
+				vfs.ErrCorrupted, path, target, ok, info.RootInode, de.inode)
 		}
 		nm, err := f.ensureMapped(th, target, flags&vfs.O_ACCESS != vfs.O_RDONLY)
 		if err != nil {
@@ -120,9 +133,13 @@ func (f *FS) openExisting(th *proc.Thread, pos walkPos, de dentry, flags int, pa
 		return nil, vfs.ErrIsDir
 	}
 	if flags&vfs.O_TRUNC != 0 && typ == vfs.TypeRegular {
-		f.lockInode(th, m, ino)
+		ep, lerr := f.lockInode(th, m, ino)
+		if lerr != nil {
+			cl()
+			return nil, lerr
+		}
 		err := f.truncateTo(th, m, ino, 0)
-		f.unlockInode(th, m, ino)
+		f.unlockInode(th, m, ino, ep)
 		if err != nil {
 			cl()
 			return nil, err
@@ -150,9 +167,12 @@ func (f *FS) Open(th *proc.Thread, path string, flags int) (vfs.Handle, error) {
 		return nil, vfs.ErrIsDir
 	}
 	if flags&vfs.O_TRUNC != 0 && pos.typ == vfs.TypeRegular {
-		f.lockInode(th, pos.m, pos.ino)
+		ep, lerr := f.lockInode(th, pos.m, pos.ino)
+		if lerr != nil {
+			return nil, lerr
+		}
 		err := f.truncateTo(th, pos.m, pos.ino, 0)
-		f.unlockInode(th, pos.m, pos.ino)
+		f.unlockInode(th, pos.m, pos.ino, ep)
 		if err != nil {
 			return nil, err
 		}
@@ -197,6 +217,15 @@ func (f *FS) Mkdir(th *proc.Thread, path string, mode coffer.Mode) error {
 	if err != nil {
 		return errno(err)
 	}
+	// Same unwind discipline as Create: the registry entry must not outlive
+	// a failed or faulted init.
+	published := false
+	defer func() {
+		if !published {
+			f.kern.CofferDelete(th, newID)
+			f.sh.dc.bump() // deleted coffer's pages may be re-granted
+		}
+	}()
 	nm, err := f.ensureMapped(th, newID, true)
 	if err != nil {
 		return err
@@ -205,10 +234,9 @@ func (f *FS) Mkdir(th *proc.Thread, path string, mode coffer.Mode) error {
 	f.initInode(th, nm.root, vfs.TypeDir, uint32(mode), uid, gid)
 	f.window(th, pos.m, true)
 	if err := f.dirInsert(th, pos.m, pos.ino, base, uint8(vfs.TypeDir), uint32(newID), nm.root); err != nil {
-		f.kern.CofferDelete(th, newID)
-		f.sh.dc.bump() // deleted coffer's pages may be re-granted
 		return err
 	}
+	published = true
 	return nil
 }
 
@@ -240,12 +268,18 @@ func (f *FS) Unlink(th *proc.Thread, path string) error {
 	}
 	if de.cofferID != 0 {
 		// The file is a coffer root: killing the coffer frees everything.
+		// Delete before unpublishing the name — a failed kernel call must
+		// not strand a live coffer behind a missing dentry.
+		target := coffer.ID(de.cofferID)
+		f.forgetMount(target)
+		if err := errno(f.kern.CofferDelete(th, target)); err != nil {
+			f.unlockDirBucket(th, bk)
+			return err
+		}
 		f.dirRemove(th, pos.ino, base, loc)
 		f.unlockDirBucket(th, bk)
-		f.forgetMount(coffer.ID(de.cofferID))
-		err := errno(f.kern.CofferDelete(th, coffer.ID(de.cofferID)))
 		f.sh.dc.bump() // deleted coffer's pages may be re-granted
-		return err
+		return nil
 	}
 	f.dirRemove(th, pos.ino, base, loc)
 	// The dentry kill committed; content is freed outside the bucket lock
@@ -321,13 +355,16 @@ func (f *FS) Rmdir(th *proc.Thread, path string) error {
 			f.unlockDirBucket(th, bk)
 			return vfs.ErrNotEmpty
 		}
+		f.forgetMount(target)
+		if err := errno(f.kern.CofferDelete(th, target)); err != nil {
+			f.unlockDirBucket(th, bk)
+			return err
+		}
 		f.dirRemove(th, pos.ino, base, loc)
 		f.unlockDirBucket(th, bk)
-		f.forgetMount(target)
 		f.sh.dc.drop(nm.root)
-		err = errno(f.kern.CofferDelete(th, target))
 		f.sh.dc.bump() // deleted coffer's pages may be re-granted
-		return err
+		return nil
 	}
 	if !f.dirEmpty(th, de.inode) {
 		f.unlockDirBucket(th, bk)
@@ -438,8 +475,11 @@ func (f *FS) Truncate(th *proc.Thread, path string, size int64) error {
 	if pos.typ != vfs.TypeRegular {
 		return vfs.ErrIsDir
 	}
-	f.lockInode(th, pos.m, pos.ino)
-	defer f.unlockInode(th, pos.m, pos.ino)
+	ep, lerr := f.lockInode(th, pos.m, pos.ino)
+	if lerr != nil {
+		return lerr
+	}
+	defer f.unlockInode(th, pos.m, pos.ino, ep)
 	return f.truncateTo(th, pos.m, pos.ino, size)
 }
 
@@ -502,9 +542,12 @@ func (h *file) WriteAt(th *proc.Thread, p []byte, off int64) (int, error) {
 	h.fs.maybeKernelCall(th)
 	cl := h.fs.window(th, m, true)
 	defer cl()
-	h.fs.lockInode(th, m, h.ino)
-	defer h.fs.unlockInode(th, m, h.ino)
-	return h.fs.writeAt(th, m, h.ino, p, off)
+	ep, lerr := h.fs.lockInode(th, m, h.ino)
+	if lerr != nil {
+		return 0, lerr
+	}
+	defer h.fs.unlockInode(th, m, h.ino, ep)
+	return h.fs.writeAt(th, m, h.ino, ep, p, off)
 }
 
 // Append atomically appends at end of file (the DWAL operation).
@@ -520,10 +563,13 @@ func (h *file) Append(th *proc.Thread, p []byte) (int64, error) {
 	h.fs.maybeKernelCall(th)
 	cl := h.fs.window(th, m, true)
 	defer cl()
-	h.fs.lockInode(th, m, h.ino)
-	defer h.fs.unlockInode(th, m, h.ino)
+	ep, lerr := h.fs.lockInode(th, m, h.ino)
+	if lerr != nil {
+		return 0, lerr
+	}
+	defer h.fs.unlockInode(th, m, h.ino, ep)
 	off := h.fs.inodeSize(th, h.ino)
-	_, err = h.fs.writeAt(th, m, h.ino, p, off)
+	_, err = h.fs.writeAt(th, m, h.ino, ep, p, off)
 	return off, err
 }
 
@@ -566,8 +612,11 @@ func (h *file) Close(th *proc.Thread) error {
 	}
 	cl := h.fs.window(th, m, true)
 	defer cl()
-	h.fs.lockInode(th, m, h.ino)
-	defer h.fs.unlockInode(th, m, h.ino)
+	ep, lerr := h.fs.lockInode(th, m, h.ino)
+	if lerr != nil {
+		return nil // lease unobtainable; recovery reclaims the orphan
+	}
+	defer h.fs.unlockInode(th, m, h.ino, ep)
 	if vfs.FileType(typ) == vfs.TypeRegular {
 		h.fs.freeFileContent(th, m, h.ino)
 	} else {

@@ -359,6 +359,39 @@ func (f *FS) RecoverCoffer(th *proc.Thread, id coffer.ID) (RecoverStats, error) 
 	return st, nil
 }
 
+// QuarantineIfDamaged runs coffer recovery and, when the damage proved
+// unrepairable — the coffer's root inode itself was destroyed and had to be
+// re-initialized empty (root_reinit) — quarantines the coffer offline
+// instead of serving an empty husk where data used to be. Every other
+// coffer keeps serving: the caller observes vfs.ErrOfflineCoffer on the
+// victim and normal service elsewhere (DESIGN.md §13). Returns whether the
+// coffer was quarantined.
+func (f *FS) QuarantineIfDamaged(th *proc.Thread, id coffer.ID) (RecoverStats, bool, error) {
+	st, err := f.RecoverCoffer(th, id)
+	if err != nil {
+		return st, false, err
+	}
+	unrepairable := false
+	for _, r := range st.Repairs {
+		if r.Kind == "root_reinit" {
+			unrepairable = true
+			break
+		}
+	}
+	if !unrepairable {
+		return st, false, nil
+	}
+	if err := f.kern.QuarantineCoffer(th, id, true); err != nil {
+		return st, false, errno(err)
+	}
+	// The kernel just unmapped the coffer from this process too: drop the
+	// stale volatile mount so the next op re-maps and sees the typed error.
+	f.mu.Lock()
+	delete(f.mounts, id)
+	f.mu.Unlock()
+	return st, true, nil
+}
+
 // resetSlotCaches drops all volatile per-thread allocator caches for a
 // mount — both the slot handles (their NVM slots were just cleared) and the
 // batched page caches (their pages are being reclaimed by the kernel).

@@ -9,6 +9,8 @@ import (
 	"zofs/internal/nvm"
 	"zofs/internal/perfmodel"
 	"zofs/internal/proc"
+	"zofs/internal/retry"
+	"zofs/internal/vfs"
 )
 
 // shared holds the cross-process coordination state for one device's ZoFS
@@ -114,11 +116,24 @@ func (s *shared) lockOf(page int64) *lockprof.RWMutex {
 	return l.(*lockprof.RWMutex)
 }
 
+// leaseAcquirePolicy bounds how long an op may wait behind a live foreign
+// inode lease (a stalled or dead holder in another process): jittered
+// exponential polling of the lease word, giving up with a typed timeout
+// after five lease windows. The waits are real virtual-time sleeps, billed
+// to the spans retry component.
+var leaseAcquirePolicy = retry.Policy{
+	Base:   20_000, // 20µs: first re-poll of the lease word
+	Cap:    leaseDuration / 4,
+	Budget: 5 * leaseDuration,
+}
+
 // lockInode write-locks an inode: virtual-time/real serialization through
 // the shared lock, plus the persistent lease word (§5.2) so that crashed
 // holders are observable and recoverable. The write window for the owning
-// coffer is (re)opened, since the lease write needs it.
-func (f *FS) lockInode(th *proc.Thread, m *mount, ino int64) {
+// coffer is (re)opened, since the lease write needs it. The returned epoch
+// fences the caller's commit points (checkLease) and must be handed back to
+// unlockInode. On vfs.ErrLeaseTimeout the shared lock is already released.
+func (f *FS) lockInode(th *proc.Thread, m *mount, ino int64) (uint8, error) {
 	sp := f.span(th)
 	th.CPU(perfmodel.CPULockAcquire) // clock_gettime via vDSO + bookkeeping
 	t0 := th.Clk.Now()
@@ -127,17 +142,91 @@ func (f *FS) lockInode(th *proc.Thread, m *mount, ino int64) {
 		sp.LockContend(ino, w)
 	}
 	f.window(th, m, true)
-	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
-	th.Store64(ino*nvm.PageSize+inoLeaseOff, leaseWord(th.TID, th.Clk.Now()+leaseDuration))
-	th.Clk.SetWriteClass(wprev)
+	epoch, err := f.claimInodeLease(th, ino)
+	if err != nil {
+		f.sh.lockOf(ino).Unlock(th.Clk)
+		return 0, err
+	}
+	return epoch, nil
 }
 
-func (f *FS) unlockInode(th *proc.Thread, m *mount, ino int64) {
+// claimInodeLease takes the persistent inode lease by CAS. In-process
+// writers are already serialized by the shared lock; the loop exists for
+// the cross-process cases the lease word carries: a free word is claimed at
+// its current epoch, an expired foreign lease is stolen with the epoch
+// bumped (fencing the late holder), and a live foreign lease is waited out
+// under the unified retry policy until its expiry or the op's deadline
+// budget runs out.
+func (f *FS) claimInodeLease(th *proc.Thread, ino int64) (uint8, error) {
+	off := ino*pageSize + inoLeaseOff
+	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
+	defer th.Clk.SetWriteClass(wprev)
+	var bo *retry.Backoff
+	for {
+		// The lease word of a repeatedly locked inode stays resident in the
+		// owner's cache between ops; contended re-polls after a sleep pay
+		// the coherence miss through the CAS instead.
+		w := th.Load64Cached(off)
+		tid, epoch, expiry := unpackInoLease(w)
+		now := th.Clk.Now()
+		switch {
+		case w == 0 || (tid == th.TID&0xffff && expiry > now):
+			// Free, or our own still-live lease (a re-claimed word after a
+			// partial failure): (re)take it at the current epoch.
+			if th.CAS64(off, w, inoLeaseWord(th.TID, epoch, now+leaseDuration)) {
+				return uint8(epoch), nil
+			}
+		case expiry <= now:
+			// Expired foreign lease — the holder died or stalled past its
+			// window. Steal it, bumping the epoch so the fence rejects any
+			// in-flight publish the old holder wakes up with.
+			ne := (epoch + 1) & 0xff
+			if th.CAS64(off, w, inoLeaseWord(th.TID, ne, now+leaseDuration)) {
+				return uint8(ne), nil
+			}
+		default:
+			// Live foreign lease: wait it out under the retry policy.
+			if bo == nil {
+				bo = leaseAcquirePolicy.Start(now, uint64(th.TID)<<32^uint64(ino))
+			}
+			th.CPU(perfmodel.CPULockAcquire) // lease-word re-poll bookkeeping
+			if !bo.SleepUntil(th.Clk, expiry+1) {
+				return 0, vfs.ErrLeaseTimeout
+			}
+		}
+	}
+}
+
+// unlockInode releases the inode lease taken at the given epoch. The clear
+// is a CAS against exactly the word we published: if the lease was stolen
+// while we ran (we stalled past expiry), the stealer's word is left intact
+// — clearing it would hand a third writer a lock the stealer still holds.
+func (f *FS) unlockInode(th *proc.Thread, m *mount, ino int64, epoch uint8) {
 	f.window(th, m, true)
 	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
-	th.Store64(ino*nvm.PageSize+inoLeaseOff, 0)
+	off := ino*nvm.PageSize + inoLeaseOff
+	w := th.Load64Cached(off) // written by this thread at lock time
+	tid, ep, _ := unpackInoLease(w)
+	if w != 0 && tid == th.TID&0xffff && uint8(ep) == epoch {
+		th.CAS64(off, w, 0)
+	}
 	th.Clk.SetWriteClass(wprev)
 	f.sh.lockOf(ino).Unlock(th.Clk)
+}
+
+// checkLease is the epoch fence consulted immediately before a commit-point
+// publish (setInodeSize, mtime): it verifies the thread still holds the
+// inode lease at the epoch it acquired. A holder resurrected after a stall
+// finds its epoch superseded by a steal (or its lease expired) and gets a
+// typed stale-lease error instead of silently publishing over the stealer.
+func (f *FS) checkLease(th *proc.Thread, ino int64, epoch uint8) error {
+	th.CPU(perfmodel.CPULockAcquire)                 // lease-word validation read
+	w := th.Load64Cached(ino*pageSize + inoLeaseOff) // warm: written at lock time
+	tid, ep, expiry := unpackInoLease(w)
+	if tid != th.TID&0xffff || uint8(ep) != epoch || expiry <= th.Clk.Now() {
+		return vfs.ErrStaleLease
+	}
+	return nil
 }
 
 // Directory mutations lock the *hash bucket* a name falls in, not the whole

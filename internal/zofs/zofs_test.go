@@ -679,11 +679,14 @@ func TestLeaseWordWrittenAndCleared(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pos.close()
-	f.lockInode(th, pos.m, pos.ino)
+	ep, lerr := f.lockInode(th, pos.m, pos.ino)
+	if lerr != nil {
+		t.Fatalf("lockInode: %v", lerr)
+	}
 	if th.Load64(pos.ino*pageSize+inoLeaseOff) == 0 {
 		t.Fatal("lease word not written under lock")
 	}
-	f.unlockInode(th, pos.m, pos.ino)
+	f.unlockInode(th, pos.m, pos.ino, ep)
 	if th.Load64(pos.ino*pageSize+inoLeaseOff) != 0 {
 		t.Fatal("lease word not cleared on unlock")
 	}

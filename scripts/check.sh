@@ -37,8 +37,12 @@ echo "== spans smoke =="
 # per-op component attribution summing to the measured latency within 1%,
 # and a parseable OpenMetrics rendering. Then a -spans collection run must
 # produce an export that zofs-top's validator (share sum ~100%) accepts.
-go run ./cmd/zofs-bench -quick spans >/dev/null
-go run ./cmd/zofs-bench -quick -spans "$tracedir/spans" fig8 >/dev/null
+# Bench smokes run from $tracedir: experiments write BENCH_*.json into the
+# working directory, and a -quick pass must not clobber the committed
+# full-fidelity results.
+go build -o "$tracedir/zofs-bench" ./cmd/zofs-bench
+(cd "$tracedir" && ./zofs-bench -quick spans >/dev/null)
+(cd "$tracedir" && ./zofs-bench -quick -spans "$tracedir/spans" fig8 >/dev/null)
 go run ./cmd/zofs-top -validate "$tracedir/spans/spans.prom" >/dev/null
 go run ./cmd/zofs-top -once -dir "$tracedir/spans" >/dev/null
 
@@ -49,7 +53,7 @@ echo "== wa smoke =="
 # throughput agrees within 2%. Then zofs-df must reconcile flow and space
 # accounting (-validate exits 1 on violation) and emit OpenMetrics series
 # the spans validator accepts.
-go run ./cmd/zofs-bench -quick wa >/dev/null
+(cd "$tracedir" && ./zofs-bench -quick wa >/dev/null)
 go run ./cmd/zofs-df -files 128 -validate -om "$tracedir/flow.prom" >/dev/null
 go run ./cmd/zofs-top -validate "$tracedir/flow.prom" >/dev/null
 
@@ -73,6 +77,25 @@ else
     fi
 fi
 
+echo "== chaos smoke =="
+# Chaos-engine gates: a short seeded adversarial campaign (kill, stall,
+# stray writes, corruption, kernel delays) must hold every containment
+# invariant — exit 3 flags a violation, any other non-zero status is a
+# harness failure. The slotless fault campaign must see its injected
+# stranded-grant crash detected and exactly reclaimed (exit 3 = detected).
+go run ./cmd/zofs-chaos -ops 200 >/dev/null
+if "$tracedir/zofs-crashmc" -system ZoFS -inject slotless -ops 16 \
+    -device-mb 64 >/dev/null; then
+    echo "crashmc: slotless stranded grant was not detected" >&2
+    exit 1
+else
+    status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "crashmc: expected slotless detection exit 3, got $status" >&2
+        exit 1
+    fi
+fi
+
 echo "== fxmark-scale smoke =="
 # Concurrency-observatory gates. The "fxmark-scale" experiment is
 # self-asserting: 1-thread cells must be bit-identical in ops and virtual
@@ -82,8 +105,8 @@ echo "== fxmark-scale smoke =="
 # -lockprof collection run must produce an OpenMetrics export that
 # zofs-locks' validator (wait/hold conservation, edge bounds) accepts and a
 # renderable text report.
-go run ./cmd/zofs-bench -quick -threads 1,4,16 fxmark-scale >/dev/null
-go run ./cmd/zofs-bench -quick -lockprof "$tracedir/locks" fig8 >/dev/null
+(cd "$tracedir" && ./zofs-bench -quick -threads 1,4,16 fxmark-scale >/dev/null)
+(cd "$tracedir" && ./zofs-bench -quick -lockprof "$tracedir/locks" fig8 >/dev/null)
 go run ./cmd/zofs-locks -validate "$tracedir/locks/locks.prom" >/dev/null
 go run ./cmd/zofs-locks -once -dir "$tracedir/locks" >/dev/null
 
