@@ -59,6 +59,7 @@ func main() {
 	threads := flag.String("threads", "", "comma-separated thread sweep (default 1,2,4,8,12,16,20)")
 	devGB := flag.Int64("device-gb", 8, "simulated device size in GiB")
 	stats := flag.Bool("stats", false, "per-layer telemetry: print counter/latency tables per cell and write metrics sidecar JSON")
+	scaleGate := flag.Bool("scale-gate", false, "fxmark-scale only: widen the sweep to 64 and 512 threads and fail if ZoFS MWCL/MWRL peak before 64T or any of DWAL/MWCL/MWRL holds <50% of peak at 512T")
 	statsDir := flag.String("statsdir", "results", "directory for metrics-<experiment>-<config>.json sidecars")
 	traceFile := flag.String("trace", "", "record every NVM persistence event to this JSONL file (audit/export with zofs-trace; best with -quick and a single experiment)")
 	spansDir := flag.String("spans", "", "collect causal spans for the whole run and write spans.jsonl, spans.json and spans.prom into this directory (watch live with zofs-top)")
@@ -75,7 +76,7 @@ func main() {
 	}
 	flag.Parse()
 
-	opts := harness.Options{Quick: *quick, DeviceBytes: *devGB << 30, Stats: *stats, StatsDir: *statsDir}
+	opts := harness.Options{Quick: *quick, DeviceBytes: *devGB << 30, Stats: *stats, StatsDir: *statsDir, ScaleGate: *scaleGate}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

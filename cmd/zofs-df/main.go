@@ -66,13 +66,17 @@ func main() {
 		if err != nil {
 			fatal("load: %v", err)
 		}
+		dev.EnableAccounting()
 	} else {
 		dev = nvm.New(nvm.Config{Size: 256 << 20})
+		// Accounting goes on before mkfs so formatting traffic is in the
+		// ledger too; mkfs tags every write with an explicit class, so the
+		// residual ("other") must reconcile to exactly zero.
+		dev.EnableAccounting()
 		if err := kernfs.Mkfs(dev, kernfs.MkfsOptions{RootMode: 0o755}); err != nil {
 			fatal("mkfs: %v", err)
 		}
 	}
-	dev.EnableAccounting()
 	k, err := kernfs.Mount(dev)
 	if err != nil {
 		fatal("mount: %v", err)
@@ -120,6 +124,13 @@ func main() {
 		bad := false
 		if err := flow.Conserved(); err != nil {
 			fmt.Fprintln(os.Stderr, "zofs-df: conservation:", err)
+			bad = true
+		}
+		// Every writer carries an explicit class now, mkfs included; any
+		// bytes in the residual mean a new unclassified writer crept in.
+		if *image == "" && flow.Issued[byteflow.ClassOther] != 0 {
+			fmt.Fprintf(os.Stderr, "zofs-df: %d bytes in class %q — unclassified writer\n",
+				flow.Issued[byteflow.ClassOther], byteflow.ClassOther)
 			bad = true
 		}
 		if err := fs.VerifySpace(); err != nil {

@@ -33,6 +33,11 @@ type Options struct {
 	// StatsDir receives the metrics-<experiment>.json sidecars (default
 	// "results").
 	StatsDir string
+	// ScaleGate turns fxmark-scale into a scalability regression gate: the
+	// sweep is widened to include 64 and 512 threads and the run fails if
+	// any ZoFS metadata-write workload (DWAL/MWCL/MWRL) peaks before 64
+	// threads or retains less than half its peak throughput at 512.
+	ScaleGate bool
 }
 
 func (o *Options) fill() {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strings"
 
 	"zofs/internal/fxmark"
@@ -180,6 +181,23 @@ func RunFxmarkScale(w io.Writer, opts Options) error {
 			opts.Threads = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 		}
 	}
+	if opts.ScaleGate {
+		// The regression gate asserts peak ≥ 64T and a 512T/peak ratio, so
+		// the sweep must reach both points even in quick mode.
+		for _, need := range []int{64, 512} {
+			found := false
+			for _, n := range opts.Threads {
+				if n == need {
+					found = true
+					break
+				}
+			}
+			if !found {
+				opts.Threads = append(opts.Threads, need)
+			}
+		}
+		sort.Ints(opts.Threads)
+	}
 	if opts.TargetNS <= 0 {
 		if opts.Quick {
 			opts.TargetNS = 250_000
@@ -203,6 +221,12 @@ func RunFxmarkScale(w io.Writer, opts Options) error {
 	if opts.Quick {
 		systems = []sysfactory.System{sysfactory.ZoFS, sysfactory.PMFS}
 		workloads = []fxmark.Workload{fxmark.DRBL, fxmark.DWOM, fxmark.MWCL}
+		if opts.ScaleGate {
+			// The gate judges the metadata-write personalities, so the quick
+			// sweep must run exactly those, and only ZoFS is under test.
+			systems = []sysfactory.System{sysfactory.ZoFS}
+			workloads = []fxmark.Workload{fxmark.DWAL, fxmark.MWCL, fxmark.MWRL}
+		}
 	}
 
 	prevLock := lockprof.Active()
@@ -325,6 +349,64 @@ func RunFxmarkScale(w io.Writer, opts Options) error {
 	}
 	if err := t.Flush(); err != nil {
 		return err
+	}
+
+	// Gate 3 (opt-in, -scale-gate): the kernfs.big regression gate. These
+	// three workloads collapsed under the old global kernel-agent mutex
+	// (DWAL peaked at 4T, MWRL at 32T, both losing >90% of peak by 512T).
+	// The metadata-bound curves (MWCL/MWRL) must now keep climbing to at
+	// least 64 threads; DWAL is data-bandwidth-bound — its aggregate hits
+	// the device's degraded write ceiling by a handful of threads, exactly
+	// as in the paper's Figure 7, so its un-collapsed signature is HOLDING
+	// the ceiling, not climbing past it. All three must retain ≥50% of
+	// their peak at the widest sweep point; any new serial section on the
+	// enlarge or create path drops that ratio by an order of magnitude.
+	if opts.ScaleGate {
+		needPeak := map[string]bool{
+			string(fxmark.MWCL): true,
+			string(fxmark.MWRL): true,
+		}
+		gated := map[string]bool{
+			string(fxmark.DWAL): true,
+			string(fxmark.MWCL): true,
+			string(fxmark.MWRL): true,
+		}
+		checked := 0
+		for _, curve := range rep.Curves {
+			if curve.System != "ZoFS" || !gated[curve.Workload] {
+				continue
+			}
+			checked++
+			peak := 0.0
+			for _, c := range curve.Cells {
+				if c.MopsPerSec > peak {
+					peak = c.MopsPerSec
+				}
+			}
+			wide := curve.Cells[len(curve.Cells)-1]
+			ratio := 0.0
+			if peak > 0 {
+				ratio = wide.MopsPerSec / peak
+			}
+			switch {
+			case needPeak[curve.Workload] && curve.Fit.PeakThreads < 64:
+				failures = append(failures, fmt.Sprintf(
+					"scale gate: ZoFS %s peaks at %dT (< 64T) — metadata-write scaling regressed",
+					curve.Workload, curve.Fit.PeakThreads))
+			case ratio < 0.5:
+				failures = append(failures, fmt.Sprintf(
+					"scale gate: ZoFS %s retains %.0f%% of peak at %dT (< 50%%) — retrograde scaling regressed",
+					curve.Workload, ratio*100, wide.Threads))
+			default:
+				gates = append(gates, fmt.Sprintf(
+					"scale gate ZoFS %s: peak %dT, %dT/peak ratio %.2f",
+					curve.Workload, curve.Fit.PeakThreads, wide.Threads, ratio))
+			}
+		}
+		if checked < len(gated) {
+			failures = append(failures, fmt.Sprintf(
+				"scale gate: only %d of %d gated ZoFS curves were swept", checked, len(gated)))
+		}
 	}
 
 	rep.Gates = gates

@@ -6,15 +6,30 @@
 //
 // KernFS treats coffers as black boxes: it knows a coffer's path, type,
 // permission and page set, but never its interior. Every public operation
-// charges one syscall on the calling thread's virtual clock and serializes
-// on the kernel mutex — the contention source behind the coffer_enlarge
-// scalability knee in Figures 7(d) and 7(g).
+// charges one syscall on the calling thread's virtual clock.
+//
+// Locking (DESIGN.md §14). The old kernel big lock is gone; the agent is
+// sharded along the paper's own granularity argument — the kernel manages
+// coffers, so the kernel locks coffers:
+//
+//	kernfs.registry          create/delete/rename visibility (short sections)
+//	kernfs.coffer/<id>       one per coffer: flags, mappers, owner tree
+//	kernfs.paths             path-table write side (readers use the snapshot)
+//	kernfs.freeshard/<i>     free-pool shards; transient leaves
+//
+// Class order is strictly descending in that list; within kernfs.coffer,
+// multi-coffer operations (move_pages, coffer_merge) lock in ascending ID
+// order. Charged work — grant scrubbing, allocation-table writes, PTE
+// update costs — happens outside every lock, so concurrent coffer_enlarge
+// calls no longer serialize in virtual time.
 package kernfs
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -73,28 +88,31 @@ type MkfsOptions struct {
 type KernFS struct {
 	dev *nvm.Device
 
-	// kmu is the kernel big lock: real mutual exclusion for the volatile
-	// structures plus virtual-time serialization of kernel work.
-	kmu lockprof.Mutex
-	// pmu guards the path→coffer table separately: lookups take the read
-	// side and never serialize with allocation. (The persistent table is
-	// mapped read-only into user space — §4.1 — so resolution does not
-	// enter the kernel at all; the read lock models only coherence with
-	// concurrent path updates.)
+	// regMu is the registry lock: a short critical section ordering coffer
+	// create/delete/rename visibility (the paths table and the coffer map
+	// change together under it). Steady-state operations — enlarge, map,
+	// shrink, lookups — never touch it.
+	regMu lockprof.Mutex
+	// pmu is the path-table write lock; lock-free readers validate against
+	// the table's seq/snapshot and only fall back to its read side when
+	// they catch a writer mid-publish.
 	pmu lockprof.RWMutex
 
 	space *spaceManager
 	paths *pathTable
 
 	rootCoffer coffer.ID
-	coffers    map[coffer.ID]*cofferInfo
-	procs      map[int]*procState
-	procsMu    sync.Mutex
+	// coffers maps coffer.ID -> *cofferInfo. A sync.Map so the hot paths
+	// (enlarge, map, Info) resolve IDs without any lock; mutations happen
+	// under regMu.
+	coffers sync.Map
+	procs   map[int]*procState
+	procsMu sync.Mutex
 
 	// violations counts MPK-violation reports per coffer (ReportViolation);
 	// crossing violationThreshold auto-quarantines the coffer read-only.
 	// Volatile by design: a reboot clears the tally but not the quarantine
-	// flags, which live in the root page.
+	// flags, which live in the root page. Guarded by regMu.
 	violations map[coffer.ID]int
 }
 
@@ -102,14 +120,61 @@ type KernFS struct {
 // coffer the kernel tolerates before fencing it read-only (DESIGN.md §13).
 const violationThreshold = 3
 
+// cofferInfo is the kernel's per-coffer record. mu (`kernfs.coffer/<id>`)
+// guards rp, dead and mappers plus the coffer's owner tree in the space
+// manager; rpSnap republishes rp after every change so Info and permission
+// checks read it without the lock (validated against NVM truth the same way
+// the dcache is).
 type cofferInfo struct {
-	rp      coffer.RootPage
+	mu     lockprof.Mutex
+	dead   bool // set by coffer_delete/merge; checked after every acquire
+	rp     coffer.RootPage
+	rpSnap atomic.Pointer[coffer.RootPage]
+
 	mappers map[int]*procState
 }
 
+func newCofferInfo(rp coffer.RootPage) *cofferInfo {
+	ci := &cofferInfo{rp: rp, mappers: map[int]*procState{}}
+	ci.mu.Init("kernfs.coffer", strconv.FormatUint(uint64(rp.ID), 10))
+	ci.publishRP()
+	return ci
+}
+
+// publishRP refreshes the lock-free root-page snapshot; call after every rp
+// mutation, holding mu.
+func (ci *cofferInfo) publishRP() {
+	rp := ci.rp
+	ci.rpSnap.Store(&rp)
+}
+
+// writeGate validates, under ci.mu, that pid may mutate the coffer's page
+// set (the enlarge/shrink precondition).
+func (ci *cofferInfo) writeGate(pid int) error {
+	if ci.dead {
+		return ErrNotFound
+	}
+	// Quarantine fences before the mapper check, so a degraded (remapped
+	// read-only) holdover gets the typed quarantine error, not ErrNotMapped.
+	if ci.rp.Flags&coffer.FlagOffline != 0 {
+		return ErrCofferOffline
+	}
+	if ci.rp.Flags&coffer.FlagReadOnly != 0 {
+		return ErrCofferReadOnly
+	}
+	ps := ci.mappers[pid]
+	if ps == nil || !ps.isWritable(ci.rp.ID) {
+		return ErrNotMapped
+	}
+	return nil
+}
+
 // procState is the kernel-private per-process state created by fs_mount.
+// mu guards keys/writable/usedKeys (threads of one process can map
+// different coffers concurrently); it nests strictly inside coffer locks.
 type procState struct {
 	p        *proc.Process
+	mu       sync.Mutex
 	keys     map[coffer.ID]mpk.Key
 	writable map[coffer.ID]bool
 	usedKeys uint16
@@ -122,8 +187,51 @@ type procState struct {
 	revGen atomic.Uint64
 }
 
+func (ps *procState) isWritable(id coffer.ID) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.writable[id]
+}
+
+func (ps *procState) access(id coffer.ID) (mpk.Key, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.keys[id], ps.writable[id]
+}
+
+func (ps *procState) hasKey(id coffer.ID) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	_, ok := ps.keys[id]
+	return ok
+}
+
+func (ps *procState) mappedIDs() []coffer.ID {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]coffer.ID, 0, len(ps.keys))
+	for id := range ps.keys {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// forgetKey drops the process's key bookkeeping for a coffer.
+func (ps *procState) forgetKey(id coffer.ID) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if key, ok := ps.keys[id]; ok {
+		ps.usedKeys &^= 1 << key
+		delete(ps.keys, id)
+		delete(ps.writable, id)
+	}
+}
+
 // Mkfs formats a device: superblock, allocation table, path table and the
-// root coffer (a ZoFS-type coffer holding "/").
+// root coffer (a ZoFS-type coffer holding "/"). Every write carries an
+// explicit byte class — mkfs runs with nil clocks, and formatting traffic
+// must not land in the ledger's residual.
 func Mkfs(dev *nvm.Device, opts MkfsOptions) error {
 	if opts.RootMode == 0 {
 		opts.RootMode = 0o755
@@ -136,37 +244,40 @@ func Mkfs(dev *nvm.Device, opts MkfsOptions) error {
 		return fmt.Errorf("%w: device too small (%d pages)", ErrInvalid, npages)
 	}
 
-	sm := &spaceManager{dev: dev, tabStart: 1 * nvm.PageSize, npages: npages}
+	sm := newSpaceManager(dev, 1*nvm.PageSize, npages)
 	sm.initTable(nil, kernPages)
 	pt := &pathTable{dev: dev, bucketOff: (1 + allocPages) * nvm.PageSize, sm: sm}
 	pt.init(nil)
 
 	// Root coffer: root page + root dir inode page + custom page.
-	exts, err := sm.allocate(nil, 0, 3)
+	exts, err := sm.takeFree(nil, 0, 3)
 	if err != nil {
 		return err
 	}
 	pages := flatten(exts)
 	rootID := coffer.ID(pages[0])
-	// Fix ownership tag now that the ID (root page number) is known.
+	own := sm.ownerSet(rootID)
 	for _, e := range exts {
 		sm.writeRun(nil, e.Start, e.Count, rootID)
-		sm.ownerSet(0).Remove(e.Start, e.Count)
-		sm.ownerSet(rootID).Add(e.Start, e.Count)
+		own.Add(e.Start, e.Count)
 	}
+	sm.uninflight(exts)
 	rp := &coffer.RootPage{
 		ID: rootID, Type: coffer.TypeZoFS, Mode: opts.RootMode,
 		UID: opts.RootUID, GID: opts.RootGID,
 		RootInode: pages[1], Custom: pages[2], Path: "/",
 	}
-	dev.WriteNT(nil, pages[0]*nvm.PageSize, coffer.EncodeRootPage(rp))
-	dev.Zero(nil, pages[1]*nvm.PageSize, nvm.PageSize)
-	dev.Zero(nil, pages[2]*nvm.PageSize, nvm.PageSize)
+	// Root pages are the coffer's super-inode; interior scrubbing is
+	// allocator overhead, same as a zeroed enlarge grant.
+	dev.WriteNTClass(nil, byteflow.ClassInode, pages[0]*nvm.PageSize, coffer.EncodeRootPage(rp))
+	dev.ZeroClass(nil, byteflow.ClassAlloc, pages[1]*nvm.PageSize, nvm.PageSize)
+	dev.ZeroClass(nil, byteflow.ClassAlloc, pages[2]*nvm.PageSize, nvm.PageSize)
 	if err := pt.insert(nil, "/", rootID); err != nil {
 		return err
 	}
 
-	// Superblock last: its magic commits the format.
+	// Superblock last: its magic commits the format. The superblock is the
+	// device's super-inode — it books inode-class like root pages do.
 	sb := make([]byte, nvm.PageSize)
 	binary.LittleEndian.PutUint64(sb[sbMagicOff:], sbMagic)
 	binary.LittleEndian.PutUint64(sb[sbNPagesOff:], uint64(npages))
@@ -175,7 +286,7 @@ func Mkfs(dev *nvm.Device, opts MkfsOptions) error {
 	binary.LittleEndian.PutUint64(sb[sbPathPageOff:], uint64(1+allocPages))
 	binary.LittleEndian.PutUint64(sb[sbPathLenOff:], uint64(pathPages))
 	binary.LittleEndian.PutUint64(sb[sbRootOff:], uint64(rootID))
-	dev.WriteNT(nil, 0, sb)
+	dev.WriteNTClass(nil, byteflow.ClassInode, 0, sb)
 	return nil
 }
 
@@ -206,13 +317,12 @@ func Mount(dev *nvm.Device) (*KernFS, error) {
 
 	k := &KernFS{
 		dev:        dev,
-		space:      &spaceManager{dev: dev, tabStart: allocPage * nvm.PageSize, npages: npages},
+		space:      newSpaceManager(dev, allocPage*nvm.PageSize, npages),
 		rootCoffer: coffer.ID(binary.LittleEndian.Uint64(sb[sbRootOff:])),
-		coffers:    map[coffer.ID]*cofferInfo{},
 		procs:      map[int]*procState{},
 		violations: map[coffer.ID]int{},
 	}
-	k.kmu.Init("kernfs.big", "")
+	k.regMu.Init("kernfs.registry", "")
 	k.pmu.Init("kernfs.paths", "")
 	k.paths = &pathTable{dev: dev, bucketOff: pathPage * nvm.PageSize, sm: k.space, wmu: &k.pmu}
 	if err := k.space.scan(nil); err != nil {
@@ -229,7 +339,7 @@ func Mount(dev *nvm.Device) (*KernFS, error) {
 		if err != nil {
 			return nil, fmt.Errorf("kernfs: coffer %d (%s): %v", id, path, err)
 		}
-		k.coffers[id] = &cofferInfo{rp: *rp, mappers: map[int]*procState{}}
+		k.coffers.Store(id, newCofferInfo(*rp))
 	}
 	return k, nil
 }
@@ -237,12 +347,34 @@ func Mount(dev *nvm.Device) (*KernFS, error) {
 // Device returns the underlying NVM device.
 func (k *KernFS) Device() *nvm.Device { return k.dev }
 
+// cofferLoad resolves an ID lock-free.
+func (k *KernFS) cofferLoad(id coffer.ID) (*cofferInfo, bool) {
+	v, ok := k.coffers.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*cofferInfo), true
+}
+
+// lockCoffer resolves and locks a coffer, treating concurrently deleted
+// coffers as absent. Returns nil if the coffer does not (any longer) exist.
+func (k *KernFS) lockCoffer(clk *simclock.Clock, id coffer.ID) *cofferInfo {
+	ci, ok := k.cofferLoad(id)
+	if !ok {
+		return nil
+	}
+	ci.mu.Lock(clk)
+	if ci.dead {
+		ci.mu.Unlock(clk)
+		return nil
+	}
+	return ci
+}
+
 // writeRootPage persists a coffer's root page. Root pages are the coffer's
 // super-inode, so the byte-flow ledger books them inode-class.
 func (k *KernFS) writeRootPage(clk *simclock.Clock, pg int64, rp *coffer.RootPage) {
-	prev := clk.SwapWriteClass(uint8(byteflow.ClassInode))
-	k.dev.WriteNT(clk, pg*nvm.PageSize, coffer.EncodeRootPage(rp))
-	clk.SetWriteClass(prev)
+	k.dev.WriteNTClass(clk, byteflow.ClassInode, pg*nvm.PageSize, coffer.EncodeRootPage(rp))
 }
 
 // rec returns the telemetry recorder attached to the device (nil when
@@ -269,29 +401,18 @@ func kcall(th *proc.Thread, name string) func() {
 func (k *KernFS) RootCoffer() coffer.ID { return k.rootCoffer }
 
 // FreePages reports unallocated pages (for df-style tools).
-func (k *KernFS) FreePages() int64 {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
-	return k.space.freePages()
-}
+func (k *KernFS) FreePages() int64 { return k.space.freePages() }
 
 // FreeExtents returns the global free pool's extents in address order
 // (df-style tools derive device-level fragmentation from them).
-func (k *KernFS) FreeExtents() []coffer.Extent {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
-	return k.space.freeExtents()
-}
+func (k *KernFS) FreeExtents() []coffer.Extent { return k.space.freeExtents() }
 
 // VerifySpace re-reads the persistent allocation table and cross-checks it
 // against the kernel's volatile extent trees: per-slot ownership, per-owner
-// page counts, and the whole-device census. Uncharged (a fsck/tooling
-// operation, not a modeled syscall).
-func (k *KernFS) VerifySpace() error {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
-	return k.space.verify()
-}
+// page counts, the sharded free pool (including in-flight grant batches)
+// and the whole-device census. Uncharged (a fsck/tooling operation, not a
+// modeled syscall).
+func (k *KernFS) VerifySpace() error { return k.space.verify() }
 
 // ---- fs_mount / fs_umount -------------------------------------------------
 
@@ -317,14 +438,17 @@ func (k *KernFS) FSMount(th *proc.Thread) error {
 func (k *KernFS) FSUmount(th *proc.Thread) error {
 	defer kcall(th, "fs_umount")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
 	ps := k.stateOf(th.Proc.PID)
 	if ps == nil {
 		return ErrInvalid
 	}
-	for id := range ps.keys {
-		k.unmapLocked(ps, id)
+	for _, id := range ps.mappedIDs() {
+		if ci := k.lockCoffer(th.Clk, id); ci != nil {
+			k.unmapLocked(ci, ps)
+			ci.mu.Unlock(th.Clk)
+		} else {
+			ps.forgetKey(id) // coffer died concurrently; drop the key
+		}
 	}
 	k.procsMu.Lock()
 	delete(k.procs, th.Proc.PID)
@@ -343,14 +467,17 @@ func (k *KernFS) stateOf(pid int) *procState {
 func (k *KernFS) SetIdentity(th *proc.Thread, uid, gid uint32) error {
 	defer kcall(th, "set_identity")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
 	ps := k.stateOf(th.Proc.PID)
 	if ps == nil {
 		return ErrInvalid
 	}
-	for id := range ps.keys {
-		k.revokeLocked(ps, id)
+	for _, id := range ps.mappedIDs() {
+		if ci := k.lockCoffer(th.Clk, id); ci != nil {
+			k.revokeLocked(ci, ps)
+			ci.mu.Unlock(th.Clk)
+		} else {
+			ps.forgetKey(id)
+		}
 	}
 	th.Proc.SetIdentity(uid, gid)
 	return nil
@@ -360,20 +487,18 @@ func (k *KernFS) SetIdentity(th *proc.Thread, uid, gid uint32) error {
 
 // LookupPath finds a coffer by exact path. The path table is readable from
 // user space (mapped read-only like root pages), so no syscall is charged —
-// only the hash probe.
+// only the hash probe. Lock-free: the probe runs against the seq-validated
+// path snapshot and never blocks behind a concurrent create/delete/rename.
 func (k *KernFS) LookupPath(clk *simclock.Clock, path string) (coffer.ID, bool) {
-	k.pmu.RLock(clk)
-	defer k.pmu.RUnlock(clk)
 	return k.paths.lookup(clk, path)
 }
 
 // ResolveLongest implements ZoFS's backwards path parse (§6.2): starting
 // from the longest prefix of path, probe each prefix until a coffer root is
 // found. Returns the coffer and the prefix that matched. Deep paths charge
-// proportionally more — the ZoFS-20dirwidth effect.
+// proportionally more — the ZoFS-20dirwidth effect. Lock-free like
+// LookupPath.
 func (k *KernFS) ResolveLongest(clk *simclock.Clock, path string) (coffer.ID, string, bool) {
-	k.pmu.RLock(clk)
-	defer k.pmu.RUnlock(clk)
 	p := path
 	for {
 		if id, ok := k.paths.lookup(clk, p); ok {
@@ -394,32 +519,35 @@ func (k *KernFS) ResolveLongest(clk *simclock.Clock, path string) (coffer.ID, st
 	}
 }
 
-// Info returns a copy of a coffer's root-page metadata.
+// Info returns a copy of a coffer's root-page metadata. Lock-free: the
+// published root-page snapshot is read with two atomic loads.
 func (k *KernFS) Info(id coffer.ID) (coffer.RootPage, bool) {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
-	ci := k.coffers[id]
-	if ci == nil {
+	ci, ok := k.cofferLoad(id)
+	if !ok {
 		return coffer.RootPage{}, false
 	}
-	return ci.rp, true
+	return *ci.rpSnap.Load(), true
 }
 
-// Coffers returns a snapshot of all coffer IDs (fsck, tooling).
+// Coffers returns a snapshot of all coffer IDs in ascending order (fsck,
+// tooling).
 func (k *KernFS) Coffers() []coffer.ID {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
-	out := make([]coffer.ID, 0, len(k.coffers))
-	for id := range k.coffers {
-		out = append(out, id)
-	}
+	var out []coffer.ID
+	k.coffers.Range(func(key, _ any) bool {
+		out = append(out, key.(coffer.ID))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// ExtentsOf returns the pages owned by a coffer (kernel view).
+// ExtentsOf returns the pages owned by a coffer (kernel view). Works for
+// coffer.KernelID too — the kernel's own metadata pages have no registry
+// entry but do have an owner tree.
 func (k *KernFS) ExtentsOf(id coffer.ID) []coffer.Extent {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
+	if ci := k.lockCoffer(nil, id); ci != nil {
+		defer ci.mu.Unlock(nil)
+	}
 	return k.space.extentsOf(id)
 }
 
@@ -429,6 +557,10 @@ func (k *KernFS) ExtentsOf(id coffer.ID) []coffer.Extent {
 // coffer_new). The caller must have write access to the parent. npages
 // pages are allocated (minimum 3 for a ZoFS coffer: root page, root-file
 // inode page, custom page). Returns the new coffer's ID.
+//
+// The coffer body is staged entirely outside the locks — the pages are
+// invisible until the registry publish — so creates do not serialize with
+// each other or with enlarges beyond the short registry section.
 func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ coffer.Type, mode coffer.Mode, uid, gid uint32, npages int64) (coffer.ID, error) {
 	defer kcall(th, "coffer_new")()
 	th.Syscall()
@@ -439,31 +571,32 @@ func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ c
 	if !strings.HasPrefix(path, "/") {
 		return 0, fmt.Errorf("%w: coffer path must be absolute", ErrInvalid)
 	}
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-
-	pci := k.coffers[parent]
-	if pci == nil {
+	pci, ok := k.cofferLoad(parent)
+	if !ok {
 		return 0, ErrNotFound
 	}
-	if !coffer.Access(pci.rp.Mode, pci.rp.UID, pci.rp.GID, th.Proc.UID(), th.Proc.GID(), true) {
+	prp := pci.rpSnap.Load()
+	if !coffer.Access(prp.Mode, prp.UID, prp.GID, th.Proc.UID(), th.Proc.GID(), true) {
 		return 0, ErrPerm
 	}
 	if _, dup := k.paths.lookup(nil, path); dup {
 		return 0, ErrExists
 	}
 
-	exts, err := k.space.allocate(th.Clk, 0, npages)
+	// Stage: take pages, tag them, scrub the metadata pages, write the root
+	// page. No lock is held; the ID is not yet discoverable.
+	exts, err := k.space.takeFree(th.Clk, uint64(parent)^uint64(th.TID)<<32, npages)
 	if err != nil {
 		return 0, err
 	}
 	pages := flatten(exts)
 	id := coffer.ID(pages[0])
+	own := k.space.ownerSet(id)
 	for _, e := range exts {
 		k.space.writeRun(th.Clk, e.Start, e.Count, id)
-		k.space.ownerSet(0).Remove(e.Start, e.Count)
-		k.space.ownerSet(id).Add(e.Start, e.Count)
+		own.Add(e.Start, e.Count)
 	}
+	k.space.uninflight(exts)
 	rp := coffer.RootPage{
 		ID: id, Type: typ, Mode: mode, UID: uid, GID: gid,
 		RootInode: pages[1], Custom: pages[2], Path: path,
@@ -473,14 +606,16 @@ func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ c
 	k.dev.Zero(th.Clk, pages[1]*nvm.PageSize, nvm.PageSize)
 	k.dev.Zero(th.Clk, pages[2]*nvm.PageSize, nvm.PageSize)
 	th.Clk.SetWriteClass(wprev)
+
+	// Publish: path entry and registry record become visible together.
+	k.regMu.Lock(th.Clk)
 	if err := k.paths.insert(th.Clk, path, id); err != nil {
-		// Roll back the allocation.
-		for _, e := range exts {
-			k.space.release(th.Clk, id, e.Start, e.Count)
-		}
+		k.regMu.Unlock(th.Clk)
+		k.space.releaseAll(th.Clk, id) // roll back the staged allocation
 		return 0, err
 	}
-	k.coffers[id] = &cofferInfo{rp: rp, mappers: map[int]*procState{}}
+	k.coffers.Store(id, newCofferInfo(rp))
+	k.regMu.Unlock(th.Clk)
 	return id, nil
 }
 
@@ -489,16 +624,18 @@ func (k *KernFS) CofferNew(th *proc.Thread, parent coffer.ID, path string, typ c
 // mapping is revoked first — the same eviction discipline BeginRecover
 // uses — so a deleted coffer can never stay readable through stale page
 // tables; a straggler faults on its next access and re-resolves the path.
+// Runs under the registry lock (delete visibility), then the coffer lock.
 func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
 	defer kcall(th, "coffer_delete")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferDelete)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	k.regMu.Lock(th.Clk)
+	defer k.regMu.Unlock(th.Clk)
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
 		return ErrPerm
 	}
@@ -506,65 +643,70 @@ func (k *KernFS) CofferDelete(th *proc.Thread, id coffer.ID) error {
 		return fmt.Errorf("%w: cannot delete root coffer", ErrInvalid)
 	}
 	for _, ps := range ci.mappers {
-		k.revokeLocked(ps, id)
-	}
-	for _, e := range k.space.extentsOf(id) {
-		if err := k.space.release(th.Clk, id, e.Start, e.Count); err != nil {
-			return err
-		}
+		k.revokeLocked(ci, ps)
 	}
 	if err := k.paths.remove(th.Clk, ci.rp.Path); err != nil {
 		return err
 	}
-	delete(k.coffers, id)
+	ci.dead = true
+	k.space.releaseAll(th.Clk, id)
+	k.coffers.Delete(id)
+	delete(k.violations, id)
 	return nil
 }
 
 // ---- coffer_enlarge / coffer_shrink ----------------------------------------
 
+// enlargeHint mixes the target coffer with the calling thread so the shard
+// fast path spreads hot-coffer enlarges across the pool.
+func enlargeHint(id coffer.ID, tid int) uint64 {
+	return uint64(id) ^ uint64(tid)<<32 ^ uint64(tid)
+}
+
 // CofferEnlarge allocates npages more pages to a mapped coffer (Table 5:
 // coffer_enlarge) and maps them into every process that has the coffer
 // mapped. When zero is set the kernel scrubs the pages before granting them
 // (required for pages that will hold metadata parsed by other processes).
-// The per-page grant work happens under the kernel lock — this is the hot
-// spot that flattens ZoFS scaling in Figures 7(d) and 7(g) when allocation
-// is extremely frequent.
+//
+// This used to be the scaling cliff of Figures 7(d)/(g): scrub + table
+// write + PTE charge all ran under one global kernel mutex. Now the charged
+// work runs with no lock held — the staged pages are invisible until
+// publication, so scrubbing them unlocked is race-free by construction —
+// and the coffer lock covers only the volatile publish (owner tree + page
+// tables).
 func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero bool) ([]coffer.Extent, error) {
 	defer kcall(th, "coffer_enlarge")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferEnlarge)
 	k.rec().Add(telemetry.CtrKernEnlargePages, npages)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
-	if ci == nil {
+	ci, ok := k.cofferLoad(id)
+	if !ok {
 		return nil, ErrNotFound
 	}
-	// Quarantine fences before the mapper check, so a degraded (remapped
-	// read-only) holdover gets the typed quarantine error, not ErrNotMapped.
-	if ci.rp.Flags&coffer.FlagOffline != 0 {
+	// Fail fast before committing pages — lock-free, from the root-page
+	// snapshot and the per-process table. Taking ci.mu here would defeat the
+	// whole staging design: Lock drains the caller's clock to the previous
+	// holder's release stamp, so a locked precheck stacks every thread's
+	// (otherwise parallel) staging work end-to-end and the per-coffer lock
+	// convoys exactly like kernfs.big did. The publish path re-checks under
+	// the lock; this check only avoids staging work that is already doomed.
+	rp := ci.rpSnap.Load()
+	if rp.Flags&coffer.FlagOffline != 0 {
 		return nil, ErrCofferOffline
 	}
-	if ci.rp.Flags&coffer.FlagReadOnly != 0 {
+	if rp.Flags&coffer.FlagReadOnly != 0 {
 		return nil, ErrCofferReadOnly
 	}
-	ps := ci.mappers[th.Proc.PID]
-	if ps == nil || !ps.writable[id] {
+	if ps := k.stateOf(th.Proc.PID); ps == nil || !ps.isWritable(id) {
 		return nil, ErrNotMapped
 	}
-	exts, err := k.space.allocate(th.Clk, id, npages)
+
+	// Stage: shard extraction, grant scrubbing and the table write, all
+	// lock-free.
+	exts, err := k.space.takeFree(th.Clk, enlargeHint(id, th.TID), npages)
 	if err != nil {
 		return nil, err
 	}
-	// Map the new pages into every mapper (page-table update cost), and
-	// scrub metadata grants.
-	for _, m := range ci.mappers {
-		key := m.keys[id]
-		for _, e := range exts {
-			m.p.Mem.Map(e.Start, e.Count, key, m.writable[id])
-		}
-	}
-	th.CPU(perfmodel.PTEUpdate * npages)
 	if zero {
 		// Grant scrubbing is allocator overhead in the byte-flow ledger.
 		wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassAlloc))
@@ -573,6 +715,34 @@ func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero
 		}
 		th.Clk.SetWriteClass(wprev)
 	}
+	for _, e := range exts {
+		k.space.writeRun(th.Clk, e.Start, e.Count, id)
+	}
+	th.CPU(perfmodel.PTEUpdate * npages)
+
+	// Publish under the coffer lock, re-validating the gate: the coffer may
+	// have been deleted or quarantined while we staged.
+	ci.mu.Lock(th.Clk)
+	if err := ci.writeGate(th.Proc.PID); err != nil {
+		ci.mu.Unlock(th.Clk)
+		for _, e := range exts {
+			k.space.writeRun(th.Clk, e.Start, e.Count, 0)
+		}
+		k.space.returnFree(th.Clk, exts)
+		return nil, err
+	}
+	own := k.space.ownerSet(id)
+	for _, e := range exts {
+		own.Add(e.Start, e.Count)
+	}
+	for _, m := range ci.mappers {
+		key, w := m.access(id)
+		for _, e := range exts {
+			m.p.Mem.Map(e.Start, e.Count, key, w)
+		}
+	}
+	ci.mu.Unlock(th.Clk)
+	k.space.uninflight(exts)
 	return exts, nil
 }
 
@@ -580,18 +750,24 @@ func (k *KernFS) CofferEnlarge(th *proc.Thread, id coffer.ID, npages int64, zero
 // cross-coffer renames when the permissions match). Both coffers must be
 // write-mapped by the caller and carry identical permissions; each page is
 // retagged individually — as expensive per page as coffer_split (Table 9).
+// Locks both coffers in ascending ID order.
 func (k *KernFS) MovePages(th *proc.Thread, src, dst coffer.ID, pages []int64) error {
 	defer kcall(th, "move_pages")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernMovePages)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	si, di := k.coffers[src], k.coffers[dst]
-	if si == nil || di == nil {
-		return ErrNotFound
+	si, di, err := k.lockPair(th.Clk, src, dst)
+	if err != nil {
+		return err
 	}
+	defer k.unlockPair(th.Clk, si, di)
 	ps := k.stateOf(th.Proc.PID)
-	if ps == nil || !ps.writable[src] || !ps.writable[dst] {
+	if ps == nil {
+		return ErrNotMapped
+	}
+	if _, sw := ps.access(src); !sw {
+		return ErrNotMapped
+	}
+	if _, dw := ps.access(dst); !dw {
 		return ErrNotMapped
 	}
 	if si.rp.Mode != di.rp.Mode || si.rp.UID != di.rp.UID || si.rp.GID != di.rp.GID {
@@ -608,11 +784,42 @@ func (k *KernFS) MovePages(th *proc.Thread, src, dst coffer.ID, pages []int64) e
 			m.p.Mem.Unmap(pg, 1)
 		}
 		for _, m := range di.mappers {
-			m.p.Mem.Map(pg, 1, m.keys[dst], m.writable[dst])
+			key, w := m.access(dst)
+			m.p.Mem.Map(pg, 1, key, w)
 		}
 		th.CPU(perfmodel.CPUSmallOp)
 	}
 	return nil
+}
+
+// lockPair locks two distinct coffers in ascending ID order (the in-class
+// ordering rule for kernfs.coffer locks).
+func (k *KernFS) lockPair(clk *simclock.Clock, a, b coffer.ID) (ai, bi *cofferInfo, err error) {
+	if a == b {
+		return nil, nil, fmt.Errorf("%w: identical coffers", ErrInvalid)
+	}
+	first, second := a, b
+	if second < first {
+		first, second = second, first
+	}
+	fi := k.lockCoffer(clk, first)
+	if fi == nil {
+		return nil, nil, ErrNotFound
+	}
+	sei := k.lockCoffer(clk, second)
+	if sei == nil {
+		fi.mu.Unlock(clk)
+		return nil, nil, ErrNotFound
+	}
+	if a == first {
+		return fi, sei, nil
+	}
+	return sei, fi, nil
+}
+
+func (k *KernFS) unlockPair(clk *simclock.Clock, ai, bi *cofferInfo) {
+	ai.mu.Unlock(clk)
+	bi.mu.Unlock(clk)
 }
 
 // CofferShrink returns free pages from a coffer to the global pool
@@ -621,21 +828,13 @@ func (k *KernFS) CofferShrink(th *proc.Thread, id coffer.ID, exts []coffer.Exten
 	defer kcall(th, "coffer_shrink")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferShrink)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
-	if ci.rp.Flags&coffer.FlagOffline != 0 {
-		return ErrCofferOffline
-	}
-	if ci.rp.Flags&coffer.FlagReadOnly != 0 {
-		return ErrCofferReadOnly
-	}
-	ps := ci.mappers[th.Proc.PID]
-	if ps == nil || !ps.writable[id] {
-		return ErrNotMapped
+	defer ci.mu.Unlock(th.Clk)
+	if err := ci.writeGate(th.Proc.PID); err != nil {
+		return err
 	}
 	for _, e := range exts {
 		if root := int64(id); root >= e.Start && root < e.End() {
@@ -670,53 +869,69 @@ func (k *KernFS) CofferMap(th *proc.Thread, id coffer.ID, write bool) (MapInfo, 
 	defer kcall(th, "coffer_map")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferMap)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return MapInfo{}, ErrNotFound
 	}
 	if ci.rp.Flags&coffer.FlagInRecovery != 0 {
+		ci.mu.Unlock(th.Clk)
 		return MapInfo{}, ErrInRecovery
 	}
 	if ci.rp.Flags&coffer.FlagOffline != 0 {
+		ci.mu.Unlock(th.Clk)
 		return MapInfo{}, ErrCofferOffline
 	}
 	if write && ci.rp.Flags&coffer.FlagReadOnly != 0 {
+		ci.mu.Unlock(th.Clk)
 		return MapInfo{}, ErrCofferReadOnly
 	}
 	ps := k.stateOf(th.Proc.PID)
 	if ps == nil {
+		ci.mu.Unlock(th.Clk)
 		return MapInfo{}, fmt.Errorf("%w: fs_mount first", ErrInvalid)
 	}
 	if !coffer.Access(ci.rp.Mode, ci.rp.UID, ci.rp.GID, th.Proc.UID(), th.Proc.GID(), write) {
+		ci.mu.Unlock(th.Clk)
 		return MapInfo{}, ErrPerm
 	}
 
-	key, have := ps.keys[id]
-	if have {
+	ps.mu.Lock()
+	if key, have := ps.keys[id]; have {
 		// Upgrade to writable if requested and permitted.
-		if write && !ps.writable[id] {
+		upgrade := write && !ps.writable[id]
+		if upgrade {
 			ps.writable[id] = true
+		}
+		w := ps.writable[id]
+		ps.mu.Unlock()
+		if upgrade {
 			k.mapPagesLocked(ps, ci, key, true)
 		}
-		return MapInfo{Key: key, Writable: ps.writable[id], Root: ci.rp, Extents: k.space.extentsOf(id)}, nil
+		info := MapInfo{Key: key, Writable: w, Root: ci.rp, Extents: k.space.extentsOf(id)}
+		ci.mu.Unlock(th.Clk)
+		return info, nil
 	}
-
-	key, ok := ps.allocKey()
+	key, ok := ps.allocKeyLocked()
 	if !ok {
+		ps.mu.Unlock()
+		ci.mu.Unlock(th.Clk)
 		return MapInfo{}, ErrNoMPKRegions
 	}
 	ps.keys[id] = key
 	ps.writable[id] = write
+	ps.mu.Unlock()
 	ci.mappers[th.Proc.PID] = ps
 	k.mapPagesLocked(ps, ci, key, write)
-	th.CPU(perfmodel.CPUSmallOp * k.space.pagesOf(id) / 32) // page-table setup
-	return MapInfo{Key: key, Writable: write, Root: ci.rp, Extents: k.space.extentsOf(id)}, nil
+	npg := k.space.pagesOf(id)
+	info := MapInfo{Key: key, Writable: write, Root: ci.rp, Extents: k.space.extentsOf(id)}
+	ci.mu.Unlock(th.Clk)
+	th.CPU(perfmodel.CPUSmallOp * npg / 32) // page-table setup
+	return info, nil
 }
 
 // mapPagesLocked installs a coffer's pages in one process's address space.
-// The root page is read-only regardless of the requested access.
+// The root page is read-only regardless of the requested access. Caller
+// holds ci.mu.
 func (k *KernFS) mapPagesLocked(ps *procState, ci *cofferInfo, key mpk.Key, write bool) {
 	root := int64(ci.rp.ID)
 	for _, e := range k.space.extentsOf(ci.rp.ID) {
@@ -725,7 +940,8 @@ func (k *KernFS) mapPagesLocked(ps *procState, ci *cofferInfo, key mpk.Key, writ
 	ps.p.Mem.Map(root, 1, key, false)
 }
 
-func (ps *procState) allocKey() (mpk.Key, bool) {
+// allocKeyLocked grabs a free MPK key; the caller holds ps.mu.
+func (ps *procState) allocKeyLocked() (mpk.Key, bool) {
 	for key := mpk.Key(1); key < mpk.NumKeys; key++ {
 		if ps.usedKeys&(1<<key) == 0 {
 			ps.usedKeys |= 1 << key
@@ -741,37 +957,39 @@ func (k *KernFS) CofferUnmap(th *proc.Thread, id coffer.ID) error {
 	defer kcall(th, "coffer_unmap")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferUnmap)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
 	ps := k.stateOf(th.Proc.PID)
 	if ps == nil {
 		return ErrInvalid
 	}
-	if _, ok := ps.keys[id]; !ok {
+	if !ps.hasKey(id) {
 		return ErrNotMapped
 	}
-	k.unmapLocked(ps, id)
+	ci := k.lockCoffer(th.Clk, id)
+	if ci == nil {
+		ps.forgetKey(id)
+		return nil
+	}
+	k.unmapLocked(ci, ps)
+	ci.mu.Unlock(th.Clk)
 	return nil
 }
 
-func (k *KernFS) unmapLocked(ps *procState, id coffer.ID) {
-	key := ps.keys[id]
+// unmapLocked tears one process's mapping of a coffer down; caller holds
+// ci.mu.
+func (k *KernFS) unmapLocked(ci *cofferInfo, ps *procState) {
+	id := ci.rp.ID
 	for _, e := range k.space.extentsOf(id) {
 		ps.p.Mem.Unmap(e.Start, e.Count)
 	}
-	ps.usedKeys &^= 1 << key
-	delete(ps.keys, id)
-	delete(ps.writable, id)
-	if ci := k.coffers[id]; ci != nil {
-		delete(ci.mappers, ps.p.PID)
-	}
+	ps.forgetKey(id)
+	delete(ci.mappers, ps.p.PID)
 }
 
 // revokeLocked is unmapLocked for kernel-initiated evictions: the process
 // did not ask for this, so its revocation generation is bumped to tell the
 // µFS its mount cache is stale.
-func (k *KernFS) revokeLocked(ps *procState, id coffer.ID) {
-	k.unmapLocked(ps, id)
+func (k *KernFS) revokeLocked(ci *cofferInfo, ps *procState) {
+	k.unmapLocked(ci, ps)
 	ps.revGen.Add(1)
 }
 
@@ -789,17 +1007,11 @@ func (k *KernFS) RevocationGen(pid int) uint64 {
 
 // MappedCoffers returns the coffers currently mapped by a process.
 func (k *KernFS) MappedCoffers(pid int) []coffer.ID {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
 	ps := k.stateOf(pid)
 	if ps == nil {
 		return nil
 	}
-	out := make([]coffer.ID, 0, len(ps.keys))
-	for id := range ps.keys {
-		out = append(out, id)
-	}
-	return out
+	return ps.mappedIDs()
 }
 
 // ---- metadata updates -------------------------------------------------------
@@ -810,16 +1022,16 @@ func (k *KernFS) MappedCoffers(pid int) []coffer.ID {
 func (k *KernFS) SetCofferMeta(th *proc.Thread, id coffer.ID, mode coffer.Mode, uid, gid uint32) error {
 	defer kcall(th, "set_coffer_meta")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
 		return ErrPerm
 	}
 	ci.rp.Mode, ci.rp.UID, ci.rp.GID = mode, uid, gid
+	ci.publishRP()
 	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
 }
@@ -830,17 +1042,17 @@ func (k *KernFS) SetCofferMeta(th *proc.Thread, id coffer.ID, mode coffer.Mode, 
 func (k *KernFS) SetCofferType(th *proc.Thread, id coffer.ID, typ coffer.Type, mode coffer.Mode) error {
 	defer kcall(th, "set_coffer_type")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
 		return ErrPerm
 	}
 	ci.rp.Type = typ
 	ci.rp.Mode = mode
+	ci.publishRP()
 	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
 }
@@ -850,17 +1062,17 @@ func (k *KernFS) SetCofferType(th *proc.Thread, id coffer.ID, typ coffer.Type, m
 func (k *KernFS) UpdateRootPointers(th *proc.Thread, id coffer.ID, rootInode, custom int64) error {
 	defer kcall(th, "update_root_pointers")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	ps := ci.mappers[th.Proc.PID]
-	if ps == nil || !ps.writable[id] {
+	if ps == nil || !ps.isWritable(id) {
 		return ErrNotMapped
 	}
 	ci.rp.RootInode, ci.rp.Custom = rootInode, custom
+	ci.publishRP()
 	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
 }
@@ -871,23 +1083,45 @@ func (k *KernFS) UpdateRootPointers(th *proc.Thread, id coffer.ID, rootInode, cu
 func (k *KernFS) RenameCoffer(th *proc.Thread, oldPath, newPath string) error {
 	defer kcall(th, "rename_coffer")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
+	k.regMu.Lock(th.Clk)
+	defer k.regMu.Unlock(th.Clk)
 	return k.renameTreeLocked(th, oldPath, newPath, true)
 }
 
 // RenamePrefix rewrites the paths of every coffer at or under oldPath,
 // without requiring oldPath itself to be a coffer. µFSs call this when a
 // plain in-coffer directory is renamed, so that descendant coffers keep
-// consistent paths. A no-op when no coffer matches.
+// consistent paths. A no-op when no coffer matches — detected lock-free
+// against the path snapshot, so the common case (renaming a directory with
+// no descendant coffers) costs one snapshot scan and takes no lock at all.
 func (k *KernFS) RenamePrefix(th *proc.Thread, oldPath, newPath string) error {
 	defer kcall(th, "rename_prefix")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
+	if id, ok := k.paths.lookup(th.Clk, oldPath); !ok || id == 0 {
+		prefix := oldPath
+		if !strings.HasSuffix(prefix, "/") {
+			prefix += "/"
+		}
+		hit := false
+		for p := range k.paths.all() {
+			if strings.HasPrefix(p, prefix) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return nil
+		}
+	}
+	k.regMu.Lock(th.Clk)
+	defer k.regMu.Unlock(th.Clk)
 	return k.renameTreeLocked(th, oldPath, newPath, false)
 }
 
+// renameTreeLocked rewrites the path of oldPath's coffer (if any) and of
+// every coffer under it. Caller holds regMu, which keeps the coffer set
+// stable; each affected coffer is locked (ascending ID order) around its
+// root-page rewrite.
 func (k *KernFS) renameTreeLocked(th *proc.Thread, oldPath, newPath string, exact bool) error {
 	type renameOp struct {
 		id       coffer.ID
@@ -895,8 +1129,12 @@ func (k *KernFS) renameTreeLocked(th *proc.Thread, oldPath, newPath string, exac
 	}
 	var ops []renameOp
 	if id, ok := k.paths.lookup(th.Clk, oldPath); ok {
-		ci := k.coffers[id]
-		if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
+		ci, _ := k.cofferLoad(id)
+		if ci == nil {
+			return ErrNotFound
+		}
+		rp := ci.rpSnap.Load()
+		if u := th.Proc.UID(); u != 0 && u != rp.UID {
 			return ErrPerm
 		}
 		ops = append(ops, renameOp{id, oldPath, newPath})
@@ -915,13 +1153,20 @@ func (k *KernFS) renameTreeLocked(th *proc.Thread, oldPath, newPath string, exac
 			ops = append(ops, renameOp{cid, p, newPath + "/" + p[len(prefix):]})
 		}
 	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].id < ops[j].id })
 	for _, op := range ops {
+		ci := k.lockCoffer(th.Clk, op.id)
+		if ci == nil {
+			return ErrNotFound
+		}
 		if err := k.paths.rename(th.Clk, op.from, op.to, op.id); err != nil {
+			ci.mu.Unlock(th.Clk)
 			return err
 		}
-		c := k.coffers[op.id]
-		c.rp.Path = op.to
-		k.writeRootPage(th.Clk, int64(op.id), &c.rp)
+		ci.rp.Path = op.to
+		ci.publishRP()
+		k.writeRootPage(th.Clk, int64(op.id), &ci.rp)
+		ci.mu.Unlock(th.Clk)
 		th.CPU(perfmodel.CPUSmallOp)
 	}
 	return nil
@@ -939,12 +1184,13 @@ func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mod
 	defer kcall(th, "coffer_split")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferSplit)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[old]
+	k.regMu.Lock(th.Clk)
+	defer k.regMu.Unlock(th.Clk)
+	ci := k.lockCoffer(th.Clk, old)
 	if ci == nil {
 		return 0, ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
 		return 0, ErrPerm
 	}
@@ -952,15 +1198,15 @@ func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mod
 		return 0, ErrExists
 	}
 	// New root page.
-	exts, err := k.space.allocate(th.Clk, 0, 1)
+	exts, err := k.space.takeFree(th.Clk, enlargeHint(old, th.TID), 1)
 	if err != nil {
 		return 0, err
 	}
 	rootPg := exts[0].Start
 	id := coffer.ID(rootPg)
 	k.space.writeRun(th.Clk, rootPg, 1, id)
-	k.space.ownerSet(0).Remove(rootPg, 1)
 	k.space.ownerSet(id).Add(rootPg, 1)
+	k.space.uninflight(exts)
 
 	// Move pages one at a time (the expensive part).
 	for _, pg := range pages {
@@ -983,23 +1229,28 @@ func (k *KernFS) CofferSplit(th *proc.Thread, old coffer.ID, newPath string, mod
 	if err := k.paths.insert(th.Clk, newPath, id); err != nil {
 		return 0, err
 	}
-	k.coffers[id] = &cofferInfo{rp: rp, mappers: map[int]*procState{}}
+	k.coffers.Store(id, newCofferInfo(rp))
 	return id, nil
 }
 
 // CofferMerge folds coffer src into coffer dst (Table 5: coffer_merge).
 // Both must carry identical permissions; src's pages are retagged one by
-// one and its root page freed.
+// one and its root page freed. Runs under the registry lock (src is
+// deleted) with both coffers locked in ascending ID order.
 func (k *KernFS) CofferMerge(th *proc.Thread, dst, src coffer.ID) error {
 	defer kcall(th, "coffer_merge")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernCofferMerge)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	di, si := k.coffers[dst], k.coffers[src]
-	if di == nil || si == nil {
-		return ErrNotFound
+	k.regMu.Lock(th.Clk)
+	defer k.regMu.Unlock(th.Clk)
+	si, di, err := k.lockPair(th.Clk, src, dst)
+	if err != nil {
+		if errors.Is(err, ErrInvalid) {
+			return ErrNotFound
+		}
+		return err
 	}
+	defer k.unlockPair(th.Clk, si, di)
 	if u := th.Proc.UID(); u != 0 && (u != di.rp.UID || u != si.rp.UID) {
 		return ErrPerm
 	}
@@ -1022,21 +1273,22 @@ func (k *KernFS) CofferMerge(th *proc.Thread, dst, src coffer.ID) error {
 			}
 			// Remap under dst's key for every dst mapper.
 			for _, m := range di.mappers {
-				m.p.Mem.Map(pg, 1, m.keys[dst], m.writable[dst])
+				key, w := m.access(dst)
+				m.p.Mem.Map(pg, 1, key, w)
 			}
 			th.CPU(perfmodel.CPUSmallOp)
 		}
 	}
 	for _, m := range si.mappers {
-		k.unmapLocked(m, src)
-	}
-	if err := k.space.release(th.Clk, src, srcRoot, 1); err != nil {
-		return err
+		k.unmapLocked(si, m)
 	}
 	if err := k.paths.remove(th.Clk, si.rp.Path); err != nil {
 		return err
 	}
-	delete(k.coffers, src)
+	si.dead = true
+	k.space.releaseAll(th.Clk, src) // only the root page remains
+	k.coffers.Delete(src)
+	delete(k.violations, src)
 	return nil
 }
 
@@ -1049,21 +1301,21 @@ func (k *KernFS) BeginRecover(th *proc.Thread, id coffer.ID, leaseNS uint64) ([]
 	defer kcall(th, "begin_recover")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernRecoveries)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return nil, ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	if !coffer.Access(ci.rp.Mode, ci.rp.UID, ci.rp.GID, th.Proc.UID(), th.Proc.GID(), true) {
 		return nil, ErrPerm
 	}
 	ci.rp.Flags |= coffer.FlagInRecovery
 	ci.rp.Lease = uint64(th.Clk.Now()) + leaseNS
+	ci.publishRP()
 	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	for pid, ps := range ci.mappers {
 		if pid != th.Proc.PID {
-			k.revokeLocked(ps, id)
+			k.revokeLocked(ci, ps)
 		}
 	}
 	return k.space.extentsOf(id), nil
@@ -1076,12 +1328,11 @@ func (k *KernFS) BeginRecover(th *proc.Thread, id coffer.ID, leaseNS uint64) ([]
 func (k *KernFS) EndRecover(th *proc.Thread, id coffer.ID, inUse []int64) error {
 	defer kcall(th, "end_recover")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	if ci.rp.Flags&coffer.FlagInRecovery == 0 {
 		return fmt.Errorf("%w: coffer not in recovery", ErrInvalid)
 	}
@@ -1113,6 +1364,7 @@ func (k *KernFS) EndRecover(th *proc.Thread, id coffer.ID, inUse []int64) error 
 	}
 	ci.rp.Flags &^= coffer.FlagInRecovery
 	ci.rp.Lease = 0
+	ci.publishRP()
 	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	return nil
 }
@@ -1128,12 +1380,11 @@ func (k *KernFS) EndRecover(th *proc.Thread, id coffer.ID, inUse []int64) error 
 func (k *KernFS) QuarantineCoffer(th *proc.Thread, id coffer.ID, offline bool) error {
 	defer kcall(th, "quarantine_coffer")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
 		return ErrPerm
 	}
@@ -1141,8 +1392,8 @@ func (k *KernFS) QuarantineCoffer(th *proc.Thread, id coffer.ID, offline bool) e
 	return nil
 }
 
-// quarantineLocked applies the quarantine under kmu: flag + root page write,
-// then mapper downgrade (read-only) or eviction (offline).
+// quarantineLocked applies the quarantine under ci.mu: flag + root page
+// write, then mapper downgrade (read-only) or eviction (offline).
 func (k *KernFS) quarantineLocked(th *proc.Thread, ci *cofferInfo, offline bool) {
 	k.rec().Inc(telemetry.CtrKernQuarantines)
 	if offline {
@@ -1150,18 +1401,22 @@ func (k *KernFS) quarantineLocked(th *proc.Thread, ci *cofferInfo, offline bool)
 	} else {
 		ci.rp.Flags |= coffer.FlagReadOnly
 	}
+	ci.publishRP()
 	k.writeRootPage(th.Clk, int64(ci.rp.ID), &ci.rp)
 	id := ci.rp.ID
 	if offline {
 		for _, ps := range ci.mappers {
-			k.revokeLocked(ps, id)
+			k.revokeLocked(ci, ps)
 		}
 		return
 	}
 	for _, ps := range ci.mappers {
-		if ps.writable[id] {
+		if ps.isWritable(id) {
+			ps.mu.Lock()
 			ps.writable[id] = false
-			k.mapPagesLocked(ps, ci, ps.keys[id], false)
+			ps.mu.Unlock()
+			key, _ := ps.access(id)
+			k.mapPagesLocked(ps, ci, key, false)
 			// The mapping survives but its write grant is gone — a cache
 			// flush on the µFS side turns the next write into a clean typed
 			// error instead of an MPK fault.
@@ -1173,20 +1428,22 @@ func (k *KernFS) quarantineLocked(th *proc.Thread, ci *cofferInfo, offline bool)
 // UnquarantineCoffer lifts a quarantine (operator action, or µFS recovery
 // that repaired the damage). Mappings are not restored — processes re-map on
 // their next access and go back through the permission check. Owner or root
-// only.
+// only. Takes the registry lock (violation tally) before the coffer lock.
 func (k *KernFS) UnquarantineCoffer(th *proc.Thread, id coffer.ID) error {
 	defer kcall(th, "unquarantine_coffer")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	k.regMu.Lock(th.Clk)
+	defer k.regMu.Unlock(th.Clk)
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	if u := th.Proc.UID(); u != 0 && u != ci.rp.UID {
 		return ErrPerm
 	}
 	ci.rp.Flags &^= uint32(coffer.FlagReadOnly | coffer.FlagOffline)
+	ci.publishRP()
 	k.writeRootPage(th.Clk, int64(id), &ci.rp)
 	delete(k.violations, id)
 	return nil
@@ -1202,12 +1459,13 @@ func (k *KernFS) ReportViolation(th *proc.Thread, id coffer.ID) (bool, error) {
 	defer kcall(th, "report_violation")()
 	th.Syscall()
 	k.rec().Inc(telemetry.CtrKernViolationReports)
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	k.regMu.Lock(th.Clk)
+	defer k.regMu.Unlock(th.Clk)
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return false, ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	k.violations[id]++
 	if k.violations[id] < violationThreshold ||
 		ci.rp.Flags&(coffer.FlagReadOnly|coffer.FlagOffline) != 0 {
@@ -1219,27 +1477,25 @@ func (k *KernFS) ReportViolation(th *proc.Thread, id coffer.ID) (bool, error) {
 
 // Violations reports the volatile violation tally for a coffer (tooling).
 func (k *KernFS) Violations(id coffer.ID) int {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
+	k.regMu.Lock(nil)
+	defer k.regMu.Unlock(nil)
 	return k.violations[id]
 }
 
 // OwnerOf resolves a device page to the coffer owning it (the kernel's
 // allocation-table view) — how the violation handler attributes a stray
 // write's faulting address to a victim coffer. Returns false for free or
-// kernel-owned pages.
+// kernel-owned pages. Reads the persistent table slot directly: the table
+// is the authority and the read takes no lock.
 func (k *KernFS) OwnerOf(page int64) (coffer.ID, bool) {
-	k.kmu.Lock(nil)
-	defer k.kmu.Unlock(nil)
-	for id, s := range k.space.byOwner {
-		if id == 0 || id == coffer.KernelID || s == nil {
-			continue
-		}
-		if s.Contains(page, 1) {
-			return id, true
-		}
+	if page < 0 || page >= k.space.npages {
+		return 0, false
 	}
-	return 0, false
+	id := k.space.slotOwner(page)
+	if id == 0 || id == coffer.KernelID {
+		return 0, false
+	}
+	return id, true
 }
 
 // ---- file_mmap / file_execve ---------------------------------------------------
@@ -1250,20 +1506,19 @@ func (k *KernFS) OwnerOf(page int64) (coffer.ID, bool) {
 func (k *KernFS) FileMmap(th *proc.Thread, id coffer.ID, pages []int64, writable bool) error {
 	defer kcall(th, "file_mmap")()
 	th.Syscall()
-	k.kmu.Lock(th.Clk)
-	defer k.kmu.Unlock(th.Clk)
-	ci := k.coffers[id]
+	ci := k.lockCoffer(th.Clk, id)
 	if ci == nil {
 		return ErrNotFound
 	}
+	defer ci.mu.Unlock(th.Clk)
 	ps := ci.mappers[th.Proc.PID]
 	if ps == nil {
 		return ErrNotMapped
 	}
-	if writable && !ps.writable[id] {
+	if writable && !ps.isWritable(id) {
 		return ErrPerm
 	}
-	own := k.space.byOwner[id]
+	own := k.space.peekOwner(id)
 	for _, pg := range pages {
 		if own == nil || !own.Contains(pg, 1) {
 			return fmt.Errorf("%w: page %d not in coffer %d", ErrInvalid, pg, id)

@@ -12,7 +12,7 @@ import (
 func newPathTable(t *testing.T) (*nvm.Device, *pathTable) {
 	t.Helper()
 	dev := nvm.NewDevice(64 << 20)
-	sm := &spaceManager{dev: dev, tabStart: nvm.PageSize, npages: dev.Pages()}
+	sm := newSpaceManager(dev, nvm.PageSize, dev.Pages())
 	sm.initTable(nil, 64)
 	pt := &pathTable{dev: dev, bucketOff: 40 * nvm.PageSize, sm: sm}
 	pt.init(nil)

@@ -310,3 +310,61 @@ func TestDisabledIsTransparent(t *testing.T) {
 		t.Fatalf("acquires = %d, want 1 (post-Disable acquisition recorded)", got)
 	}
 }
+
+// TestWriteDOTFoldsAllocatorShards drives contention through three allocator
+// shard locks (plus the registry lock held across each wait) and checks the
+// DOT rendering collapses the per-shard nodes into one kernfs.freeshard/*
+// node annotated with the shard count, with the shard-bound edges and waits
+// aggregated onto it.
+func TestWriteDOTFoldsAllocatorShards(t *testing.T) {
+	reg := lockprof.Enable(lockprof.Config{})
+	defer lockprof.Disable()
+
+	registry := lockprof.NewMutex("kernfs.registry", "")
+	var shards []*lockprof.Mutex
+	for i := 0; i < 3; i++ {
+		shards = append(shards, lockprof.NewMutex("kernfs.freeshard", strconv.Itoa(i)))
+	}
+
+	// c1 stamps each shard's release at 100, 200, 300 virtual ns; c2 then
+	// contends on each while holding the registry lock, producing one
+	// registry -> shard edge per shard.
+	c1 := thread(reg, 1)
+	for _, sh := range shards {
+		sh.Lock(c1)
+		c1.Advance(100)
+		sh.Unlock(c1)
+	}
+	c2 := thread(reg, 2)
+	for _, sh := range shards {
+		registry.Lock(c2)
+		sh.Lock(c2)
+		sh.Unlock(c2)
+		registry.Unlock(c2)
+	}
+
+	rep := reg.Snapshot()
+	if len(rep.Edges) != 3 {
+		t.Fatalf("edges = %+v, want 3 registry->shard edges", rep.Edges)
+	}
+	var dot strings.Builder
+	if err := rep.WriteDOT(&dot); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := dot.String()
+	if !strings.Contains(out, `kernfs.freeshard/* (3 shards)`) {
+		t.Fatalf("no folded shard node with count:\n%s", out)
+	}
+	for i := 0; i < 3; i++ {
+		if strings.Contains(out, `"kernfs.freeshard/`+strconv.Itoa(i)+`"`) {
+			t.Fatalf("per-shard node %d leaked into DOT:\n%s", i, out)
+		}
+	}
+	if !strings.Contains(out, `"kernfs.registry" -> "kernfs.freeshard/*" [label="3 waits`) {
+		t.Fatalf("shard edges were not aggregated:\n%s", out)
+	}
+	// The folded node carries the summed per-shard wait (3 x 100ns).
+	if !strings.Contains(out, "kernfs.freeshard/* (3 shards)\\nwait 0.000 ms") {
+		t.Fatalf("folded node label missing aggregated wait:\n%s", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"zofs/internal/telemetry"
@@ -270,9 +271,27 @@ func (rep Report) WriteText(w io.Writer) error {
 	return nil
 }
 
+// shardPrefix names the per-shard allocator locks. There is one instance per
+// allocator shard and they are interchangeable transient leaves, so the DOT
+// rendering folds them into a single annotated node — sixteen identical boxes
+// say nothing one box with a shard count doesn't, and they drown the rest of
+// the graph.
+const shardPrefix = "kernfs.freeshard/"
+
+const shardNode = shardPrefix + "*"
+
+func foldShard(name string) string {
+	if strings.HasPrefix(name, shardPrefix) {
+		return shardNode
+	}
+	return name
+}
+
 // WriteDOT renders the wait-for graph in Graphviz dot form: nodes are named
 // locks sized by total wait, edges are hold-while-waiting relations, and
-// classes involved in an order inversion are drawn red.
+// classes involved in an order inversion are drawn red. Per-shard allocator
+// locks (kernfs.freeshard/<i>) collapse into one kernfs.freeshard/* node
+// carrying the shard count and their aggregated wait.
 func (rep Report) WriteDOT(w io.Writer) error {
 	inverted := map[string]bool{}
 	for _, inv := range rep.Inversions {
@@ -281,27 +300,64 @@ func (rep Report) WriteDOT(w io.Writer) error {
 	fmt.Fprintln(w, "digraph waitfor {")
 	fmt.Fprintln(w, "  rankdir=LR;")
 	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
+
+	type edgeKey struct{ from, to string }
 	nodes := map[string]bool{}
+	edges := map[edgeKey]EdgeRow{}
+	var edgeOrder []edgeKey
 	for _, e := range rep.Edges {
-		nodes[e.From], nodes[e.To] = true, true
+		from, to := foldShard(e.From), foldShard(e.To)
+		nodes[from], nodes[to] = true, true
+		k := edgeKey{from, to}
+		if _, ok := edges[k]; !ok {
+			edgeOrder = append(edgeOrder, k)
+		}
+		agg := edges[k]
+		agg.From, agg.To = from, to
+		agg.Count += e.Count
+		agg.WaitNS += e.WaitNS
+		edges[k] = agg
 	}
 	var order []string
 	for n := range nodes {
 		order = append(order, n)
 	}
 	sort.Strings(order)
+
+	// Fold the per-shard lock rows the same way so the aggregate node can
+	// report total wait, the shard population and any inversion involving a
+	// shard class.
 	byName := map[string]LockRow{}
+	shards := map[string]bool{}
+	shardInverted := false
 	for _, l := range rep.Locks {
-		byName[l.Lock] = l
+		name := foldShard(l.Lock)
+		if name == shardNode {
+			shards[l.Lock] = true
+			if inverted[l.Class] {
+				shardInverted = true
+			}
+		}
+		agg := byName[name]
+		agg.Lock, agg.Class = name, l.Class
+		agg.WaitNS += l.WaitNS
+		byName[name] = agg
 	}
 	for _, n := range order {
 		attr := ""
-		if inverted[byName[n].Class] {
+		label := fmt.Sprintf("%s\\nwait %.3f ms", n, ms(byName[n].WaitNS))
+		if n == shardNode {
+			label = fmt.Sprintf("%s (%d shards)\\nwait %.3f ms", n, len(shards), ms(byName[n].WaitNS))
+			if shardInverted {
+				attr = ", color=red"
+			}
+		} else if inverted[byName[n].Class] {
 			attr = ", color=red"
 		}
-		fmt.Fprintf(w, "  %q [label=\"%s\\nwait %.3f ms\"%s];\n", n, n, ms(byName[n].WaitNS), attr)
+		fmt.Fprintf(w, "  %q [label=\"%s\"%s];\n", n, label, attr)
 	}
-	for _, e := range rep.Edges {
+	for _, k := range edgeOrder {
+		e := edges[k]
 		fmt.Fprintf(w, "  %q -> %q [label=\"%d waits / %.3f ms\"];\n", e.From, e.To, e.Count, ms(e.WaitNS))
 	}
 	fmt.Fprintln(w, "}")

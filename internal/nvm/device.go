@@ -481,6 +481,18 @@ const smallWrite = 1024
 // the data is persistent when the call returns. This is the write flavour
 // ZoFS, NOVA and PMFS-nocache use for bulk data (§6.1).
 func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
+	d.writeNT(clk, clkClass(clk), off, data)
+}
+
+// WriteNTClass is WriteNT with an explicit ledger byte class, overriding the
+// clock tag. Clock-less writers that still belong to a named class — mkfs
+// formatting the allocation and path tables before any thread clock exists —
+// use it so their bytes never land in the `other` residual.
+func (d *Device) WriteNTClass(clk *simclock.Clock, cls byteflow.Class, off int64, data []byte) {
+	d.writeNT(clk, cls, off, data)
+}
+
+func (d *Device) writeNT(clk *simclock.Clock, cls byteflow.Class, off int64, data []byte) {
 	n := int64(len(data))
 	d.check(off, n)
 	pp := d.persistPoint(clk)
@@ -497,7 +509,7 @@ func (d *Device) WriteNT(clk *simclock.Clock, off int64, data []byte) {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Inc(telemetry.CtrNVMFences) // WriteNT folds the trailing fence in
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
-	d.acctWrite(clk, off, n, true, true)
+	d.acctWriteClass(cls, off, n, true, true)
 	d.tr.Record(d.uid, clk, pmemtrace.KindNTStore, off, n)
 	d.copyIn(off, data)
 	if d.track {
@@ -551,6 +563,16 @@ func (d *Device) Fence(clk *simclock.Clock) {
 // pages is deferrable work that real systems overlap with foreground
 // writes, so it must not head-of-line block them.
 func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
+	d.zero(clk, clkClass(clk), off, n)
+}
+
+// ZeroClass is Zero with an explicit ledger byte class, for clock-less
+// scrub paths (mkfs formatting) whose bytes belong to a named class.
+func (d *Device) ZeroClass(clk *simclock.Clock, cls byteflow.Class, off, n int64) {
+	d.zero(clk, cls, off, n)
+}
+
+func (d *Device) zero(clk *simclock.Clock, cls byteflow.Class, off, n int64) {
 	d.check(off, n)
 	pp := d.persistPoint(clk)
 	if clk != nil {
@@ -562,7 +584,7 @@ func (d *Device) Zero(clk *simclock.Clock, off, n int64) {
 	d.rec.Inc(telemetry.CtrNVMNTStores)
 	d.rec.Add(telemetry.CtrNVMZeroBytes, n)
 	d.rec.Add(telemetry.CtrNVMBytesWritten, n)
-	d.acctWrite(clk, off, n, true, false)
+	d.acctWriteClass(cls, off, n, true, false)
 	d.tr.Record(d.uid, clk, pmemtrace.KindZero, off, n)
 	for rem := n; rem > 0; {
 		c := d.chunkFor(off, false)

@@ -283,16 +283,36 @@ func (r *RWResource) Reset() {
 	r.mu.Unlock()
 }
 
+// bwWindowNS is the granularity of the bandwidth capacity ledger: virtual
+// time is divided into fixed windows, each able to carry bwWindowNS of
+// transfer time. Queueing is therefore resolved per window, so two transfers
+// issued at disjoint virtual times never interact — only genuinely
+// simultaneous traffic contends.
+const bwWindowNS = 4096
+
 // Bandwidth models a shared transfer channel with a fixed peak rate
 // (bytes/second) and an optional concurrency-degradation factor. A transfer
-// of n bytes holds the channel for n/effectiveRate seconds, so aggregate
-// throughput across all threads cannot exceed the effective rate — exactly
-// the ceiling behaviour of Optane DC PM write bandwidth.
+// of n bytes consumes n/effectiveRate seconds of channel capacity, so
+// aggregate throughput across all threads cannot exceed the effective rate —
+// exactly the ceiling behaviour of Optane DC PM write bandwidth.
+//
+// Capacity is kept as a virtual-time ledger (consumed ns per bwWindowNS
+// window) rather than a single busy-until scalar. A scalar queue serves in
+// REAL call order, which under divergent thread clocks creates false
+// head-of-line blocking: a thread whose clock is far ahead (it just charged
+// a big CPU cost) would make a transfer issued at an EARLIER virtual time
+// wait behind its own — on real hardware the earlier write would have long
+// since drained. The ledger lets a transfer at virtual time t consume
+// capacity starting at t, whatever order the Go scheduler runs the calls in,
+// while a crowded window still spills its overflow into the following ones
+// and models queueing delay.
 type Bandwidth struct {
-	res        *Resource
 	peakBps    float64
 	scale      atomic.Uint64 // effective rate multiplier in 1/1024ths
 	totalBytes atomic.Int64
+
+	mu  sync.Mutex
+	win map[int64]int64 // window index -> consumed transfer ns
 }
 
 // NewBandwidth returns a channel with the given peak rate in bytes/second.
@@ -300,7 +320,7 @@ func NewBandwidth(bytesPerSecond float64) *Bandwidth {
 	if bytesPerSecond <= 0 {
 		panic(fmt.Sprintf("simclock: invalid bandwidth %v", bytesPerSecond))
 	}
-	b := &Bandwidth{res: NewResource(), peakBps: bytesPerSecond}
+	b := &Bandwidth{peakBps: bytesPerSecond, win: map[int64]int64{}}
 	b.scale.Store(1024)
 	return b
 }
@@ -317,13 +337,49 @@ func (b *Bandwidth) SetDegradation(f float64) {
 
 // Transfer charges the channel for n bytes at the clock's current time,
 // advancing the clock past any queueing delay plus the transfer itself.
+// Uncontended (every touched window has spare capacity) the clock advances
+// by exactly the transfer time, same as TransferUnqueued; contended, the
+// transfer drains through the first windows at or after the clock with
+// capacity left.
 func (b *Bandwidth) Transfer(c *Clock, n int) {
 	if n <= 0 {
 		return
 	}
 	rate := b.peakBps * float64(b.scale.Load()) / 1024
 	hold := int64(float64(n) / rate * 1e9)
-	b.res.Use(c, hold)
+	if hold <= 0 {
+		b.totalBytes.Add(int64(n))
+		return
+	}
+	b.mu.Lock()
+	t := c.Now()
+	for hold > 0 {
+		w := t / bwWindowNS
+		avail := bwWindowNS - b.win[w]
+		if avail <= 0 {
+			t = (w + 1) * bwWindowNS
+			continue
+		}
+		// Consume no more than the window has capacity for, and no more
+		// wall time than remains in it from t.
+		take := hold
+		if take > avail {
+			take = avail
+		}
+		if wall := (w+1)*bwWindowNS - t; take > wall {
+			take = wall
+		}
+		b.win[w] += take
+		hold -= take
+		t += take
+		if hold > 0 && t < (w+1)*bwWindowNS {
+			// Window capacity exhausted by concurrent traffic before its
+			// wall end: the remainder queues into the next window.
+			t = (w + 1) * bwWindowNS
+		}
+	}
+	b.mu.Unlock()
+	c.AdvanceTo(t)
 	b.totalBytes.Add(int64(n))
 }
 
@@ -344,7 +400,9 @@ func (b *Bandwidth) TotalBytes() int64 { return b.totalBytes.Load() }
 
 // Reset makes the channel idle and zeroes the byte counter.
 func (b *Bandwidth) Reset() {
-	b.res.Reset()
+	b.mu.Lock()
+	b.win = map[int64]int64{}
+	b.mu.Unlock()
 	b.totalBytes.Store(0)
 	b.scale.Store(1024)
 }

@@ -56,6 +56,11 @@ type Options struct {
 	// memcpy billing, dcache hit/miss accounting). Lower layers still bill
 	// device costs through the clock when a collector is installed.
 	NoSpans bool
+	// NoLeaseBatch disables batched inode-lease renewal: every unlock
+	// CAS-clears the lease word and every lock re-publishes it, restoring
+	// the two-NVM-writes-per-op discipline (ablation baseline; also used by
+	// tests that assert the word is cleared after each op).
+	NoLeaseBatch bool
 }
 
 func (o *Options) fill() {

@@ -30,6 +30,16 @@ type shared struct {
 	// the shared state on crash drops it too, so recovery can never observe
 	// pre-crash cached dentries.
 	dc dcache
+	// retained maps inode page -> parked lease word (uint64) for batched
+	// lease renewal (DESIGN.md §14): unlockInode leaves a still-live lease
+	// word in NVM and parks it here instead of CAS-clearing it, so the next
+	// lock of the same inode by the same thread within the lease window
+	// reuses the word with zero NVM writes. Another thread finding a parked
+	// word steals it immediately (epoch bump) — the park is the proof the
+	// in-process hold is over. Volatile by design: a crash drops the table,
+	// leaving the word for recovery to clear, exactly like a crashed live
+	// lease.
+	retained sync.Map
 }
 
 type openState struct {
@@ -161,6 +171,7 @@ func (f *FS) claimInodeLease(th *proc.Thread, ino int64) (uint8, error) {
 	off := ino*pageSize + inoLeaseOff
 	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
 	defer th.Clk.SetWriteClass(wprev)
+	batch := !f.opts.NoLeaseBatch
 	var bo *retry.Backoff
 	for {
 		// The lease word of a repeatedly locked inode stays resident in the
@@ -169,6 +180,36 @@ func (f *FS) claimInodeLease(th *proc.Thread, ino int64) (uint8, error) {
 		w := th.Load64Cached(off)
 		tid, epoch, expiry := unpackInoLease(w)
 		now := th.Clk.Now()
+		if batch && w != 0 {
+			if parked, ok := f.sh.retained.Load(ino); ok && parked.(uint64) == w {
+				if tid == th.TID&0xffff {
+					// Our own parked lease: the batched fast path. Reuse the
+					// word as-is — zero NVM writes per lock/unlock pair —
+					// renewing only once the window is half-spent (the
+					// allocator slot idiom), so renewals amortize to one
+					// write per lease window instead of two per op.
+					if expiry > now && expiry-now >= leaseDuration/2 && expiry <= now+leaseDuration {
+						f.sh.retained.Delete(ino)
+						return uint8(epoch), nil
+					}
+					if th.CAS64(off, w, inoLeaseWord(th.TID, epoch, now+leaseDuration)) {
+						f.sh.retained.Delete(ino)
+						return uint8(epoch), nil
+					}
+					continue
+				}
+				// Foreign parked lease: the park proves the holder's
+				// in-process hold ended, so steal immediately (epoch bump
+				// fences the parker's stale word) instead of sleeping out
+				// the remaining window.
+				ne := (epoch + 1) & 0xff
+				if th.CAS64(off, w, inoLeaseWord(th.TID, ne, now+leaseDuration)) {
+					f.sh.retained.Delete(ino)
+					return uint8(ne), nil
+				}
+				continue
+			}
+		}
 		switch {
 		case w == 0 || (tid == th.TID&0xffff && expiry > now):
 			// Free, or our own still-live lease (a re-claimed word after a
@@ -201,14 +242,24 @@ func (f *FS) claimInodeLease(th *proc.Thread, ino int64) (uint8, error) {
 // is a CAS against exactly the word we published: if the lease was stolen
 // while we ran (we stalled past expiry), the stealer's word is left intact
 // — clearing it would hand a third writer a lock the stealer still holds.
+//
+// With batching on (the default), a still-live own lease is parked instead
+// of cleared: the word stays in NVM and the retained table records it, so
+// the thread's next lock of the same inode inside the lease window costs no
+// NVM write at all — one renewal per lease window per thread instead of a
+// CAS pair per op (the DWOM hold-time fix).
 func (f *FS) unlockInode(th *proc.Thread, m *mount, ino int64, epoch uint8) {
 	f.window(th, m, true)
 	wprev := th.Clk.SwapWriteClass(uint8(byteflow.ClassInode))
 	off := ino*nvm.PageSize + inoLeaseOff
 	w := th.Load64Cached(off) // written by this thread at lock time
-	tid, ep, _ := unpackInoLease(w)
+	tid, ep, expiry := unpackInoLease(w)
 	if w != 0 && tid == th.TID&0xffff && uint8(ep) == epoch {
-		th.CAS64(off, w, 0)
+		if !f.opts.NoLeaseBatch && expiry > th.Clk.Now() {
+			f.sh.retained.Store(ino, w)
+		} else {
+			th.CAS64(off, w, 0)
+		}
 	}
 	th.Clk.SetWriteClass(wprev)
 	f.sh.lockOf(ino).Unlock(th.Clk)

@@ -672,7 +672,10 @@ func TestCrashDuringCreatesThenFsck(t *testing.T) {
 }
 
 func TestLeaseWordWrittenAndCleared(t *testing.T) {
-	_, _, f, th := newTestFS(t, Options{})
+	// NoLeaseBatch: this test pins the unbatched discipline — word written
+	// at lock, CAS-cleared at unlock. The batched default is pinned by
+	// TestLeaseBatchParksAndReuses.
+	_, _, f, th := newTestFS(t, Options{NoLeaseBatch: true})
 	f.Create(th, "/l", 0o644)
 	pos, err := f.walk(th, "/l", true, true)
 	if err != nil {
@@ -690,6 +693,60 @@ func TestLeaseWordWrittenAndCleared(t *testing.T) {
 	if th.Load64(pos.ino*pageSize+inoLeaseOff) != 0 {
 		t.Fatal("lease word not cleared on unlock")
 	}
+}
+
+func TestLeaseBatchParksAndReuses(t *testing.T) {
+	// Batched lease renewal (the default): unlock parks a still-live word
+	// instead of clearing it, and the next lock by the same thread reuses it
+	// with zero NVM writes inside the first half of the lease window.
+	_, _, f, th := newTestFS(t, Options{})
+	f.Create(th, "/b", 0o644)
+	pos, err := f.walk(th, "/b", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pos.close()
+	ep, lerr := f.lockInode(th, pos.m, pos.ino)
+	if lerr != nil {
+		t.Fatalf("lockInode: %v", lerr)
+	}
+	f.unlockInode(th, pos.m, pos.ino, ep)
+	w := th.Load64(pos.ino*pageSize + inoLeaseOff)
+	if w == 0 {
+		t.Fatal("batched unlock cleared the lease word instead of parking it")
+	}
+	if parked, ok := f.sh.retained.Load(pos.ino); !ok || parked.(uint64) != w {
+		t.Fatal("parked word not recorded in the retained table")
+	}
+	ep2, lerr := f.lockInode(th, pos.m, pos.ino)
+	if lerr != nil {
+		t.Fatalf("relock: %v", lerr)
+	}
+	if ep2 != ep {
+		t.Fatalf("batched reuse bumped the epoch: %d -> %d", ep, ep2)
+	}
+	if w2 := th.Load64(pos.ino*pageSize + inoLeaseOff); w2 != w {
+		t.Fatalf("batched reuse rewrote the lease word inside the half-window: %#x -> %#x", w, w2)
+	}
+	if _, ok := f.sh.retained.Load(pos.ino); ok {
+		t.Fatal("retained entry survived a re-claim")
+	}
+	// A different thread claiming a parked (released) lease must steal it
+	// immediately with an epoch bump, not sleep out the window.
+	f.unlockInode(th, pos.m, pos.ino, ep2)
+	th2 := th.Proc.NewThread()
+	before := th2.Clk.Now()
+	ep3, lerr := f.lockInode(th2, pos.m, pos.ino)
+	if lerr != nil {
+		t.Fatalf("steal of parked lease: %v", lerr)
+	}
+	if ep3 != ep2+1 {
+		t.Fatalf("parked steal epoch = %d, want %d", ep3, ep2+1)
+	}
+	if wait := th2.Clk.Now() - before; wait >= leaseDuration/4 {
+		t.Fatalf("parked steal slept %dns — should be immediate", wait)
+	}
+	f.unlockInode(th2, pos.m, pos.ino, ep3)
 }
 
 func TestVariantCostsOrdered(t *testing.T) {

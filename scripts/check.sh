@@ -110,4 +110,15 @@ echo "== fxmark-scale smoke =="
 go run ./cmd/zofs-locks -validate "$tracedir/locks/locks.prom" >/dev/null
 go run ./cmd/zofs-locks -once -dir "$tracedir/locks" >/dev/null
 
+echo "== scalability gate =="
+# Regression gate for the kernfs.big decomposition: a quick fxmark-scale
+# sweep widened to 64 and 512 threads must show the metadata-bound ZoFS
+# workloads (MWCL/MWRL) still climbing at 64 threads, and all three gated
+# workloads (DWAL/MWCL/MWRL) holding at least half their peak throughput
+# at 512. DWAL saturates the device's write bandwidth by a few threads
+# (paper Fig. 7), so its un-collapsed signature is the plateau, not the
+# climb. A global kernel-agent mutex — or any new serial section on the
+# metadata-write path — fails this gate.
+(cd "$tracedir" && ./zofs-bench -quick -scale-gate fxmark-scale >/dev/null)
+
 echo "OK"
