@@ -6,8 +6,8 @@
 //	zofs-bench [-quick] [-stats] [-threads 1,2,4,8,12,16,20] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 fig7 fig8 fig9 fig10 table7
-// fig11 table9 safety recovery crashmc hotpath spans wa fxmark-scale chaos
-// — or "all" (the default).
+// fig11 table9 safety recovery crashmc hotpath spans series wa fxmark-scale
+// chaos — or "all" (the default).
 package main
 
 import (
@@ -25,6 +25,7 @@ import (
 	"zofs/internal/harness"
 	"zofs/internal/lockprof"
 	"zofs/internal/pmemtrace"
+	"zofs/internal/series"
 	"zofs/internal/spans"
 )
 
@@ -49,6 +50,7 @@ var experiments = []struct {
 	{"crashmc", "crash-state model checker and fault injection", harness.RunCrashMC},
 	{"hotpath", "zero-copy hot path vs copy-path baseline", harness.RunHotpath},
 	{"spans", "causal-span overhead/attribution/OpenMetrics gate", harness.RunSpans},
+	{"series", "tail observatory gate: merge-exact windows, exemplars, SLO burn", harness.RunSeries},
 	{"wa", "write-amplification and byte-conservation gate", harness.RunWA},
 	{"fxmark-scale", "FxMark scalability matrix with per-lock contention attribution", harness.RunFxmarkScale},
 	{"chaos", "adversarial campaign: byzantine clients, lease steal, quarantine containment", harness.RunChaos},
@@ -63,6 +65,7 @@ func main() {
 	statsDir := flag.String("statsdir", "results", "directory for metrics-<experiment>-<config>.json sidecars")
 	traceFile := flag.String("trace", "", "record every NVM persistence event to this JSONL file (audit/export with zofs-trace; best with -quick and a single experiment)")
 	spansDir := flag.String("spans", "", "collect causal spans for the whole run and write spans.jsonl, spans.json and spans.prom into this directory (watch live with zofs-top)")
+	seriesDir := flag.String("series", "", "collect virtual-time windowed series for the whole run and write series.jsonl, series.prom and exemplars.jsonl into this directory (timeline in zofs-top, deltas with zofs-perfdiff)")
 	lockDir := flag.String("lockprof", "", "profile named-lock contention for the whole run and write locks.json, locks.prom and waits.jsonl into this directory (inspect with zofs-locks)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -117,7 +120,13 @@ func main() {
 			os.Exit(1)
 		}
 		defer jf.Close()
-		col := spans.Enable(spans.Config{JSONL: jf})
+		cfg := spans.Config{JSONL: jf}
+		if *seriesDir != "" {
+			// The series feed pushes adaptive exemplar thresholds; give the
+			// shared collector worst-K rings so they have somewhere to land.
+			cfg.ExemplarK = spans.DefaultExemplarK
+		}
+		col := spans.Enable(cfg)
 		stop := spans.PublishEvery(col, *spansDir, 500*time.Millisecond)
 		defer func() {
 			stop()
@@ -132,6 +141,46 @@ func main() {
 			}
 			fmt.Printf("==== span attribution (%d spans -> %s) ====\n", col.Finished(), *spansDir)
 			col.Snapshot().WriteText(os.Stdout)
+		}()
+	}
+
+	if *seriesDir != "" {
+		if err := os.MkdirAll(*seriesDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "zofs-bench: -series: %v\n", err)
+			os.Exit(1)
+		}
+		// The series feed sharpens exemplar capture with adaptive thresholds,
+		// so make sure a span collector with exemplar rings is live — unless
+		// -spans already enabled one, in which case exemplars ride its sink.
+		if spans.Active() == nil {
+			spans.Enable(spans.Config{RingCap: -1, ExemplarK: spans.DefaultExemplarK})
+			defer spans.Disable()
+		}
+		sc := series.Enable(series.Config{})
+		stop := series.PublishEvery(sc, *seriesDir, 500*time.Millisecond)
+		dir := *seriesDir
+		defer func() {
+			stop()
+			series.Disable()
+			if err := series.Publish(sc, dir); err != nil {
+				fmt.Fprintf(os.Stderr, "zofs-bench: -series: %v\n", err)
+				os.Exit(1)
+			}
+			if col := spans.Active(); col != nil {
+				ef, err := os.Create(filepath.Join(dir, "exemplars.jsonl"))
+				if err == nil {
+					err = col.WriteExemplarsJSONL(ef)
+					if cerr := ef.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "zofs-bench: -series exemplars: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("==== tail series (%d observations, %d windows -> %s) ====\n",
+				sc.Total(), len(sc.Windows()), dir)
 		}()
 	}
 

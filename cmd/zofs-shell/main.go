@@ -10,7 +10,7 @@
 // <text...>, mkdir <dir>, rm <file>, rmdir <dir>, mv <old> <new>,
 // ln -s <target> <link>, chmod <octal> <path>, chown <uid> <gid> <path>,
 // stat <path>, cd <dir>, pwd, df, wear [n], coffers, recover <path>,
-// stats [reset], spans [reset], sync, quit.
+// stats [reset], spans [reset], tail [n], slo [...], sync, quit.
 //
 // "stats" dumps the per-layer telemetry accumulated since the shell started
 // (or since the last "stats reset"): NVM media traffic, PKRU switches,
@@ -25,6 +25,11 @@
 // far: per-op component breakdowns (media, flush/fence, lock wait, PKRU,
 // memcpy, kernel), the critical-path summary, dcache hit rates and lock
 // contention. "spans reset" zeroes the collector.
+//
+// "tail" shows the virtual-time windowed view of the session: the latest
+// windows with per-op counts and tail quantiles, plus the captured worst-op
+// exemplars. "slo <op> <threshold_ns> <target>" installs a latency objective
+// ("slo" alone reports burn; "slo clear <op>" removes one).
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"zofs/internal/kernfs"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
+	"zofs/internal/series"
 	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
@@ -66,7 +72,9 @@ func main() {
 	dev.EnableAccounting()
 	// Span collection must be on before the shell thread is created so the
 	// thread picks up a span context; every command then gets attributed.
-	spans.Enable(spans.Config{})
+	// Exemplar rings ride along so "tail" can show the worst ops.
+	spans.Enable(spans.Config{ExemplarK: spans.DefaultExemplarK})
+	series.Enable(series.Config{})
 	k, err := kernfs.Mount(dev)
 	if err != nil {
 		fatal("mount: %v", err)
@@ -121,9 +129,11 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 	fail := func(err error) { fmt.Println(cmd+":", err) }
 	switch cmd {
 	case "help":
-		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df wear coffers recover stats spans sync quit")
+		fmt.Println("ls cat write append mkdir rm rmdir mv ln chmod chown stat cd pwd df wear coffers recover stats spans tail slo sync quit")
 		fmt.Println("stats [reset]: dump (or zero) per-layer telemetry counters and latencies")
 		fmt.Println("spans [reset]: dump (or zero) causal-span latency attribution")
+		fmt.Println("tail [n]: latest n virtual-time windows (default 10) and worst-op exemplars")
+		fmt.Println("slo [<op> <threshold_ns> <target> | clear <op>]: report, install or remove latency objectives")
 		fmt.Println("df: byte-flow reconciliation and per-coffer space table")
 		fmt.Println("wear [n]: n hottest pages of the wear heatmap (default 10)")
 	case "quit", "exit":
@@ -288,6 +298,108 @@ func execute(lib *fslibs.Lib, k *kernfs.KernFS, th *proc.Thread, args []string, 
 		spans.Enrich(&snap)
 		if err := snap.WriteText(os.Stdout); err != nil {
 			fail(err)
+		}
+	case "tail":
+		sc := series.Active()
+		if sc == nil {
+			fmt.Println("tail: series collection is off")
+			return false
+		}
+		n := 10
+		if len(args) == 2 {
+			if v, err := strconv.Atoi(args[1]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		wins := sc.Windows()
+		fmt.Printf("tail: %d observations, %d windows of %d ns (%d spilled)\n",
+			sc.Total(), len(wins), sc.WidthNS(), sc.SpilledWindows())
+		if len(wins) > n {
+			wins = wins[len(wins)-n:]
+		}
+		t := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(t, "window\tstart ms\top\tcount\tmean ns\tp50\tp99\tp999\tburn")
+		for _, win := range wins {
+			names := make([]string, 0, len(win.Ops))
+			for name := range win.Ops {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				ow := win.Ops[name]
+				fmt.Fprintf(t, "%d\t%.3f\t%s\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
+					win.Index, float64(win.StartNS)/1e6, name,
+					ow.Count, ow.MeanNS, ow.P50NS, ow.P99NS, ow.P999NS, ow.SLOBurn)
+			}
+		}
+		t.Flush()
+		if exs := spans.Active().Exemplars(); len(exs) > 0 {
+			fmt.Printf("worst-op exemplars (%d captured):\n", spans.Active().ExemplarsCaptured())
+			t = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(t, "op\tdur ns\tstart ms\tthreshold ns\tlocks\tevents")
+			for _, ex := range exs {
+				fmt.Fprintf(t, "%s\t%d\t%.3f\t%d\t%d\t%d\n",
+					ex.Root.Op, ex.Root.Dur, float64(ex.Root.Start)/1e6,
+					ex.ThresholdNS, len(ex.Locks), len(ex.Events))
+			}
+			t.Flush()
+		}
+	case "slo":
+		sc := series.Active()
+		if sc == nil {
+			fmt.Println("slo: series collection is off")
+			return false
+		}
+		opByName := func(name string) (telemetry.Op, bool) {
+			for i := 0; i < int(telemetry.NumOps); i++ {
+				if telemetry.Op(i).Name() == name {
+					return telemetry.Op(i), true
+				}
+			}
+			return 0, false
+		}
+		switch {
+		case len(args) == 1:
+			slos := sc.SLOs()
+			if len(slos) == 0 {
+				fmt.Println("slo: no objectives installed (slo <op> <threshold_ns> <target>)")
+				return false
+			}
+			t := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(t, "op\tthreshold ns\ttarget\ttotal\tbad\tburn\tlast burn")
+			for _, s := range slos {
+				fmt.Fprintf(t, "%s\t%d\t%.6f\t%d\t%d\t%.3f\t%.3f\n",
+					s.Op, s.ThresholdNS, s.Target, s.Total, s.Bad, s.Burn, s.LastBurn)
+			}
+			t.Flush()
+		case len(args) == 3 && args[1] == "clear":
+			op, ok := opByName(args[2])
+			if !ok {
+				fail(fmt.Errorf("unknown op %q", args[2]))
+				return false
+			}
+			sc.SetSLO(op, 0, 0)
+			fmt.Printf("slo cleared for %s\n", args[2])
+		case len(args) == 4:
+			op, ok := opByName(args[1])
+			if !ok {
+				fail(fmt.Errorf("unknown op %q", args[1]))
+				return false
+			}
+			thr, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil || thr <= 0 {
+				fail(fmt.Errorf("bad threshold %q", args[2]))
+				return false
+			}
+			target, err := strconv.ParseFloat(args[3], 64)
+			if err != nil || target < 0 || target >= 1 {
+				fail(fmt.Errorf("bad target %q (want [0,1))", args[3]))
+				return false
+			}
+			sc.SetSLO(op, thr, target)
+			fmt.Printf("slo set: %s within %d ns for %.6f of ops\n", args[1], thr, target)
+		default:
+			fail(fmt.Errorf("usage: slo [<op> <threshold_ns> <target> | clear <op>]"))
 		}
 	case "df":
 		fmt.Printf("%d free pages of %d\n", k.FreePages(), k.Device().Pages())

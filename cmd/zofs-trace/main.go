@@ -7,7 +7,8 @@
 //	                  [-o trace.jsonl] [-chrome out.json] [-threads N]
 //	                  [-ops N] [-size bytes] [-fsync-every K] [-device-mb N]
 //	zofs-trace audit  [-max-lost N] <trace.jsonl>
-//	zofs-trace export [-o chrome.json] <trace.jsonl>
+//	zofs-trace export [-o chrome.json] [-spans spans.jsonl] [-waits waits.jsonl]
+//	                  [-series dir] [trace.jsonl]
 //
 // record drives a small fig7-style workload against one or all of the §6
 // comparison file systems with the flight recorder on, spills every device
@@ -25,7 +26,9 @@
 // dirty-line counter track. With -spans it merges a causal-span JSONL log
 // (from zofs-bench -spans) instead: root op spans as slices with their child
 // layer spans nested inside, interleaved with the device events on the
-// shared virtual-time axis.
+// shared virtual-time axis. With -series <dir> it additionally overlays the
+// tail observatory's virtual-time window boundaries and worst-op exemplar
+// slices from a zofs-bench -series directory.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"zofs/internal/coffer"
@@ -43,6 +47,7 @@ import (
 	"zofs/internal/obsfs"
 	"zofs/internal/pmemtrace"
 	"zofs/internal/proc"
+	"zofs/internal/series"
 	"zofs/internal/spans"
 	"zofs/internal/sysfactory"
 	"zofs/internal/telemetry"
@@ -340,9 +345,10 @@ func cmdExport(args []string) {
 	out := fs.String("o", "chrome.json", "output Chrome trace-event JSON path")
 	spanLog := fs.String("spans", "", "merge causal-span roots from this spans.jsonl (zofs-bench -spans) instead of telemetry op spans")
 	waitLog := fs.String("waits", "", "merge per-thread blocked-on lanes from this waits.jsonl (zofs-bench -lockprof)")
+	seriesDir := fs.String("series", "", "merge window boundaries and worst-op exemplars from this directory (zofs-bench -series)")
 	fs.Parse(args)
 	if fs.NArg() > 1 || (fs.NArg() == 0 && *spanLog == "") {
-		fmt.Fprintln(os.Stderr, "usage: zofs-trace export [-o chrome.json] [-spans spans.jsonl] [-waits waits.jsonl] [trace.jsonl]")
+		fmt.Fprintln(os.Stderr, "usage: zofs-trace export [-o chrome.json] [-spans spans.jsonl] [-waits waits.jsonl] [-series dir] [trace.jsonl]")
 		os.Exit(2)
 	}
 	var events []pmemtrace.Event
@@ -365,22 +371,36 @@ func cmdExport(args []string) {
 				fatal("-waits: %v", err)
 			}
 		}
+		var marks *spans.TimelineMarks
+		if *seriesDir != "" {
+			if marks, err = loadMarks(*seriesDir); err != nil {
+				fatal("-series: %v", err)
+			}
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal("%v", err)
 		}
-		if err := spans.WriteChromeTraceLanes(f, roots, events, waits); err != nil {
+		if err := spans.WriteChromeTraceMarked(f, roots, events, waits, marks); err != nil {
 			f.Close()
 			fatal("%v", err)
 		}
 		if err := f.Close(); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Printf("wrote %s (%d events, %d causal spans, %d lock waits)\n", *out, len(events), len(roots), len(waits))
+		nw, nx := 0, 0
+		if marks != nil {
+			nw, nx = len(marks.Windows), len(marks.Exemplars)
+		}
+		fmt.Printf("wrote %s (%d events, %d causal spans, %d lock waits, %d windows, %d exemplars)\n",
+			*out, len(events), len(roots), len(waits), nw, nx)
 		return
 	}
 	if *waitLog != "" {
 		fatal("-waits requires -spans (blocked-on lanes ride on the causal-span timeline)")
+	}
+	if *seriesDir != "" {
+		fatal("-series requires -spans (window marks ride on the causal-span timeline)")
 	}
 	if err := exportChrome(*out, events, tspans); err != nil {
 		fatal("%v", err)
@@ -395,6 +415,40 @@ func loadRoots(path string) ([]spans.Root, error) {
 	}
 	defer f.Close()
 	return spans.ReadRootsJSONL(f)
+}
+
+// loadMarks reads a zofs-bench -series directory: window boundaries from
+// series.jsonl, worst-op exemplars from exemplars.jsonl (optional).
+func loadMarks(dir string) (*spans.TimelineMarks, error) {
+	sf, err := os.Open(filepath.Join(dir, "series.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	wins, err := series.ReadJSONL(sf)
+	if err != nil {
+		return nil, err
+	}
+	marks := &spans.TimelineMarks{}
+	for _, w := range wins {
+		m := spans.WindowMark{Index: w.Index, StartNS: w.StartNS}
+		for _, ow := range w.Ops {
+			m.Ops += ow.Count
+		}
+		marks.Windows = append(marks.Windows, m)
+	}
+	ef, err := os.Open(filepath.Join(dir, "exemplars.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return marks, nil
+		}
+		return nil, err
+	}
+	defer ef.Close()
+	if marks.Exemplars, err = spans.ReadExemplarsJSONL(ef); err != nil {
+		return nil, err
+	}
+	return marks, nil
 }
 
 func loadWaits(path string) ([]lockprof.BlockedInterval, error) {

@@ -23,6 +23,7 @@ import (
 	"zofs/internal/mpk"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
+	"zofs/internal/series"
 	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
@@ -160,7 +161,7 @@ func (l *Lib) trace(th *proc.Thread, op telemetry.Op) func() {
 func (l *Lib) traceAt(th *proc.Thread, op telemetry.Op, path string) func() {
 	rec := l.kern.Device().Recorder()
 	sp := spans.FromClock(th.Clk)
-	if rec == nil && sp == nil {
+	if rec == nil && sp == nil && series.Active() == nil {
 		return func() {}
 	}
 	rec.Inc(telemetry.CtrDispatchOps)
@@ -169,6 +170,7 @@ func (l *Lib) traceAt(th *proc.Thread, op telemetry.Op, path string) func() {
 	return func() {
 		now := th.Clk.Now()
 		rec.Observe(op, now-start)
+		series.ObserveActive(op, start, now-start)
 		rec.TraceOp(th.TID, op, start, now-start)
 		sp.End(now)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"zofs/internal/obsfs"
 	"zofs/internal/sysfactory"
+	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
 )
 
@@ -95,16 +96,20 @@ func hotpathRun(sys sysfactory.System, opts Options, n int) (map[string]float64,
 	if err != nil {
 		return nil, err
 	}
-	return hotpathRunOn(in, n)
+	return hotpathRunOn(in, nil, n)
 }
 
 // hotpathRunOn runs the three hot-path cells on an instance the caller
 // built (and may have instrumented, e.g. enabled byte-flow accounting on).
-func hotpathRunOn(in *sysfactory.Instance, n int) (map[string]float64, error) {
+// rec, when non-nil, receives per-op telemetry from the obsfs wrap — the
+// series gate passes one so the cumulative histograms and the windowed
+// series observe the identical op stream.
+func hotpathRunOn(in *sysfactory.Instance, rec *telemetry.Recorder, n int) (map[string]float64, error) {
 	th := in.Proc.NewThread()
 	// With span collection active the wrapper opens a root span per op; with
-	// it off (and no telemetry recorder passed) this returns in.FS unchanged.
-	fs := obsfs.Wrap(in.FS, nil)
+	// everything off (and no telemetry recorder passed) this returns in.FS
+	// unchanged.
+	fs := obsfs.Wrap(in.FS, rec)
 	if err := fs.Mkdir(th, "/hot", 0o755); err != nil {
 		return nil, err
 	}

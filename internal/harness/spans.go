@@ -51,7 +51,7 @@ func RunSpans(w io.Writer, opts Options) error {
 	in, err := sysfactory.ZoFS.New(opts.DeviceBytes)
 	if err == nil {
 		in.Dev.EnableAccounting()
-		inst, err = hotpathRunOn(in, n)
+		inst, err = hotpathRunOn(in, nil, n)
 	}
 	snap := col.Snapshot()
 	spans.Enrich(&snap)

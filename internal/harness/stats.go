@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"zofs/internal/obsfs"
+	"zofs/internal/series"
 	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
@@ -51,6 +52,9 @@ func sidecarTag(opts Options) string {
 		// Span collection perturbs nothing in virtual time, but the sidecar
 		// should say how its numbers were gathered.
 		tag += "-spans"
+	}
+	if series.Active() != nil {
+		tag += "-series"
 	}
 	if len(opts.Threads) == 0 {
 		return tag

@@ -290,5 +290,5 @@ func waHotRun(opts Options, enable bool) (map[string]float64, error) {
 	if enable {
 		in.Dev.EnableAccounting()
 	}
-	return hotpathRunOn(in, n)
+	return hotpathRunOn(in, nil, n)
 }

@@ -368,3 +368,32 @@ func TestWriteDOTFoldsAllocatorShards(t *testing.T) {
 		t.Fatalf("folded node label missing aggregated wait:\n%s", out)
 	}
 }
+
+// TestBlockedIn: the exemplar helper filters the blocked ring by thread and
+// interval overlap (inclusive at both ends).
+func TestBlockedIn(t *testing.T) {
+	reg := lockprof.Enable(lockprof.Config{})
+	defer lockprof.Disable()
+
+	m := lockprof.NewMutex("test.lock", "a")
+	c1, c2 := thread(reg, 1), thread(reg, 2)
+	m.Lock(c1)
+	c1.Advance(100)
+	m.Unlock(c1)
+	m.Lock(c2) // blocked on [0, 100] behind c1
+	m.Unlock(c2)
+
+	bl := reg.BlockedIn(2, 50, 150)
+	if len(bl) != 1 || bl[0].HolderTID != 1 || bl[0].DurNS != 100 {
+		t.Fatalf("overlapping query = %+v, want the one 100ns interval", bl)
+	}
+	if bl = reg.BlockedIn(2, 100, 200); len(bl) != 1 {
+		t.Fatalf("boundary-touching query = %+v, want inclusive overlap", bl)
+	}
+	if bl = reg.BlockedIn(2, 101, 200); len(bl) != 0 {
+		t.Fatalf("disjoint query = %+v, want none", bl)
+	}
+	if bl = reg.BlockedIn(1, 0, 200); len(bl) != 0 {
+		t.Fatalf("wrong-thread query = %+v, want none", bl)
+	}
+}

@@ -4,9 +4,9 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"regexp"
 	"strconv"
-	"strings"
+
+	"zofs/internal/openmetrics"
 )
 
 // OpenMetrics rendering of a Report. All families carry the zofs_lockprof_
@@ -76,33 +76,8 @@ func WriteOpenMetrics(w io.Writer, rep Report) error {
 	return bw.Flush()
 }
 
-var (
-	omSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9][0-9eE+.-]*|NaN|[+-]Inf)$`)
-	omLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
-)
-
-func splitOMLabels(s string) (map[string]string, error) {
-	out := map[string]string{}
-	s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
-	if s == "" {
-		return out, nil
-	}
-	for _, part := range strings.Split(s, ",") {
-		m := omLabelRe.FindStringSubmatch(part)
-		if m == nil {
-			return nil, fmt.Errorf("bad label pair %q", part)
-		}
-		v, err := strconv.Unquote(`"` + m[2] + `"`)
-		if err != nil {
-			return nil, fmt.Errorf("bad label value %q: %v", part, err)
-		}
-		out[m[1]] = v
-	}
-	return out, nil
-}
-
-// ValidateOpenMetrics parses a lockprof OpenMetrics document and enforces
-// its invariants:
+// ValidateOpenMetrics parses a lockprof OpenMetrics document (via the shared
+// internal/openmetrics parser) and enforces its invariants:
 //
 //   - syntax: every non-comment line is a valid sample, "# EOF" terminates;
 //   - conservation: per-lock virtual waits sum exactly to
@@ -114,94 +89,30 @@ func splitOMLabels(s string) (map[string]string, error) {
 //     wait. (The naive "edge wait <= holder hold sum" is NOT an invariant:
 //     n queued waiters each wait behind the same hold, multiplying it.)
 func ValidateOpenMetrics(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	var (
-		sawEOF     bool
-		lineNo     int
-		scalars    = map[string]int64{}
-		lockWait   = map[string]int64{}
-		lockHold   = map[string]int64{}
-		realWait   = map[string]int64{}
-		acquires   = map[string]int64{}
-		contended  = map[string]int64{}
-		edgeByDest = map[string]int64{}
-	)
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if sawEOF && line != "" {
-			return fmt.Errorf("line %d: content after # EOF", lineNo)
-		}
-		if line == "# EOF" {
-			sawEOF = true
-			continue
-		}
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		m := omSampleRe.FindStringSubmatch(line)
-		if m == nil {
-			return fmt.Errorf("line %d: not a valid OpenMetrics sample: %q", lineNo, line)
-		}
-		name, labelStr, valStr := m[1], m[2], m[3]
-		labels, err := splitOMLabels(labelStr)
-		if err != nil {
-			return fmt.Errorf("line %d: %v", lineNo, err)
-		}
-		v, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			return fmt.Errorf("line %d: bad value: %v", lineNo, err)
-		}
-		iv := int64(v)
-		switch name {
-		case "zofs_lockprof_acquires_total", "zofs_lockprof_contended_total",
-			"zofs_lockprof_wait_ns_total", "zofs_lockprof_hold_ns_total",
-			"zofs_lockprof_real_wait_ns_total", "zofs_lockprof_held",
-			"zofs_lockprof_inversions":
-			scalars[name] = iv
-		case "zofs_lockprof_lock_wait_ns_total":
-			lockWait[labels["lock"]] += iv
-		case "zofs_lockprof_lock_hold_ns_total":
-			lockHold[labels["lock"]] += iv
-		case "zofs_lockprof_lock_real_wait_ns_total":
-			realWait[labels["lock"]] += iv
-		case "zofs_lockprof_lock_acquires_total":
-			acquires[labels["lock"]] += iv
-		case "zofs_lockprof_lock_contended_total":
-			contended[labels["lock"]] += iv
-		case "zofs_lockprof_edge_wait_ns_total":
-			edgeByDest[labels["wanted"]] += iv
-		}
-	}
-	if err := sc.Err(); err != nil {
+	doc, err := openmetrics.Parse(r)
+	if err != nil {
 		return err
 	}
-	if !sawEOF {
-		return fmt.Errorf("missing # EOF terminator")
+	lockWait := doc.GroupSumInt("zofs_lockprof_lock_wait_ns_total", "lock")
+	if err := openmetrics.Conserved("per-lock virtual waits",
+		doc.SumInt("zofs_lockprof_lock_wait_ns_total"), doc.Int("zofs_lockprof_wait_ns_total")); err != nil {
+		return err
 	}
-	sum := func(m map[string]int64) int64 {
-		var s int64
-		for _, v := range m {
-			s += v
-		}
-		return s
+	if err := openmetrics.Conserved("per-lock holds",
+		doc.SumInt("zofs_lockprof_lock_hold_ns_total"), doc.Int("zofs_lockprof_hold_ns_total")); err != nil {
+		return err
 	}
-	if got, want := sum(lockWait), scalars["zofs_lockprof_wait_ns_total"]; got != want {
-		return fmt.Errorf("per-lock virtual waits sum to %d ns, total says %d", got, want)
+	if err := openmetrics.Conserved("per-lock real waits",
+		doc.SumInt("zofs_lockprof_lock_real_wait_ns_total"), doc.Int("zofs_lockprof_real_wait_ns_total")); err != nil {
+		return err
 	}
-	if got, want := sum(lockHold), scalars["zofs_lockprof_hold_ns_total"]; got != want {
-		return fmt.Errorf("per-lock holds sum to %d ns, total says %d", got, want)
-	}
-	if got, want := sum(realWait), scalars["zofs_lockprof_real_wait_ns_total"]; got != want {
-		return fmt.Errorf("per-lock real waits sum to %d ns, total says %d", got, want)
-	}
-	for lock, c := range contended {
+	acquires := doc.GroupSumInt("zofs_lockprof_lock_acquires_total", "lock")
+	for lock, c := range doc.GroupSumInt("zofs_lockprof_lock_contended_total", "lock") {
 		if a, ok := acquires[lock]; ok && c > a {
 			return fmt.Errorf("lock %s: contended %d > acquires %d", lock, c, a)
 		}
 	}
-	for dest, w := range edgeByDest {
+	for dest, w := range doc.GroupSumInt("zofs_lockprof_edge_wait_ns_total", "wanted") {
 		if lw, ok := lockWait[dest]; ok && w > lw {
 			return fmt.Errorf("edges into %s sum to %d ns > lock's total wait %d ns", dest, w, lw)
 		}

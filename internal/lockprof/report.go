@@ -184,6 +184,34 @@ func (r *Registry) Blocked() []BlockedInterval {
 	return out
 }
 
+// BlockedIn returns tid's blocked intervals overlapping [t0, t1], oldest
+// first — the spans layer pulls these when capturing a worst-op exemplar to
+// blame the contended locks (and their holders) behind a tail latency.
+func (r *Registry) BlockedIn(tid int, t0, t1 int64) []BlockedInterval {
+	if r == nil {
+		return nil
+	}
+	rs := r.state.Load()
+	rs.ringMu.Lock()
+	var out []BlockedInterval
+	start := 0
+	if rs.ringLen == len(rs.ring) {
+		start = rs.ringPos
+	}
+	for i := 0; i < rs.ringLen; i++ {
+		b := rs.ring[(start+i)%len(rs.ring)]
+		if b.tid != tid || b.start > t1 || b.start+b.dur < t0 {
+			continue
+		}
+		out = append(out, BlockedInterval{
+			TID: b.tid, HolderTID: b.holder, Lock: b.e.name(),
+			StartNS: b.start, DurNS: b.dur,
+		})
+	}
+	rs.ringMu.Unlock()
+	return out
+}
+
 // TopLocks returns the n most-contended virtual locks by total wait.
 func (rep Report) TopLocks(n int) []LockRow {
 	var out []LockRow

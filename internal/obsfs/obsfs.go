@@ -16,6 +16,7 @@ import (
 	"zofs/internal/coffer"
 	"zofs/internal/nvm"
 	"zofs/internal/proc"
+	"zofs/internal/series"
 	"zofs/internal/spans"
 	"zofs/internal/telemetry"
 	"zofs/internal/vfs"
@@ -53,7 +54,7 @@ func Wrap(fs vfs.FileSystem, rec *telemetry.Recorder) vfs.FileSystem {
 	if d, ok := fs.(deviced); ok {
 		dev = d.Device()
 	}
-	if rec == nil && spans.Active() == nil && !dev.AccountingEnabled() {
+	if rec == nil && spans.Active() == nil && series.Active() == nil && !dev.AccountingEnabled() {
 		return fs
 	}
 	if dev.AccountingEnabled() && spans.Active() != nil {
@@ -84,6 +85,7 @@ func (f *FS) begin(th *proc.Thread, op telemetry.Op, path string) func() {
 		now := th.Clk.Now()
 		f.rec.Inc(telemetry.CtrDispatchOps)
 		f.rec.Observe(op, now-start)
+		series.ObserveActive(op, start, now-start)
 		f.rec.TraceOp(th.TID, op, start, now-start)
 		sp.End(now)
 	}

@@ -1,0 +1,74 @@
+package openmetrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseWellFormed(t *testing.T) {
+	doc := `# TYPE zofs_x counter
+# HELP zofs_x things
+zofs_x_total 41
+# TYPE zofs_y gauge
+zofs_y{op="create",quantile="0.99"} 1200
+zofs_y{op="look\"up"} 7
+zofs_y{op="read"} -3.5e2
+# EOF
+`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(d.Samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(d.Samples))
+	}
+	if v, ok := d.Scalar("zofs_x_total"); !ok || v != 41 {
+		t.Fatalf("scalar zofs_x_total = %v,%v", v, ok)
+	}
+	ys := d.ByName("zofs_y")
+	if len(ys) != 3 {
+		t.Fatalf("got %d zofs_y samples, want 3", len(ys))
+	}
+	if ys[0].Label("quantile") != "0.99" || ys[0].Label("op") != "create" {
+		t.Fatalf("labels = %v", ys[0].Labels)
+	}
+	if ys[1].Label("op") != `look"up` {
+		t.Fatalf("escaped label = %q", ys[1].Label("op"))
+	}
+	if got := d.GroupSumInt("zofs_y", "op")["create"]; got != 1200 {
+		t.Fatalf("group sum = %d", got)
+	}
+	if got := d.SumInt("zofs_y"); got != 1200+7-350 {
+		t.Fatalf("sum = %d", got)
+	}
+	if !d.Has("zofs_y") || d.Has("zofs_z") {
+		t.Fatal("Has misreports")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"missing EOF", "x_total 1\n"},
+		{"content after EOF", "# EOF\nx 1\n"},
+		{"blank line", "x 1\n\n# EOF\n"},
+		{"malformed sample", "not a sample\n# EOF\n"},
+		{"bad label name", "x{9bad=\"v\"} 1\n# EOF\n"},
+		{"unterminated label", "x{a=\"v} 1\n# EOF\n"},
+		{"unknown comment", "# COMMENT hi\n# EOF\n"},
+		{"bad value", "x notanumber\n# EOF\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: accepted invalid document", tc.name)
+		}
+	}
+}
+
+func TestConserved(t *testing.T) {
+	if err := Conserved("parts", 5, 5); err != nil {
+		t.Fatalf("exact match rejected: %v", err)
+	}
+	if err := Conserved("parts", 5, 6); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}

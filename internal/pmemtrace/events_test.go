@@ -1,0 +1,44 @@
+package pmemtrace_test
+
+import (
+	"testing"
+
+	"zofs/internal/pmemtrace"
+)
+
+// TestEventsBetween covers the exemplar window extractor: time filtering,
+// stream order across a wrapped ring, and the truncation cap.
+func TestEventsBetween(t *testing.T) {
+	r := pmemtrace.New(pmemtrace.Config{RingCap: 4})
+	for i := 1; i <= 6; i++ {
+		r.RecordViolation(int64(i*10), i, int64(i), -1, "test")
+	}
+	// Ring holds ts 30..60; 10 and 20 fell off.
+	ev, trunc := r.EventsBetween(0, 100, 10)
+	if trunc || len(ev) != 4 || ev[0].TS != 30 || ev[3].TS != 60 {
+		t.Fatalf("full window = %+v trunc=%v, want ts 30..60", ev, trunc)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq <= ev[i-1].Seq {
+			t.Fatal("events out of stream order")
+		}
+	}
+	// Inclusive bounds.
+	ev, _ = r.EventsBetween(40, 50, 10)
+	if len(ev) != 2 || ev[0].TS != 40 || ev[1].TS != 50 {
+		t.Fatalf("bounded window = %+v, want ts 40,50", ev)
+	}
+	// Cap truncates and reports it.
+	ev, trunc = r.EventsBetween(0, 100, 2)
+	if !trunc || len(ev) != 2 || ev[0].TS != 30 {
+		t.Fatalf("capped window = %+v trunc=%v, want 2 oldest with truncation", ev, trunc)
+	}
+	// Empty window and nil receiver are safe.
+	if ev, trunc = r.EventsBetween(70, 90, 10); len(ev) != 0 || trunc {
+		t.Fatalf("empty window returned %+v", ev)
+	}
+	var nilRec *pmemtrace.Recorder
+	if ev, _ = nilRec.EventsBetween(0, 100, 10); ev != nil {
+		t.Fatal("nil recorder returned events")
+	}
+}

@@ -254,6 +254,35 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// EventsBetween returns retained events with TS in [t0, t1] in stream order,
+// at most max of them; truncated reports whether the cap cut the window
+// short. The spans layer attaches this window to worst-op exemplars so the
+// device traffic around a tail operation (all threads) travels with it.
+func (r *Recorder) EventsBetween(t0, t1 int64, max int) (out []Event, truncated bool) {
+	if r == nil || max <= 0 {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cap := uint64(len(r.buf))
+	n := r.total
+	count, start := n, uint64(0)
+	if n > cap {
+		count, start = cap, n
+	}
+	for i := uint64(0); i < count; i++ {
+		ev := r.buf[(start+i)%cap]
+		if ev.TS < t0 || ev.TS > t1 {
+			continue
+		}
+		if len(out) == max {
+			return out, true
+		}
+		out = append(out, ev)
+	}
+	return out, false
+}
+
 // Total returns the number of events ever recorded.
 func (r *Recorder) Total() uint64 {
 	if r == nil {

@@ -1,0 +1,153 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+)
+
+// bwByteNS is a rate of one byte per virtual nanosecond (1e9 bytes/second),
+// making transfer sizes and hold times numerically equal in the tests.
+const bwByteNS = 1e9
+
+// TestBandwidthSpillAtWindowBoundary pins the ledger's behaviour exactly at
+// the bwWindowNS edge: a transfer whose wall time crosses the boundary takes
+// the remainder of its window and spills the rest into the next one, and a
+// transfer issued exactly on a boundary lands entirely in the new window.
+func TestBandwidthSpillAtWindowBoundary(t *testing.T) {
+	b := NewBandwidth(bwByteNS)
+
+	c := NewClockAt(bwWindowNS - 1)
+	b.Transfer(c, 2) // 1 ns left in window 0, 1 ns into window 1
+	if got := c.Now(); got != bwWindowNS+1 {
+		t.Fatalf("straddling transfer ended at %d, want %d", got, bwWindowNS+1)
+	}
+	if b.win[0] != 1 || b.win[1] != 1 {
+		t.Fatalf("ledger = {0:%d, 1:%d}, want one ns in each window", b.win[0], b.win[1])
+	}
+
+	c2 := NewClockAt(bwWindowNS)
+	b.Transfer(c2, 3)
+	if got := c2.Now(); got != bwWindowNS+3 {
+		t.Fatalf("boundary-start transfer ended at %d, want %d", got, bwWindowNS+3)
+	}
+	if b.win[0] != 1 {
+		t.Fatalf("boundary-start transfer touched window 0: %d ns", b.win[0])
+	}
+	if b.win[1] != 4 {
+		t.Fatalf("window 1 carries %d ns, want 4", b.win[1])
+	}
+
+	// Saturate window 2 from its first instant: the transfer consumes the
+	// whole window and the clock stops exactly on the next boundary.
+	c3 := NewClockAt(2 * bwWindowNS)
+	b.Transfer(c3, bwWindowNS)
+	if got := c3.Now(); got != 3*bwWindowNS {
+		t.Fatalf("full-window transfer ended at %d, want %d", got, 3*bwWindowNS)
+	}
+	// A second transfer issued at the same virtual time finds window 2 full
+	// and queues into window 3 — no capacity is double-booked.
+	c4 := NewClockAt(2 * bwWindowNS)
+	b.Transfer(c4, 5)
+	if got := c4.Now(); got != 3*bwWindowNS+5 {
+		t.Fatalf("queued transfer ended at %d, want %d", got, 3*bwWindowNS+5)
+	}
+	if b.win[2] != bwWindowNS || b.win[3] != 5 {
+		t.Fatalf("ledger = {2:%d, 3:%d}, want {%d, 5}", b.win[2], b.win[3], int64(bwWindowNS))
+	}
+}
+
+// TestBandwidthMultiWindowOverflowChain drives transfers long enough to fill
+// several consecutive windows and checks the overflow chains through every
+// one of them with nothing lost and nothing double-counted.
+func TestBandwidthMultiWindowOverflowChain(t *testing.T) {
+	b := NewBandwidth(bwByteNS)
+
+	c := NewClock()
+	b.Transfer(c, 3*bwWindowNS) // fills windows 0,1,2 exactly
+	if got := c.Now(); got != 3*bwWindowNS {
+		t.Fatalf("triple-window transfer ended at %d, want %d", got, 3*bwWindowNS)
+	}
+	for w := int64(0); w < 3; w++ {
+		if b.win[w] != bwWindowNS {
+			t.Fatalf("window %d carries %d ns, want full %d", w, b.win[w], int64(bwWindowNS))
+		}
+	}
+
+	// A transfer issued back at virtual time 0 must chain past all three
+	// saturated windows before it finds capacity.
+	c2 := NewClock()
+	b.Transfer(c2, bwWindowNS/2)
+	if got := c2.Now(); got != 3*bwWindowNS+bwWindowNS/2 {
+		t.Fatalf("chained transfer ended at %d, want %d", got, 3*bwWindowNS+bwWindowNS/2)
+	}
+	if b.win[3] != bwWindowNS/2 {
+		t.Fatalf("window 3 carries %d ns, want %d", b.win[3], int64(bwWindowNS/2))
+	}
+
+	var ledger int64
+	for _, ns := range b.win {
+		ledger += ns
+	}
+	if want := int64(3*bwWindowNS + bwWindowNS/2); ledger != want {
+		t.Fatalf("ledger total = %d ns, want %d (conservation)", ledger, want)
+	}
+	if got, want := b.TotalBytes(), int64(3*bwWindowNS+bwWindowNS/2); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+}
+
+// TestBandwidthConcurrentDivergentClocks issues transfers from goroutines
+// whose clocks sit at different virtual times within one window (and one far
+// ahead). Whatever order the Go scheduler runs them in, the ledger must
+// conserve the total charged time, every clock must advance by at least its
+// own transfer time, and the far-ahead clock must not block the early ones
+// (run under -race to exercise the locking).
+func TestBandwidthConcurrentDivergentClocks(t *testing.T) {
+	b := NewBandwidth(bwByteNS)
+	const transfers = 64
+	const perTransfer = 96 // 64*96 = 1.5 windows of demand
+
+	clocks := make([]*Clock, transfers)
+	var wg sync.WaitGroup
+	for i := 0; i < transfers; i++ {
+		// Starts scattered through window 0, plus a few clocks already far
+		// ahead in virtual time (their demand lands in their own distant
+		// windows, not in the early capacity the others are contending for).
+		start := int64(i * 61 % bwWindowNS)
+		if i%16 == 15 {
+			start = int64(10*bwWindowNS) + int64(i)
+		}
+		c := NewClockAt(start)
+		clocks[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Transfer(c, perTransfer)
+		}()
+	}
+	wg.Wait()
+
+	var ledger int64
+	for w, ns := range b.win {
+		if ns < 0 || ns > bwWindowNS {
+			t.Fatalf("window %d carries %d ns, outside [0, %d]", w, ns, int64(bwWindowNS))
+		}
+		ledger += ns
+	}
+	if want := int64(transfers * perTransfer); ledger != want {
+		t.Fatalf("ledger total = %d ns, want %d (conservation)", ledger, want)
+	}
+	if got, want := b.TotalBytes(), int64(transfers*perTransfer); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+	for i, c := range clocks {
+		start := int64(i * 61 % bwWindowNS)
+		if i%16 == 15 {
+			start = int64(10*bwWindowNS) + int64(i)
+		}
+		adv := c.Now() - start
+		if adv < perTransfer {
+			t.Fatalf("clock %d advanced %d ns, want >= %d", i, adv, perTransfer)
+		}
+	}
+}

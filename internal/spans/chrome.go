@@ -63,6 +63,31 @@ func WriteChromeTrace(w io.Writer, roots []Root, events []pmemtrace.Event) error
 // event named wait:<lock> on its thread's track, so the wait sits visually
 // inside the op that incurred it and the blamed holder is one click away.
 func WriteChromeTraceLanes(w io.Writer, roots []Root, events []pmemtrace.Event, waits []lockprof.BlockedInterval) error {
+	return WriteChromeTraceMarked(w, roots, events, waits, nil)
+}
+
+// WindowMark is one virtual-time series window boundary to overlay on the
+// merged timeline (zofs-trace export -series). The spans package cannot see
+// internal/series (series feeds thresholds into spans), so callers convert
+// series windows to these plain marks.
+type WindowMark struct {
+	Index   int64
+	StartNS int64
+	Ops     int64
+}
+
+// TimelineMarks carries the tail-observatory overlays for the Chrome export:
+// window boundaries render as global instants on the device track, worst-op
+// exemplars as "exemplar"-category slices on their thread's track so the
+// captured tail op stands out against the ordinary fsop lane.
+type TimelineMarks struct {
+	Windows   []WindowMark
+	Exemplars []Exemplar
+}
+
+// WriteChromeTraceMarked is WriteChromeTraceLanes plus tail-observatory
+// marks; nil marks renders identically to WriteChromeTraceLanes.
+func WriteChromeTraceMarked(w io.Writer, roots []Root, events []pmemtrace.Event, waits []lockprof.BlockedInterval, marks *TimelineMarks) error {
 	bw := bufio.NewWriter(w)
 	first := true
 	emit := func(ev chromeEvent) error {
@@ -158,6 +183,48 @@ func WriteChromeTraceLanes(w io.Writer, roots []Root, events []pmemtrace.Event, 
 			Args: &chromeArgs{Detail: fmt.Sprintf("blocked by tid %d", b.HolderTID)},
 		}); err != nil {
 			return err
+		}
+	}
+
+	if marks != nil {
+		wm := append([]WindowMark(nil), marks.Windows...)
+		sort.SliceStable(wm, func(i, j int) bool { return wm[i].StartNS < wm[j].StartNS })
+		for _, m := range wm {
+			if err := emit(chromeEvent{
+				Name: fmt.Sprintf("window %d", m.Index), Cat: "series", Ph: "i",
+				TS: usec(m.StartNS), PID: chromePID, TID: 0, S: "g",
+				Args: &chromeArgs{Detail: fmt.Sprintf("%d ops", m.Ops)},
+			}); err != nil {
+				return err
+			}
+		}
+		exs := append([]Exemplar(nil), marks.Exemplars...)
+		sort.SliceStable(exs, func(i, j int) bool {
+			if exs[i].Root.Start != exs[j].Root.Start {
+				return exs[i].Root.Start < exs[j].Root.Start
+			}
+			return exs[i].Root.TID < exs[j].Root.TID
+		})
+		for _, e := range exs {
+			d := usec(e.Root.Dur)
+			args := &chromeArgs{Comp: map[string]int64{}}
+			for i, v := range e.Root.Comp {
+				if v > 0 {
+					args.Comp[Component(i).Name()] = v
+				}
+			}
+			if len(args.Comp) == 0 {
+				args.Comp = nil
+			}
+			args.Detail = fmt.Sprintf("threshold %d ns, %d blamed locks, %d device events",
+				e.ThresholdNS, len(e.Locks), len(e.Events))
+			if err := emit(chromeEvent{
+				Name: "worst:" + e.Root.Op, Cat: "exemplar", Ph: "X",
+				TS: usec(e.Root.Start), Dur: &d,
+				PID: chromePID, TID: int32(e.Root.TID), Args: args,
+			}); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -106,6 +106,60 @@ func TestMergedChromeEmpty(t *testing.T) {
 	}
 }
 
+// TestMergedChromeMarks: tail-observatory overlays render as "series"
+// instants and "exemplar" slices; nil marks is byte-identical to the
+// lanes writer (the golden file stays authoritative for that path).
+func TestMergedChromeMarks(t *testing.T) {
+	roots, events := fixedMerge()
+
+	var lanes, markedNil bytes.Buffer
+	if err := WriteChromeTraceLanes(&lanes, roots, events, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceMarked(&markedNil, roots, events, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lanes.Bytes(), markedNil.Bytes()) {
+		t.Fatal("nil marks changed the lanes export")
+	}
+
+	marks := &TimelineMarks{
+		Windows: []WindowMark{
+			{Index: 1, StartNS: 1000, Ops: 2},
+			{Index: 0, StartNS: 0, Ops: 0},
+		},
+		Exemplars: []Exemplar{
+			{Root: roots[0], ThresholdNS: 800},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceMarked(&buf, roots, events, nil, marks); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("marked export is not a valid JSON array: %v", err)
+	}
+	cats := map[string]int{}
+	var sawWorst, sawWindow bool
+	for _, ev := range arr {
+		cats[ev["cat"].(string)]++
+		name := ev["name"].(string)
+		if name == "worst:create" {
+			sawWorst = true
+		}
+		if name == "window 0" {
+			sawWindow = true
+		}
+	}
+	if cats["series"] != 2 || cats["exemplar"] != 1 {
+		t.Fatalf("mark category counts = %v", cats)
+	}
+	if !sawWorst || !sawWindow {
+		t.Fatalf("missing mark events (worst=%v window=%v)", sawWorst, sawWindow)
+	}
+}
+
 // TestMergedChromeDeterministic: unsorted input roots render identically to
 // sorted ones (the exporter orders by start time, then TID).
 func TestMergedChromeDeterministic(t *testing.T) {

@@ -1,0 +1,195 @@
+package spans
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"zofs/internal/lockprof"
+	"zofs/internal/pmemtrace"
+	"zofs/internal/telemetry"
+)
+
+// Worst-op exemplar capture: the tail observatory's answer to "show me the
+// actual op behind that p999". When a root span folds with a duration above
+// the op kind's adaptive threshold (the trailing-window p99 pushed in by
+// internal/series; absent a threshold the worst-K floor alone gates), the
+// collector retains the full span tree together with the evidence needed to
+// explain it — the exact-sum component attribution it already carries, the
+// blamed contended-lock intervals from the lock profiler, and the
+// surrounding pmemtrace device-event window. Retention is a bounded worst-K
+// ring per op kind, so memory stays fixed no matter how long the run.
+
+// maxExemplarEvents bounds the pmemtrace event window attached to one
+// exemplar; overflow sets EventsTruncated rather than growing unboundedly.
+const maxExemplarEvents = 256
+
+// DefaultExemplarK is the per-op worst-K ring size used when Config asks
+// for exemplars without picking a K.
+const DefaultExemplarK = 8
+
+// Exemplar is one retained worst-case operation: the root span tree plus
+// the cross-layer evidence gathered at capture time.
+type Exemplar struct {
+	Root Root `json:"root"`
+	// ThresholdNS is the adaptive gate in force when the op was captured
+	// (0 = pure worst-K capture, no series feed).
+	ThresholdNS int64 `json:"threshold_ns,omitempty"`
+	// Locks are the lock profiler's blocked intervals for the op's thread
+	// overlapping the span — the blamed contended locks, holder TIDs
+	// included. Nil when no lock profiler was collecting.
+	Locks []lockprof.BlockedInterval `json:"locks,omitempty"`
+	// Events is the pmemtrace device-event window overlapping the span
+	// (all threads: concurrent traffic is usually the explanation). Nil
+	// when no flight recorder was collecting.
+	Events          []pmemtrace.Event `json:"events,omitempty"`
+	EventsTruncated bool              `json:"events_truncated,omitempty"`
+}
+
+// exemplars is the collector's per-op worst-K state.
+type exemplars struct {
+	k         int
+	threshold [telemetry.NumOps]atomic.Int64
+	mu        sync.Mutex
+	// worst[op] is sorted ascending by Root.Dur; worst[op][0] is the floor.
+	worst      [telemetry.NumOps][]Exemplar
+	candidates atomic.Int64
+	captured   atomic.Int64
+}
+
+// SetExemplarThreshold installs op's adaptive capture threshold (virtual
+// ns). internal/series pushes the trailing-window p99 here; 0 restores pure
+// worst-K capture.
+func (c *Collector) SetExemplarThreshold(op telemetry.Op, ns int64) {
+	if c == nil || c.ex == nil {
+		return
+	}
+	c.ex.threshold[op].Store(ns)
+}
+
+// ExemplarThreshold returns op's current capture threshold.
+func (c *Collector) ExemplarThreshold(op telemetry.Op) int64 {
+	if c == nil || c.ex == nil {
+		return 0
+	}
+	return c.ex.threshold[op].Load()
+}
+
+// maybeCapture retains r as an exemplar if it clears the op's adaptive
+// threshold and beats the worst-K floor. Called from fold after the residual
+// is computed, so the exact-sum attribution invariant already holds on every
+// captured root. The threshold gate is bucket-granular: the pushed threshold
+// is the bucket upper bound of the trailing p99, so an op landing in the same
+// histogram bucket as the p99 must qualify — comparing raw durations against
+// it would reject the very tail ops the threshold describes.
+func (c *Collector) maybeCapture(op telemetry.Op, r *Root) {
+	ex := c.ex
+	thr := ex.threshold[op].Load()
+	if thr > 0 && telemetry.BucketUpper(telemetry.BucketOf(r.Dur)) < thr {
+		return
+	}
+	ex.candidates.Add(1)
+	ex.mu.Lock()
+	lst := ex.worst[op]
+	if len(lst) >= ex.k && r.Dur <= lst[0].Root.Dur {
+		ex.mu.Unlock()
+		return
+	}
+	e := Exemplar{Root: *r, ThresholdNS: thr}
+	// Evidence gathering under exMu is fine: both sources take only their
+	// own leaf locks, and captures are rare once the floor rises.
+	if reg := lockprof.Active(); reg != nil {
+		e.Locks = reg.BlockedIn(r.TID, r.Start, r.Start+r.Dur)
+	}
+	if tr := pmemtrace.Active(); tr != nil {
+		e.Events, e.EventsTruncated = tr.EventsBetween(r.Start, r.Start+r.Dur, maxExemplarEvents)
+	}
+	at := sort.Search(len(lst), func(i int) bool { return lst[i].Root.Dur > e.Root.Dur })
+	lst = append(lst, Exemplar{})
+	copy(lst[at+1:], lst[at:])
+	lst[at] = e
+	if len(lst) > ex.k {
+		lst = lst[1:]
+	}
+	ex.worst[op] = lst
+	ex.mu.Unlock()
+	ex.captured.Add(1)
+}
+
+// Exemplars copies out every retained exemplar, op kinds in dispatch order,
+// worst first within each kind.
+func (c *Collector) Exemplars() []Exemplar {
+	if c == nil || c.ex == nil {
+		return nil
+	}
+	c.ex.mu.Lock()
+	defer c.ex.mu.Unlock()
+	var out []Exemplar
+	for op := range c.ex.worst {
+		lst := c.ex.worst[op]
+		for i := len(lst) - 1; i >= 0; i-- {
+			out = append(out, lst[i])
+		}
+	}
+	return out
+}
+
+// ExemplarsCaptured reports how many exemplars were retained (including ones
+// later displaced from a worst-K ring).
+func (c *Collector) ExemplarsCaptured() int64 {
+	if c == nil || c.ex == nil {
+		return 0
+	}
+	return c.ex.captured.Load()
+}
+
+// resetExemplars clears the rings and thresholds (Collector.Reset).
+func (c *Collector) resetExemplars() {
+	if c.ex == nil {
+		return
+	}
+	c.ex.mu.Lock()
+	for i := range c.ex.worst {
+		c.ex.worst[i] = nil
+	}
+	c.ex.mu.Unlock()
+	for i := range c.ex.threshold {
+		c.ex.threshold[i].Store(0)
+	}
+	c.ex.candidates.Store(0)
+	c.ex.captured.Store(0)
+}
+
+// WriteExemplarsJSONL renders every retained exemplar as one JSON line.
+func (c *Collector) WriteExemplarsJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range c.Exemplars() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadExemplarsJSONL parses an exemplars.jsonl stream.
+func ReadExemplarsJSONL(r io.Reader) ([]Exemplar, error) {
+	var out []Exemplar
+	dec := json.NewDecoder(r)
+	for {
+		var e Exemplar
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}

@@ -4,11 +4,10 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"regexp"
 	"strconv"
-	"strings"
 
 	"zofs/internal/byteflow"
+	"zofs/internal/openmetrics"
 )
 
 // WriteOpenMetrics renders a snapshot in the OpenMetrics text exposition
@@ -127,131 +126,41 @@ func WriteOpenMetrics(w io.Writer, s Snapshot) error {
 	return bw.Flush()
 }
 
-var (
-	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9][0-9eE+.-]*|NaN|[+-]Inf)$`)
-	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
-)
-
-// ValidateOpenMetrics checks that r is well-formed OpenMetrics text (sample
-// syntax, label syntax, parseable values, `# EOF` terminator) and enforces
-// the attribution invariant: for every op with samples, the
-// zofs_op_component_share values sum to 100% within one point.
+// ValidateOpenMetrics checks that r is well-formed OpenMetrics text (via the
+// shared internal/openmetrics parser) and enforces the attribution
+// invariant: for every op with samples, the zofs_op_component_share values
+// sum to 100% within one point, plus byte-flow conservation when the flow
+// panel's series are present.
 func ValidateOpenMetrics(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var (
-		line      int
-		sawEOF    bool
-		opCount   = map[string]int64{}
-		latSum    = map[string]float64{}
-		shareSum  = map[string]float64{}
-		shareSeen = map[string]bool{}
-		issued    = int64(-1)
-		classSum  int64
-		classSeen bool
-	)
-	for sc.Scan() {
-		line++
-		text := sc.Text()
-		if sawEOF {
-			return fmt.Errorf("line %d: content after # EOF", line)
-		}
-		if text == "# EOF" {
-			sawEOF = true
-			continue
-		}
-		if strings.HasPrefix(text, "#") {
-			if !strings.HasPrefix(text, "# TYPE ") && !strings.HasPrefix(text, "# HELP ") {
-				return fmt.Errorf("line %d: unknown comment form %q", line, text)
-			}
-			continue
-		}
-		if text == "" {
-			return fmt.Errorf("line %d: blank line", line)
-		}
-		m := sampleRe.FindStringSubmatch(text)
-		if m == nil {
-			return fmt.Errorf("line %d: malformed sample %q", line, text)
-		}
-		name, rawLabels, rawVal := m[1], m[2], m[3]
-		labels := map[string]string{}
-		if rawLabels != "" {
-			for _, pair := range splitLabels(rawLabels[1 : len(rawLabels)-1]) {
-				if !labelRe.MatchString(pair) {
-					return fmt.Errorf("line %d: malformed label %q", line, pair)
-				}
-				eq := strings.IndexByte(pair, '=')
-				v, err := strconv.Unquote(pair[eq+1:])
-				if err != nil {
-					return fmt.Errorf("line %d: bad label value %q: %v", line, pair, err)
-				}
-				labels[pair[:eq]] = v
-			}
-		}
-		val, err := strconv.ParseFloat(rawVal, 64)
-		if err != nil {
-			return fmt.Errorf("line %d: bad value %q: %v", line, rawVal, err)
-		}
-		switch name {
-		case "zofs_ops_total":
-			opCount[labels["op"]] = int64(val)
-		case "zofs_op_latency_ns_sum":
-			latSum[labels["op"]] = val
-		case "zofs_op_component_share":
-			shareSum[labels["op"]] += val
-			shareSeen[labels["op"]] = true
-		case "zofs_issued_bytes_total":
-			issued = int64(val)
-		case "zofs_issued_class_bytes_total":
-			classSum += int64(val)
-			classSeen = true
-		}
-	}
-	if err := sc.Err(); err != nil {
+	doc, err := openmetrics.Parse(r)
+	if err != nil {
 		return err
 	}
-	if !sawEOF {
-		return fmt.Errorf("missing # EOF terminator")
+	opCount := doc.GroupSumInt("zofs_ops_total", "op")
+	latSum := doc.GroupSumInt("zofs_op_latency_ns_sum", "op")
+	shareSum := map[string]float64{}
+	for _, s := range doc.ByName("zofs_op_component_share") {
+		shareSum[s.Label("op")] += s.Value
 	}
-	for op := range shareSeen {
+	for op, sum := range shareSum {
 		if opCount[op] <= 0 || latSum[op] <= 0 {
 			continue // no samples (or all zero-latency): shares are vacuous
 		}
-		if sum := shareSum[op]; sum < 99 || sum > 101 {
+		if sum < 99 || sum > 101 {
 			return fmt.Errorf("op %q: component shares sum to %.2f%%, want 100±1", op, sum)
 		}
 	}
 	// Byte-flow conservation is exact: per-class issued bytes must sum to
 	// the independently counted issued total.
-	if classSeen && issued >= 0 && classSum != issued {
-		return fmt.Errorf("byte-flow: class bytes sum to %d, issued total is %d", classSum, issued)
-	}
-	if classSeen && issued < 0 {
-		return fmt.Errorf("byte-flow: class series present without zofs_issued_bytes_total")
+	if doc.Has("zofs_issued_class_bytes_total") {
+		if !doc.Has("zofs_issued_bytes_total") {
+			return fmt.Errorf("byte-flow: class series present without zofs_issued_bytes_total")
+		}
+		if err := openmetrics.Conserved("byte-flow: class bytes",
+			doc.SumInt("zofs_issued_class_bytes_total"), doc.Int("zofs_issued_bytes_total")); err != nil {
+			return err
+		}
 	}
 	_ = byteflow.NumClasses
 	return nil
-}
-
-// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
-func splitLabels(s string) []string {
-	var out []string
-	start, inQuote, escaped := 0, false, false
-	for i := 0; i < len(s); i++ {
-		switch {
-		case escaped:
-			escaped = false
-		case s[i] == '\\' && inQuote:
-			escaped = true
-		case s[i] == '"':
-			inQuote = !inQuote
-		case s[i] == ',' && !inQuote:
-			out = append(out, s[start:i])
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		out = append(out, s[start:])
-	}
-	return out
 }

@@ -387,6 +387,11 @@ type Config struct {
 	// JSONL, when non-nil, receives every finished root span as one JSON
 	// line. The caller owns the writer; Collector.FlushSink drains buffers.
 	JSONL io.Writer
+	// ExemplarK, when positive, retains the K worst finished roots per op
+	// kind as exemplars (full span tree + blamed locks + pmemtrace window);
+	// internal/series sharpens the capture gate with trailing-window p99
+	// thresholds. Zero disables exemplar capture entirely.
+	ExemplarK int
 }
 
 // Collector aggregates finished spans process-wide. It is safe for
@@ -420,6 +425,10 @@ type Collector struct {
 	sinkMu  sync.Mutex
 	sink    *bufio.Writer
 	sinkErr error
+
+	// ex holds the worst-op exemplar state; nil when Config.ExemplarK == 0,
+	// which keeps the capture check in fold to one pointer load.
+	ex *exemplars
 }
 
 // NewCollector returns an empty collector.
@@ -434,6 +443,9 @@ func NewCollector(cfg Config) *Collector {
 	c := &Collector{cont: make(map[int64]*contEntry), ringCap: cap}
 	if cfg.JSONL != nil {
 		c.sink = bufio.NewWriterSize(cfg.JSONL, 64<<10)
+	}
+	if cfg.ExemplarK > 0 {
+		c.ex = &exemplars{k: cfg.ExemplarK}
 	}
 	return c
 }
@@ -501,6 +513,9 @@ func (c *Collector) fold(op telemetry.Op, r *Root, children []Child) {
 		r.Children = append([]Child(nil), children...)
 	} else {
 		r.Children = nil
+	}
+	if c.ex != nil {
+		c.maybeCapture(op, r)
 	}
 	if c.ringCap > 0 {
 		c.ringMu.Lock()
@@ -655,6 +670,7 @@ func (c *Collector) Reset() {
 	c.ring = c.ring[:0]
 	c.ringPos = 0
 	c.ringMu.Unlock()
+	c.resetExemplars()
 }
 
 // lockName renders a contention-table key: negative keys are directory hash

@@ -146,6 +146,15 @@ func (h *Hist) Snapshot() (count, sum int64, buckets []int64) { return h.h.snaps
 // HistBuckets is the length of the bucket vectors returned by Hist.Snapshot.
 const HistBuckets = histBuckets
 
+// BucketOf exposes the bucket index of a latency so sibling layers
+// (internal/series) can fill plain bucket vectors with the exact same
+// geometry — the merge-exactness guarantee between windowed and cumulative
+// histograms depends on both using this one mapping.
+func BucketOf(ns int64) int { return bucketOf(ns) }
+
+// BucketUpper exposes the largest latency contained in a bucket.
+func BucketUpper(idx int) int64 { return bucketUpper(idx) }
+
 // Quantile estimates the q-quantile (0 < q <= 1) of a bucket vector produced
 // by Hist.Snapshot (or Snapshot.Ops buckets).
 func Quantile(buckets []int64, count int64, q float64) int64 {

@@ -46,6 +46,47 @@ go build -o "$tracedir/zofs-bench" ./cmd/zofs-bench
 go run ./cmd/zofs-top -validate "$tracedir/spans/spans.prom" >/dev/null
 go run ./cmd/zofs-top -once -dir "$tracedir/spans" >/dev/null
 
+echo "== series smoke =="
+# Tail-observatory gates. The "series" experiment is self-asserting: series
+# and exemplar collection must leave simulated throughput bit-identical,
+# merged windows must equal the cumulative telemetry histograms bucket for
+# bucket, every captured exemplar's components must sum exactly to its
+# duration, and the SLO burn accounting must match its designed values. Then
+# a -series collection run must publish a series.prom the shared validator
+# accepts, a timeline zofs-top renders, and a series directory zofs-trace
+# can overlay on the causal-span Chrome export.
+(cd "$tracedir" && ./zofs-bench -quick series >/dev/null)
+(cd "$tracedir" && ./zofs-bench -quick -spans "$tracedir/tail" -series "$tracedir/tail" fig8 >/dev/null)
+go run ./cmd/zofs-perfdiff -validate "$tracedir/tail/series.prom" >/dev/null
+go run ./cmd/zofs-top -once -dir "$tracedir/tail" >/dev/null
+go run ./cmd/zofs-top -json -dir "$tracedir/tail" >/dev/null
+go run ./cmd/zofs-trace export -spans "$tracedir/tail/spans.jsonl" \
+    -series "$tracedir/tail" -o "$tracedir/tail/chrome.json" >/dev/null
+
+echo "== perfdiff gate =="
+# Standing perf-regression gate: a fresh quick hotpath run must not regress
+# significantly against the committed BENCH_hotpath.json baseline (virtual
+# time makes the quick numbers bit-reproducible, so any drift is a real code
+# change — refresh the baseline deliberately when one is intended). Then the
+# differ proves it can catch what it gates: a 20% synthetic regression must
+# trip exit 3.
+go build -o "$tracedir/zofs-perfdiff" ./cmd/zofs-perfdiff
+(cd "$tracedir" && ./zofs-bench -quick hotpath >/dev/null)
+"$tracedir/zofs-perfdiff" BENCH_hotpath.json "$tracedir/BENCH_hotpath.json" >/dev/null
+"$tracedir/zofs-perfdiff" -inject 0.2 -o "$tracedir/BENCH_hotpath_regressed.json" \
+    "$tracedir/BENCH_hotpath.json" >/dev/null
+if "$tracedir/zofs-perfdiff" BENCH_hotpath.json \
+    "$tracedir/BENCH_hotpath_regressed.json" >/dev/null 2>&1; then
+    echo "perfdiff: injected 20% regression was not detected" >&2
+    exit 1
+else
+    status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "perfdiff: expected regression exit 3, got $status" >&2
+        exit 1
+    fi
+fi
+
 echo "== wa smoke =="
 # Byte-flow gates. The "wa" experiment is self-asserting: per-class issued
 # bytes sum exactly to the device's independent issued total, write cells
